@@ -1,0 +1,27 @@
+"""Shared infrastructure for the figure/table benches.
+
+Every bench uses ``benchmark.pedantic(..., rounds=1)``: the interesting
+output is the regenerated figure, not the wall-clock of the regeneration,
+and traces/simulations are cached across benches within the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def print_figure():
+    """Print a rendered figure to the terminal (visible with -s and in the
+    captured output of --benchmark-only runs)."""
+
+    def _print(text: str) -> None:
+        print()
+        print(text)
+
+    return _print

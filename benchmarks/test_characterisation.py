@@ -1,0 +1,53 @@
+"""Workload characterisation — the paper's §1 observations.
+
+Before proposing SP, the paper characterises the fenced workloads:
+persistence instructions "occur in clusters along with expensive fence
+operations", every transactional update costs 4 pcommits / 8 sfences, and
+barriers follow each other closely (which is why SP needs multiple
+checkpoints).  This bench regenerates that characterisation for all seven
+benchmarks.
+"""
+
+from conftest import run_once
+
+from repro.harness.runner import build_trace
+from repro.isa.analysis import characterise
+from repro.txn.modes import PersistMode
+from repro.workloads.registry import PAPER_SPECS, WORKLOADS
+
+
+def test_characterisation(benchmark, print_figure):
+    def experiment():
+        return {
+            ab: characterise(build_trace(ab, PersistMode.LOG_P_SF))
+            for ab in WORKLOADS
+        }
+
+    data = run_once(benchmark, experiment)
+
+    lines = ["Workload characterisation (Log+P+Sf traces)"]
+    lines.append(
+        f"{'bench':<7}{'pcommits/op':>12}{'sfences/op':>11}{'clusters/op':>12}"
+        f"{'mean clus.':>11}{'clustered':>10}{'barrier gap':>12}"
+    )
+    for ab, summary in data.items():
+        ops = PAPER_SPECS[ab].scaled_sim_ops
+        lines.append(
+            f"{ab:<7}{summary.pcommits / ops:>12.1f}{summary.fences / ops:>11.1f}"
+            f"{summary.clusters / ops:>12.1f}{summary.mean_cluster_size:>11.1f}"
+            f"{summary.clustered_fraction:>10.0%}{summary.mean_barrier_distance:>12.0f}"
+        )
+    print_figure("\n".join(lines))
+
+    for ab, summary in data.items():
+        ops = PAPER_SPECS[ab].scaled_sim_ops
+        # the WAL protocol's 4 pcommits / 8 sfences per operation
+        # (hash-map resizes may add a few)
+        assert 3.5 <= summary.pcommits / ops <= 6, ab
+        assert 7 <= summary.fences / ops <= 12, ab
+        # "persistence instructions occur in clusters"
+        assert summary.clustered_fraction > 0.9, ab
+        assert summary.mean_cluster_size >= 3, ab
+        # barriers follow closely enough that speculating past one meets
+        # the next (motivating multiple checkpoints)
+        assert summary.min_barrier_distance < 200, ab

@@ -1,0 +1,29 @@
+"""Extension — checkpoint-buffer sizing sweep.
+
+The paper fixes the checkpoint buffer at 4 entries because the maximum
+number of concurrent pcommits is about four (Figure 11).  This sweep
+verifies the sizing end to end: one checkpoint cripples SP (no epoch
+chaining), four captures nearly all of the win, and eight adds little.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import render_bar_table
+from repro.harness.sweeps import GEOMEAN, checkpoint_sweep
+from repro.workloads.registry import WORKLOADS
+
+
+def test_checkpoint_sweep(benchmark, print_figure):
+    data = run_once(benchmark, checkpoint_sweep)
+    table = {f"{count} ckpt": row for count, row in data.items()}
+    print_figure(render_bar_table(
+        "Extension: SP overhead vs checkpoint-buffer size",
+        table, columns=list(WORKLOADS) + [GEOMEAN],
+    ))
+    geo = {count: row[GEOMEAN] for count, row in data.items()}
+    # more checkpoints never hurt
+    assert geo[1] >= geo[2] >= geo[4] - 1e-9
+    # four checkpoints capture almost all of the achievable win
+    assert geo[4] - geo[8] < 0.05
+    # and chaining matters: one checkpoint is clearly worse than four
+    assert geo[1] > geo[4]

@@ -1,0 +1,41 @@
+"""Extension — NVMM write-latency sensitivity.
+
+Slower NVM technologies make persist barriers longer, so the fence penalty
+grows steeply with write latency.  SP keeps beating the stall at every
+point, but its *recovered share* shrinks as writes slow: speculation hides
+persist **latency**, and once the write-pending queue becomes
+bandwidth-bound the residual cost is drain throughput, which no amount of
+checkpointing removes.  (At the paper's 150 ns operating point SP removes
+~3/4 of the penalty.)
+"""
+
+from conftest import run_once
+
+from repro.harness.sweeps import nvmm_latency_sweep
+
+
+def test_nvmm_latency_sweep(benchmark, print_figure):
+    data = run_once(benchmark, nvmm_latency_sweep)
+
+    lines = ["Extension: fence penalty vs NVMM write latency (geomean, vs Log+P)"]
+    lines.append(f"{'write ns':>9}{'fence':>9}{'with SP':>9}{'recovered':>11}")
+    for write_ns, row in data.items():
+        lines.append(
+            f"{write_ns:>9}{row['fence']:>9.1%}{row['sp']:>9.1%}"
+            f"{row['recovered']:>11.0%}"
+        )
+    print_figure("\n".join(lines))
+
+    latencies = sorted(data)
+    # the fence penalty grows with NVMM write latency
+    fences = [data[lat]["fence"] for lat in latencies]
+    assert fences == sorted(fences)
+    # SP keeps beating the stall at every latency point
+    for lat in latencies:
+        assert data[lat]["sp"] < data[lat]["fence"]
+    # at the paper's operating point SP removes most of the penalty ...
+    assert data[latencies[0]]["recovered"] > 0.5
+    # ... but its share shrinks as the WPQ becomes bandwidth-bound:
+    # speculation hides latency, not drain throughput
+    recovered = [data[lat]["recovered"] for lat in latencies]
+    assert recovered == sorted(recovered, reverse=True)

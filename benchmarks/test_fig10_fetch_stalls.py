@@ -1,0 +1,27 @@
+"""Figure 10 — fetch-queue stall cycles / baseline execution cycles.
+
+Paper finding: the overhead of sfences shows up as pipeline (fetch-queue)
+stalls — Log+P+Sf stalls far more than Log+P, and SP removes nearly all of
+the added stalls.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig10_fetch_stalls, render_bar_table
+from repro.workloads.registry import WORKLOADS
+
+
+def test_fig10(benchmark, print_figure):
+    data = run_once(benchmark, fig10_fetch_stalls)
+    print_figure(render_bar_table(
+        "Figure 10: fetch-queue stall cycles / baseline cycles",
+        data, fmt="{:7.2f}", columns=list(WORKLOADS),
+    ))
+    worse = sum(
+        data["Log+P+Sf"][ab] > data["Log+P"][ab] for ab in WORKLOADS
+    )
+    assert worse >= 5, "sfences should inflate fetch stalls on most benchmarks"
+    recovered = sum(
+        data["SP256"][ab] < data["Log+P+Sf"][ab] for ab in WORKLOADS
+    )
+    assert recovered >= 5, "SP should remove most of the added fetch stalls"

@@ -1,0 +1,25 @@
+"""Figure 11 — maximum number of in-flight pcommits (Log+P runs).
+
+Paper finding: the maximum number of concurrent pcommits is around four
+for most benchmarks, which motivates the 4-entry checkpoint buffer.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig11_inflight_pcommits, render_scalar_series
+from repro.uarch.config import MachineConfig
+from repro.workloads.registry import WORKLOADS
+
+
+def test_fig11(benchmark, print_figure):
+    data = run_once(benchmark, fig11_inflight_pcommits)
+    print_figure(render_scalar_series(
+        "Figure 11: maximum in-flight pcommits (Log+P)", data, fmt="{:8d}"
+    ))
+    values = [data[ab] for ab in WORKLOADS]
+    assert all(v >= 1 for v in values)
+    # most benchmarks sit near the paper's four; none explodes into the
+    # dozens (which would indicate a saturated WPQ, unlike the paper)
+    near_four = sum(v <= 8 for v in values)
+    assert near_four >= 5
+    assert max(values) <= 2 * MachineConfig().checkpoint_entries * 2

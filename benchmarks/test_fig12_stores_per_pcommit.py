@@ -1,0 +1,25 @@
+"""Figure 12 — average stores executed while a pcommit is outstanding.
+
+Paper finding: fewer than 20 stores per outstanding pcommit for every
+benchmark except String Swap, which reaches about 42 (its 2 x 256-byte
+payloads).  Together with Figure 11 this sizes the SSB: ~4 concurrent
+pcommits x ~20 stores => at least ~80 entries.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig12_stores_per_pcommit, render_scalar_series
+from repro.workloads.registry import WORKLOADS
+
+
+def test_fig12(benchmark, print_figure):
+    data = run_once(benchmark, fig12_stores_per_pcommit)
+    print_figure(render_scalar_series(
+        "Figure 12: avg stores while a pcommit is outstanding (Log+P)", data
+    ))
+    # SS is the outlier, far above everyone else (paper: ~42)
+    others = [data[ab] for ab in WORKLOADS if ab != "SS"]
+    assert data["SS"] > max(others)
+    assert data["SS"] > 25
+    # the paper's sizing argument: a 256-entry SSB covers the demand
+    assert max(data.values()) * 4 < 256

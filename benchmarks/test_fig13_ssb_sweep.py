@@ -1,0 +1,28 @@
+"""Figure 13 — SP execution-time overhead vs SSB size (32..1024).
+
+Paper finding: 256 entries performs best on average (128 is nearly as
+good); smaller SSBs lose to structural hazards, larger ones to the higher
+CAM access latency.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import GEOMEAN, fig13_ssb_sweep, render_bar_table
+from repro.workloads.registry import WORKLOADS
+
+
+def test_fig13(benchmark, print_figure):
+    data = run_once(benchmark, fig13_ssb_sweep)
+    table = {f"SSB{size}": row for size, row in data.items()}
+    print_figure(render_bar_table(
+        "Figure 13: SP overhead over baseline vs SSB size",
+        table, columns=list(WORKLOADS) + [GEOMEAN],
+    ))
+    geo = {size: row[GEOMEAN] for size, row in data.items()}
+    best = min(geo, key=geo.get)
+    # the sweet spot sits in the middle of the sweep (paper: 128-256)
+    assert best in (128, 256), f"best SSB size was {best}"
+    # small SSBs pay structural-hazard stalls
+    assert geo[32] >= geo[best]
+    # very large SSBs pay access latency
+    assert geo[1024] >= geo[best]

@@ -1,0 +1,40 @@
+"""Figure 8 — execution-time overheads of Log / Log+P / Log+P+Sf / SP256.
+
+Paper findings this bench must reproduce in shape:
+* logging alone costs ~25% on average, much more on the trees;
+* adding PMEM instructions without fences adds only a little;
+* adding the ordering sfences is the big hit (paper: avg 60% over base);
+* SP brings the fenced code most of the way back to Log+P.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import GEOMEAN, fig8_overheads, render_bar_table
+from repro.workloads.registry import WORKLOADS
+
+
+def test_fig8(benchmark, print_figure):
+    data = run_once(benchmark, fig8_overheads)
+    print_figure(render_bar_table(
+        "Figure 8: execution-time overhead vs non-persistent baseline",
+        data, columns=list(WORKLOADS) + [GEOMEAN],
+    ))
+
+    log, logp = data["Log"], data["Log+P"]
+    logpsf, sp = data["Log+P+Sf"], data["SP256"]
+
+    # PMEM instructions alone add little on top of logging
+    assert logp[GEOMEAN] - log[GEOMEAN] < 0.05
+    # sfences are the bottleneck
+    assert logpsf[GEOMEAN] > logp[GEOMEAN] + 0.10
+    # SP removes most of the fence overhead
+    assert sp[GEOMEAN] < logpsf[GEOMEAN]
+    assert sp[GEOMEAN] - logp[GEOMEAN] < 0.55 * (logpsf[GEOMEAN] - logp[GEOMEAN])
+    # trees carry the big logging overheads; non-trees stay cheap to log
+    assert max(log[ab] for ab in ("AT", "BT", "RT")) > max(
+        log[ab] for ab in ("GH", "HM", "LL")
+    )
+    # ordering Base <= Log <= Log+P <= SP <= Log+P+Sf per benchmark
+    for ab in WORKLOADS:
+        assert -0.02 <= log[ab] <= logp[ab] + 0.02
+        assert sp[ab] <= logpsf[ab]

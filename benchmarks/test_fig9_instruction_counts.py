@@ -1,0 +1,30 @@
+"""Figure 9 — committed instruction count relative to the baseline.
+
+Paper finding: logging code is the primary contributor to the instruction
+growth; PMEM instructions add slightly; sfences are negligible.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig9_instruction_counts, render_bar_table
+from repro.workloads.registry import WORKLOADS
+
+
+def test_fig9(benchmark, print_figure):
+    data = run_once(benchmark, fig9_instruction_counts)
+    print_figure(render_bar_table(
+        "Figure 9: instruction-count ratio to baseline",
+        data, fmt="{:7.2f}", columns=list(WORKLOADS),
+    ))
+    for ab in WORKLOADS:
+        log = data["Log"][ab]
+        logp = data["Log+P"][ab]
+        logpsf = data["Log+P+Sf"][ab]
+        assert log >= 1.0
+        # logging dominates the growth; PMEM and fences are increments
+        assert logp - log <= log - 1.0 + 0.05
+        assert logpsf - logp <= logp - log + 0.02
+    # trees log many nodes, so they grow the most
+    tree_growth = min(data["Log"][ab] for ab in ("AT", "BT", "RT"))
+    list_growth = data["Log"]["LL"]
+    assert tree_growth > list_growth

@@ -1,0 +1,27 @@
+"""The abstract's headline numbers.
+
+Paper: ordering fences add 20.3% on average over Log+P (logging + PMEM
+instructions but no ordering); speculative persistence reduces that to
+3.6%.  Our scaled substrate lands in the same regime: a large fence
+penalty, cut by SP to a small fraction of it.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import headline_claim
+
+
+def test_headline(benchmark, print_figure):
+    data = run_once(benchmark, headline_claim)
+    fence = data["fence_overhead_vs_logp"]
+    sp = data["sp_overhead_vs_logp"]
+    print_figure(
+        "Headline (geomean over the 7 benchmarks):\n"
+        f"  persist-barrier overhead over Log+P : {fence:+.1%}   (paper: +20.3%)\n"
+        f"  with speculative persistence        : {sp:+.1%}   (paper: +3.6%)\n"
+        f"  fence penalty removed by SP         : {1 - sp / fence:.0%}"
+    )
+    assert fence > 0.10, "fences must cost real time"
+    assert sp < fence, "SP must beat stalling"
+    # SP removes the majority of the fence penalty
+    assert sp < 0.5 * fence

@@ -1,0 +1,18 @@
+"""Table 1 — benchmark inventory (paper counts and scaled counts)."""
+
+from conftest import run_once
+
+from repro.harness.tables import table1_text
+from repro.workloads.registry import PAPER_SPECS, WORKLOADS
+
+
+def test_table1(benchmark, print_figure):
+    text = run_once(benchmark, table1_text)
+    print_figure(text)
+    # paper row checks
+    assert PAPER_SPECS["GH"].paper_init_ops == 2_600_000
+    assert PAPER_SPECS["HM"].paper_init_ops == 1_500_000
+    assert PAPER_SPECS["LL"].paper_init_ops == 500
+    assert PAPER_SPECS["SS"].paper_sim_ops == 500_000
+    assert PAPER_SPECS["AT"].paper_sim_ops == 50_000
+    assert len(WORKLOADS) == 7

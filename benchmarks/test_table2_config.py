@@ -1,0 +1,17 @@
+"""Table 2 — baseline system configuration."""
+
+from conftest import run_once
+
+from repro.harness.tables import table2_text
+from repro.uarch.config import MachineConfig
+
+
+def test_table2(benchmark, print_figure):
+    text = run_once(benchmark, table2_text)
+    print_figure(text)
+    config = MachineConfig()
+    assert config.width == 4
+    assert config.rob_entries == 128
+    assert config.checkpoint_entries == 4
+    assert config.ns_to_cycles(50) == config.nvmm_read_cycles
+    assert config.ns_to_cycles(150) == config.nvmm_write_cycles

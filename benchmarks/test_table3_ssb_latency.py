@@ -1,0 +1,16 @@
+"""Table 3 — SSB configurations and access latencies."""
+
+from conftest import run_once
+
+from repro.core.ssb import SpeculativeStoreBuffer
+from repro.harness.tables import table3_text
+from repro.uarch.config import SSB_LATENCY_TABLE
+
+
+def test_table3(benchmark, print_figure):
+    text = run_once(benchmark, table3_text)
+    print_figure(text)
+    assert SSB_LATENCY_TABLE == {32: 2, 64: 3, 128: 4, 256: 5, 512: 7, 1024: 10}
+    # the hardware model actually uses these latencies
+    for entries, latency in SSB_LATENCY_TABLE.items():
+        assert SpeculativeStoreBuffer(entries).latency == latency

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Comparing the persistency models of the paper's Section 2.1.
+
+Runs the same sequence of updates — a bank-transfer-style pair of writes
+that must persist atomically-in-order — through strict, epoch, buffered
+epoch, and strand persistency, and contrasts (a) the cost profile (how
+many stalls / NVMM writes each model forces) and (b) the crash states each
+model can expose.  The PMEM model the paper targets is the flexible point
+in this space: software chooses *which* stores persist and in which order,
+which the rest of this repository exercises end to end.
+
+Run:  python examples/persistency_models.py
+"""
+
+import random
+
+from repro.pmem import (
+    BufferedEpochPersistency,
+    EpochPersistency,
+    StrandPersistency,
+    StrictPersistency,
+)
+
+DEBIT = 0x100
+CREDIT = 0x108
+
+
+def w(value: int) -> bytes:
+    return value.to_bytes(8, "little")
+
+
+def run_transfers(model, n_transfers=100):
+    """Debit must persist no later than credit (epoch boundary between)."""
+    for i in range(n_transfers):
+        model.store(DEBIT, w(1000 - i))
+        model.persist_barrier()
+        model.store(CREDIT, w(i))
+        model.persist_barrier()
+    return model
+
+
+def crash_anomalies(model, trials=500):
+    """Count sampled crash states where credit persisted without debit of
+    the same transfer (the anomaly ordering must prevent)."""
+    anomalies = 0
+    for seed in range(trials):
+        image = model.sample_crash_image(random.Random(seed))
+        debit = image.get(DEBIT)
+        credit = image.get(CREDIT)
+        if credit is not None and debit is not None:
+            transfer = int.from_bytes(credit, "little")
+            if int.from_bytes(debit, "little") > 1000 - transfer:
+                anomalies += 1
+    return anomalies
+
+
+def main() -> None:
+    print(f"{'model':<16}{'stalls':>8}{'NVMM writes':>13}{'ordering anomalies':>20}")
+    for cls in (StrictPersistency, EpochPersistency, BufferedEpochPersistency):
+        model = run_transfers(cls())
+        if isinstance(model, BufferedEpochPersistency):
+            model.drain(50)  # background progress: half the epochs
+        print(f"{model.name:<16}{model.stall_events:>8}{model.nvmm_writes:>13}"
+              f"{crash_anomalies(model):>20}")
+
+    # strand persistency: put each transfer on its own strand — transfers
+    # carry no mutual ordering (fine: they are independent), while the
+    # debit->credit order inside each strand is kept
+    strands = StrandPersistency()
+    for i in range(100):
+        if i:
+            strands.new_strand()
+        strands.store(DEBIT + i * 16, w(1000 - i))
+        strands.persist_barrier()
+        strands.store(CREDIT + i * 16, w(i))
+        strands.persist_barrier()
+    per_strand_ok = all(
+        not (CREDIT + i * 16 in img and DEBIT + i * 16 not in img)
+        for seed in range(200)
+        for img in [strands.sample_crash_image(random.Random(seed))]
+        for i in range(100)
+    )
+    print(f"{'strand':<16}{strands.stall_events:>8}{strands.nvmm_writes:>13}"
+          f"{'0 (within strands)' if per_strand_ok else 'VIOLATED':>20}")
+
+    print("\nstrict: zero anomalies but stalls on every store;")
+    print("epoch: zero anomalies, stalls only at barriers;")
+    print("buffered epoch / strand: zero anomalies and zero stalls, at the")
+    print("cost of not knowing *when* data is durable — which is exactly")
+    print("why PMEM adds pcommit+sfence, and why the paper speculates past them.")
+
+
+if __name__ == "__main__":
+    main()

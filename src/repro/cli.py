@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Print Tables 1-3.
+``figure {8,9,10,11,12,13,14}``
+    Regenerate one figure of the paper's evaluation.
+``headline``
+    The abstract's numbers (fence overhead over Log+P, with/without SP).
+``run ABBREV``
+    Run one benchmark through every variant and print its row.
+``crashtest ABBREV``
+    Sweep crash injections through one benchmark and report consistency.
+``report [PATH]``
+    Regenerate everything into a markdown report (default: stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import (
+    fig8_overheads,
+    fig9_instruction_counts,
+    fig10_fetch_stalls,
+    fig11_inflight_pcommits,
+    fig12_stores_per_pcommit,
+    fig13_ssb_sweep,
+    fig14_bloom_fp,
+    headline_claim,
+    render_bar_table,
+    table1_text,
+    table2_text,
+    table3_text,
+)
+from repro.harness.figures import GEOMEAN, render_scalar_series
+from repro.harness.runner import run_variant
+from repro.pmem.crash import CrashTester
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.workloads.registry import PAPER_SPECS, WORKLOADS, build_workload
+
+
+def _figure_text(number: int, benchmarks: Optional[List[str]] = None) -> str:
+    columns = list(benchmarks or WORKLOADS)
+    if number == 8:
+        return render_bar_table(
+            "Figure 8: execution-time overhead vs baseline",
+            fig8_overheads(columns), columns=columns + [GEOMEAN],
+        )
+    if number == 9:
+        return render_bar_table(
+            "Figure 9: instruction-count ratio to baseline",
+            fig9_instruction_counts(columns), fmt="{:7.2f}", columns=columns,
+        )
+    if number == 10:
+        return render_bar_table(
+            "Figure 10: fetch-queue stall cycles / baseline cycles",
+            fig10_fetch_stalls(columns), fmt="{:7.2f}", columns=columns,
+        )
+    if number == 11:
+        return render_scalar_series(
+            "Figure 11: maximum in-flight pcommits (Log+P)",
+            fig11_inflight_pcommits(columns), fmt="{:8d}",
+        )
+    if number == 12:
+        return render_scalar_series(
+            "Figure 12: avg stores while a pcommit is outstanding (Log+P)",
+            fig12_stores_per_pcommit(columns),
+        )
+    if number == 13:
+        data = fig13_ssb_sweep(columns)
+        return render_bar_table(
+            "Figure 13: SP overhead over baseline vs SSB size",
+            {f"SSB{size}": row for size, row in data.items()},
+            columns=columns + [GEOMEAN],
+        )
+    if number == 14:
+        return render_scalar_series(
+            "Figure 14: bloom-filter false-positive rate (SP256)",
+            fig14_bloom_fp(columns), fmt="{:8.3f}",
+        )
+    raise ValueError(f"no figure {number} in the paper's evaluation")
+
+
+def _headline_text() -> str:
+    data = headline_claim()
+    return (
+        "Headline (geomean over the 7 benchmarks):\n"
+        f"  persist-barrier overhead over Log+P : "
+        f"{data['fence_overhead_vs_logp']:+.1%}  (paper: +20.3%)\n"
+        f"  with speculative persistence        : "
+        f"{data['sp_overhead_vs_logp']:+.1%}  (paper: +3.6%)"
+    )
+
+
+def _run_text(abbrev: str) -> str:
+    machine = MachineConfig()
+    base = run_variant(abbrev, PersistMode.BASE, machine)
+    lines = [f"{PAPER_SPECS[abbrev].name} ({abbrev})"]
+    lines.append(f"{'variant':<12}{'cycles':>12}{'overhead':>10}{'IPC':>7}")
+    for mode in PersistMode:
+        stats = run_variant(abbrev, mode, machine)
+        lines.append(
+            f"{mode.label:<12}{stats.cycles:>12,}"
+            f"{stats.overhead_vs(base):>10.1%}{stats.ipc:>7.2f}"
+        )
+    sp = run_variant(abbrev, PersistMode.LOG_P_SF, machine.with_sp(256))
+    lines.append(
+        f"{'SP256':<12}{sp.cycles:>12,}{sp.overhead_vs(base):>10.1%}{sp.ipc:>7.2f}"
+    )
+    return "\n".join(lines)
+
+
+def _crashtest_text(abbrev: str, points: int, seed: int) -> str:
+    workload = build_workload(
+        abbrev, PersistMode.LOG_P_SF, track_persistence=True, seed=seed
+    )
+    workload.populate(min(PAPER_SPECS[abbrev].scaled_init_ops, 400))
+    keys = iter(range(1_000_000))
+    tester = CrashTester(
+        workload.bench.domain,
+        lambda: workload.operation((next(keys) * 37) % workload._key_space),
+        workload.recover,
+        workload.check_invariants,
+        seed=seed,
+    )
+    outcomes = tester.sweep(max_points=points)
+    bad = [o for o in outcomes if not o.invariants_ok]
+    lines = [
+        f"{PAPER_SPECS[abbrev].name} ({abbrev}): "
+        f"{len(outcomes)} crash points, "
+        f"{sum(o.crashed for o in outcomes)} mid-operation"
+    ]
+    if bad:
+        lines.append("INCONSISTENT:")
+        lines.extend(f"  point {o.crash_point}: {o.detail}" for o in bad[:10])
+    else:
+        lines.append("all crash points recovered consistently")
+    return "\n".join(lines)
+
+
+def _report_text() -> str:
+    sections = [
+        "# Reproduction report",
+        "",
+        "Generated by `python -m repro report`.",
+        "",
+        "```", table1_text(), "```", "",
+        "```", table2_text(), "```", "",
+        "```", table3_text(), "```", "",
+    ]
+    for number in (8, 9, 10, 11, 12, 13, 14):
+        sections += ["```", _figure_text(number), "```", ""]
+    sections += ["```", _headline_text(), "```", ""]
+    return "\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speculative Persistence (ISCA 2017) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1-3")
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("number", type=int, choices=range(8, 15))
+    figure.add_argument(
+        "--benchmarks", nargs="*", choices=WORKLOADS, default=None,
+        help="restrict to a subset (default: all seven)",
+    )
+
+    sub.add_parser("headline", help="the abstract's claim")
+
+    run = sub.add_parser("run", help="run one benchmark across variants")
+    run.add_argument("abbrev", choices=WORKLOADS)
+
+    crash = sub.add_parser("crashtest", help="sweep crash injection")
+    crash.add_argument("abbrev", choices=WORKLOADS)
+    crash.add_argument("--points", type=int, default=32)
+    crash.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="full markdown report")
+    report.add_argument("path", nargs="?", default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        print(table1_text())
+        print()
+        print(table2_text())
+        print()
+        print(table3_text())
+    elif args.command == "figure":
+        print(_figure_text(args.number, args.benchmarks))
+    elif args.command == "headline":
+        print(_headline_text())
+    elif args.command == "run":
+        print(_run_text(args.abbrev))
+    elif args.command == "crashtest":
+        print(_crashtest_text(args.abbrev, args.points, args.seed))
+    elif args.command == "report":
+        text = _report_text()
+        if args.path:
+            with open(args.path, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.path}")
+        else:
+            print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

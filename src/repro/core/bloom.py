@@ -1,0 +1,77 @@
+"""Bloom filter summarising SSB contents (paper §4.2.2 and Figure 14).
+
+A load in a speculative epoch must check the SSB for store-to-load
+forwarding, but the SSB CAM is slower than the L1D (Table 3).  The bloom
+filter answers "definitely not in the SSB" quickly: it is set as stores are
+inserted and only reset *when speculation fully exits*.  Because entries are
+never cleared when individual stores drain at epoch commit, false positives
+arise from departed stores — exactly the paper's Figure 14 observation that
+false positives "occur when stores have completed and left the SSB while
+the bloom filter has not been reset yet", independent of filter size.
+"""
+
+from __future__ import annotations
+
+
+class BloomFilter:
+    """Fixed-size, set-only bloom filter over cache-block addresses."""
+
+    def __init__(self, size_bytes: int = 512, n_hashes: int = 2):
+        if size_bytes <= 0 or n_hashes <= 0:
+            raise ValueError("bloom filter needs positive size and hash count")
+        self.n_bits = size_bytes * 8
+        self.n_hashes = n_hashes
+        self._bits = bytearray(size_bytes)
+        # statistics
+        self.inserts = 0
+        self.queries = 0
+        self.hits = 0
+        self.false_positives = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    def _positions(self, block: int):
+        # Two independent mixes of the block address; k hashes derived by
+        # double hashing (h1 + i*h2), the standard construction.
+        h1 = (block * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h2 = ((block ^ (block >> 13)) * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
+        h2 |= 1
+        for i in range(self.n_hashes):
+            yield ((h1 + i * h2) >> 8) % self.n_bits
+
+    def insert(self, block: int) -> None:
+        self.inserts += 1
+        for pos in self._positions(block):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def maybe_contains(self, block: int) -> bool:
+        """Probe the filter (no false negatives, possible false positives)."""
+        self.queries += 1
+        for pos in self._positions(block):
+            if not self._bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        self.hits += 1
+        return True
+
+    def record_false_positive(self) -> None:
+        """Caller verified a hit against the real SSB and found nothing."""
+        self.false_positives += 1
+
+    def reset(self) -> None:
+        """Full reset at speculation exit (paper: periodic resets keep the
+        false-positive rate low)."""
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self.resets += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def false_positive_rate(self) -> float:
+        """False positives per query (Figure 14 metric)."""
+        return self.false_positives / self.queries if self.queries else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of bits set (diagnostic)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.n_bits

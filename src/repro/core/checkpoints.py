@@ -1,0 +1,62 @@
+"""Checkpoint buffer — paper §4.2 / Figure 6 ("Checkpoint Buffer: 4 entries").
+
+Each speculative epoch needs one checkpoint of the architectural register
+state taken at its starting fence.  The buffer is a small free list; when a
+child epoch is needed and no checkpoint is free, the processor stalls until
+the oldest epoch commits (paper §4.2.1).  Figure 11 motivates the size of
+four: the maximum number of concurrently outstanding pcommits across the
+benchmarks is four.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class CheckpointBuffer:
+    """Fixed pool of architectural-state checkpoints."""
+
+    def __init__(self, capacity: int = 4):
+        if capacity <= 0:
+            raise ValueError("need at least one checkpoint")
+        self.capacity = capacity
+        self._free: List[int] = list(range(capacity))
+        self._taken_at: dict = {}
+        # statistics
+        self.acquisitions = 0
+        self.exhaustion_stalls = 0
+        self.max_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - len(self._free)
+
+    @property
+    def available(self) -> bool:
+        return bool(self._free)
+
+    def acquire(self, now: int = 0) -> int:
+        """Take a checkpoint; returns its id.  Caller must have checked
+        :attr:`available` (hardware stalls instead of failing)."""
+        if not self._free:
+            raise RuntimeError("checkpoint buffer exhausted; pipeline must stall")
+        checkpoint = self._free.pop(0)
+        self._taken_at[checkpoint] = now
+        self.acquisitions += 1
+        if self.in_use > self.max_in_use:
+            self.max_in_use = self.in_use
+        return checkpoint
+
+    def release(self, checkpoint: int) -> None:
+        if checkpoint in self._free or checkpoint not in self._taken_at:
+            raise ValueError(f"checkpoint {checkpoint} is not in use")
+        del self._taken_at[checkpoint]
+        self._free.append(checkpoint)
+
+    def release_all(self) -> None:
+        """Rollback: every checkpoint becomes free again."""
+        self._free = list(range(self.capacity))
+        self._taken_at.clear()
+
+    def taken_at(self, checkpoint: int) -> Optional[int]:
+        return self._taken_at.get(checkpoint)

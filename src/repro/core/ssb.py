@@ -1,0 +1,124 @@
+"""Speculative Store Buffer (SSB) — paper §4.2.2.
+
+A FIFO between the pipeline and the cache.  During speculation it holds, in
+program order:
+
+* speculatively retired **stores** (address + data would be here in
+  hardware; the timing model only needs the address), and
+* **delayed PMEM instructions** (``clwb``/``clflushopt``/``pcommit``), which
+  cannot execute speculatively and replay at epoch commit, plus the special
+  *barrier* opcode marking that an ``sfence-pcommit-sfence`` must complete
+  before the next epoch commits.
+
+Each entry carries the epoch it belongs to, so the drain logic can release
+exactly one epoch's entries at commit.  The CAM access latency depends on
+the entry count (Table 3, :func:`repro.uarch.config.ssb_latency`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.uarch.config import ssb_latency
+
+
+class SSBFullError(RuntimeError):
+    """Raised when an entry is appended to a full SSB (the pipeline model
+    should have stalled instead; seeing this is a model bug)."""
+
+
+class SSBOp(enum.Enum):
+    STORE = "store"
+    CLWB = "clwb"
+    CLFLUSHOPT = "clflushopt"
+    PCOMMIT = "pcommit"
+    #: special opcode: sfence-pcommit-sfence required before the next epoch
+    #: commits (paper's single-checkpoint optimisation).
+    BARRIER = "barrier"
+
+
+@dataclass
+class SSBEntry:
+    op: SSBOp
+    block: int
+    epoch_id: int
+
+
+class SpeculativeStoreBuffer:
+    """Bounded FIFO of speculative stores and delayed PMEM operations."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self.latency = ssb_latency(capacity)
+        self._entries: Deque[SSBEntry] = deque()
+        #: membership index for store-to-load forwarding: block -> count
+        self._store_blocks: Dict[int, int] = {}
+        # statistics
+        self.appends = 0
+        self.lookups = 0
+        self.forwards = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def append(self, op: SSBOp, block: int, epoch_id: int) -> SSBEntry:
+        if len(self._entries) >= self.capacity:
+            raise SSBFullError(f"SSB overflow at {self.capacity} entries")
+        entry = SSBEntry(op, block, epoch_id)
+        self._entries.append(entry)
+        if op is SSBOp.STORE:
+            self._store_blocks[block] = self._store_blocks.get(block, 0) + 1
+        self.appends += 1
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+        return entry
+
+    # ------------------------------------------------------------------
+    def holds_store(self, block: int) -> bool:
+        """CAM search used by speculative loads (after the bloom filter)."""
+        self.lookups += 1
+        present = self._store_blocks.get(block, 0) > 0
+        if present:
+            self.forwards += 1
+        return present
+
+    # ------------------------------------------------------------------
+    def pop_epoch(self, epoch_id: int) -> List[SSBEntry]:
+        """Remove and return the oldest epoch's entries (in order).
+
+        Epochs commit oldest-first, so the entries of *epoch_id* must be a
+        prefix of the FIFO; anything else is a sequencing bug.
+        """
+        drained: List[SSBEntry] = []
+        while self._entries and self._entries[0].epoch_id == epoch_id:
+            entry = self._entries.popleft()
+            if entry.op is SSBOp.STORE:
+                count = self._store_blocks[entry.block] - 1
+                if count:
+                    self._store_blocks[entry.block] = count
+                else:
+                    del self._store_blocks[entry.block]
+            drained.append(entry)
+        if any(e.epoch_id == epoch_id for e in self._entries):
+            raise RuntimeError(
+                f"epoch {epoch_id} entries not contiguous at the SSB head"
+            )
+        return drained
+
+    def flush(self) -> None:
+        """Discard everything (rollback)."""
+        self._entries.clear()
+        self._store_blocks.clear()
+
+    def entries(self) -> List[SSBEntry]:
+        """Snapshot of the FIFO contents (tests / debugging)."""
+        return list(self._entries)

@@ -1,0 +1,48 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One function per artefact (``fig8`` ... ``fig14``, ``table1`` ... ``table3``,
+``headline``), each returning structured results plus a text renderer so the
+benches under ``benchmarks/`` can print the same rows/series the paper
+reports.  Traces are cached per (benchmark, mode, seed) within a process, so
+running the whole figure suite costs one trace generation per variant.
+"""
+
+from repro.harness.runner import (
+    TraceKey,
+    build_trace,
+    clear_trace_cache,
+    run_variant,
+    variant_stats,
+)
+from repro.harness.figures import (
+    fig8_overheads,
+    fig9_instruction_counts,
+    fig10_fetch_stalls,
+    fig11_inflight_pcommits,
+    fig12_stores_per_pcommit,
+    fig13_ssb_sweep,
+    fig14_bloom_fp,
+    headline_claim,
+    render_bar_table,
+)
+from repro.harness.tables import table1_text, table2_text, table3_text
+
+__all__ = [
+    "TraceKey",
+    "build_trace",
+    "clear_trace_cache",
+    "run_variant",
+    "variant_stats",
+    "fig8_overheads",
+    "fig9_instruction_counts",
+    "fig10_fetch_stalls",
+    "fig11_inflight_pcommits",
+    "fig12_stores_per_pcommit",
+    "fig13_ssb_sweep",
+    "fig14_bloom_fp",
+    "headline_claim",
+    "render_bar_table",
+    "table1_text",
+    "table2_text",
+    "table3_text",
+]

@@ -1,0 +1,239 @@
+"""Per-figure experiment runners (paper Figures 8-14) and text renderers.
+
+Each ``figN_*`` function returns a mapping from benchmark abbreviation to
+the figure's metric (plus a geometric-mean entry where the paper shows
+one).  ``render_bar_table`` turns such mappings into the textual equivalent
+of the paper's grouped bar charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.stats.run import RunStats
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig, SSB_LATENCY_TABLE
+from repro.harness.runner import (
+    all_benchmarks,
+    geomean_overhead,
+    run_variant,
+)
+
+GEOMEAN = "GEO"
+
+#: Variant display order of Figure 8.
+FIG8_SERIES = ("Log", "Log+P", "Log+P+Sf", "SP256")
+
+
+def _mode_series(sp_ssb: int = 256):
+    base_cfg = MachineConfig()
+    return [
+        ("Log", PersistMode.LOG, base_cfg),
+        ("Log+P", PersistMode.LOG_P, base_cfg),
+        ("Log+P+Sf", PersistMode.LOG_P_SF, base_cfg),
+        ("SP256", PersistMode.LOG_P_SF, base_cfg.with_sp(sp_ssb)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 8: execution-time overhead over the non-persistent baseline
+# ----------------------------------------------------------------------
+def fig8_overheads(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, Dict[str, float]]:
+    """Overhead (slowdown - 1) of each variant vs the BASE run.
+
+    Returns ``{series: {benchmark: overhead, ..., "GEO": overhead}}``.
+    """
+    benchmarks = list(benchmarks or all_benchmarks())
+    result: Dict[str, Dict[str, float]] = {}
+    for label, mode, config in _mode_series():
+        row: Dict[str, float] = {}
+        ratios: List[float] = []
+        for ab in benchmarks:
+            base = run_variant(ab, PersistMode.BASE, MachineConfig(), seed)
+            stats = run_variant(ab, mode, config, seed)
+            ratio = stats.cycles / base.cycles
+            row[ab] = ratio - 1.0
+            ratios.append(ratio)
+        row[GEOMEAN] = geomean_overhead(ratios)
+        result[label] = row
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9: committed-instruction-count ratio to baseline
+# ----------------------------------------------------------------------
+def fig9_instruction_counts(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, Dict[str, float]]:
+    """Instruction-count ratio of Log / Log+P / Log+P+Sf to BASE."""
+    benchmarks = list(benchmarks or all_benchmarks())
+    result: Dict[str, Dict[str, float]] = {}
+    base_cfg = MachineConfig()
+    for label, mode in (
+        ("Log", PersistMode.LOG),
+        ("Log+P", PersistMode.LOG_P),
+        ("Log+P+Sf", PersistMode.LOG_P_SF),
+    ):
+        row = {}
+        for ab in benchmarks:
+            base = run_variant(ab, PersistMode.BASE, base_cfg, seed)
+            stats = run_variant(ab, mode, base_cfg, seed)
+            row[ab] = stats.instructions / base.instructions
+        result[label] = row
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: fetch-queue stall cycles / baseline cycles
+# ----------------------------------------------------------------------
+def fig10_fetch_stalls(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, Dict[str, float]]:
+    """Fetch-queue stall cycles of Log+P / Log+P+Sf / SP256, normalised to
+    the baseline's execution cycles."""
+    benchmarks = list(benchmarks or all_benchmarks())
+    base_cfg = MachineConfig()
+    series = [
+        ("Log+P", PersistMode.LOG_P, base_cfg),
+        ("Log+P+Sf", PersistMode.LOG_P_SF, base_cfg),
+        ("SP256", PersistMode.LOG_P_SF, base_cfg.with_sp(256)),
+    ]
+    result: Dict[str, Dict[str, float]] = {}
+    for label, mode, config in series:
+        row = {}
+        for ab in benchmarks:
+            base = run_variant(ab, PersistMode.BASE, base_cfg, seed)
+            stats = run_variant(ab, mode, config, seed)
+            row[ab] = stats.fetch_stall_cycles / base.cycles
+        result[label] = row
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 11: maximum number of in-flight pcommits (Log+P)
+# ----------------------------------------------------------------------
+def fig11_inflight_pcommits(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, int]:
+    benchmarks = list(benchmarks or all_benchmarks())
+    return {
+        ab: run_variant(ab, PersistMode.LOG_P, MachineConfig(), seed).max_inflight_pcommits
+        for ab in benchmarks
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 12: average stores while a pcommit is outstanding (Log+P)
+# ----------------------------------------------------------------------
+def fig12_stores_per_pcommit(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, float]:
+    benchmarks = list(benchmarks or all_benchmarks())
+    return {
+        ab: run_variant(ab, PersistMode.LOG_P, MachineConfig(), seed).stores_per_pcommit
+        for ab in benchmarks
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 13: SP overhead vs SSB size
+# ----------------------------------------------------------------------
+def fig13_ssb_sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 7,
+) -> Dict[int, Dict[str, float]]:
+    """Execution-time overhead of SP over BASE for each SSB size.
+
+    Returns ``{ssb_entries: {benchmark: overhead, "GEO": overhead}}``.
+    """
+    benchmarks = list(benchmarks or all_benchmarks())
+    sizes = list(sizes or sorted(SSB_LATENCY_TABLE))
+    base_cfg = MachineConfig()
+    result: Dict[int, Dict[str, float]] = {}
+    for size in sizes:
+        sp_cfg = base_cfg.with_sp(size)
+        row: Dict[str, float] = {}
+        ratios: List[float] = []
+        for ab in benchmarks:
+            base = run_variant(ab, PersistMode.BASE, base_cfg, seed)
+            stats = run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed)
+            ratio = stats.cycles / base.cycles
+            row[ab] = ratio - 1.0
+            ratios.append(ratio)
+        row[GEOMEAN] = geomean_overhead(ratios)
+        result[size] = row
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 14: bloom-filter false-positive rate (SP256)
+# ----------------------------------------------------------------------
+def fig14_bloom_fp(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, float]:
+    benchmarks = list(benchmarks or all_benchmarks())
+    sp_cfg = MachineConfig().with_sp(256)
+    return {
+        ab: run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed).bloom_false_positive_rate
+        for ab in benchmarks
+    }
+
+
+# ----------------------------------------------------------------------
+# Headline claim: fence overhead over Log+P, without and with SP
+# ----------------------------------------------------------------------
+def headline_claim(
+    benchmarks: Optional[Sequence[str]] = None, seed: int = 7
+) -> Dict[str, float]:
+    """The abstract's numbers: average overhead of ordering fences over
+    Log+P (paper: 20.3%) and of SP over Log+P (paper: 3.6%)."""
+    benchmarks = list(benchmarks or all_benchmarks())
+    base_cfg = MachineConfig()
+    sp_cfg = base_cfg.with_sp(256)
+    sf_ratios, sp_ratios = [], []
+    for ab in benchmarks:
+        logp = run_variant(ab, PersistMode.LOG_P, base_cfg, seed)
+        logpsf = run_variant(ab, PersistMode.LOG_P_SF, base_cfg, seed)
+        sp = run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed)
+        sf_ratios.append(logpsf.cycles / logp.cycles)
+        sp_ratios.append(sp.cycles / logp.cycles)
+    return {
+        "fence_overhead_vs_logp": geomean_overhead(sf_ratios),
+        "sp_overhead_vs_logp": geomean_overhead(sp_ratios),
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_bar_table(
+    title: str,
+    data: Mapping[str, Mapping[str, float]],
+    fmt: str = "{:+7.1%}",
+    columns: Optional[Iterable[str]] = None,
+) -> str:
+    """Render ``{series: {benchmark: value}}`` as an aligned text table."""
+    series = list(data)
+    columns = list(columns or next(iter(data.values())).keys())
+    width = max(10, max(len(s) for s in series) + 2)
+    lines = [title, "-" * len(title)]
+    header = " " * width + "".join(f"{c:>9}" for c in columns)
+    lines.append(header)
+    for name in series:
+        row = data[name]
+        cells = "".join(
+            f"{fmt.format(row[c]):>9}" if c in row else f"{'-':>9}" for c in columns
+        )
+        lines.append(f"{name:<{width}}" + cells)
+    return "\n".join(lines)
+
+
+def render_scalar_series(title: str, data: Mapping[str, float], fmt: str = "{:8.3f}") -> str:
+    """Render ``{benchmark: value}`` as a two-row text table."""
+    lines = [title, "-" * len(title)]
+    lines.append("".join(f"{k:>9}" for k in data))
+    lines.append("".join(f"{fmt.format(v):>9}" for v in data.values()))
+    return "\n".join(lines)

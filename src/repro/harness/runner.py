@@ -1,0 +1,113 @@
+"""Trace generation and variant simulation, with per-process caching."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.isa.trace import Trace
+from repro.stats.run import RunStats
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+from repro.workloads.base import Workbench
+from repro.workloads.registry import PAPER_SPECS, WORKLOADS
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Cache key for a generated trace."""
+
+    abbrev: str
+    mode: PersistMode
+    seed: int
+    init_ops: Optional[int] = None
+    sim_ops: Optional[int] = None
+
+
+_TRACE_CACHE: Dict[TraceKey, Trace] = {}
+_STATS_CACHE: Dict[Tuple[TraceKey, MachineConfig], RunStats] = {}
+
+
+def clear_trace_cache() -> None:
+    """Drop cached traces and simulation results (tests use this)."""
+    _TRACE_CACHE.clear()
+    _STATS_CACHE.clear()
+
+
+def build_trace(
+    abbrev: str,
+    mode: PersistMode,
+    seed: int = 7,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
+) -> Trace:
+    """Generate (or fetch from cache) the trace for one benchmark variant.
+
+    ``init_ops``/``sim_ops`` default to the registry's scaled counts.
+    """
+    key = TraceKey(abbrev, mode, seed, init_ops, sim_ops)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    spec = PAPER_SPECS[abbrev]
+    bench = Workbench(mode=mode, record=True, seed=seed)
+    workload = spec.build(bench)
+    workload.populate(spec.scaled_init_ops if init_ops is None else init_ops)
+    workload.run(spec.scaled_sim_ops if sim_ops is None else sim_ops)
+    trace = bench.trace
+    _TRACE_CACHE[key] = trace
+    return trace
+
+
+def run_variant(
+    abbrev: str,
+    mode: PersistMode,
+    config: Optional[MachineConfig] = None,
+    seed: int = 7,
+) -> RunStats:
+    """Simulate one benchmark variant on *config* (cached)."""
+    config = config or MachineConfig()
+    key = (TraceKey(abbrev, mode, seed), config)
+    cached = _STATS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    stats = simulate(build_trace(abbrev, mode, seed=seed), config)
+    _STATS_CACHE[key] = stats
+    return stats
+
+
+def variant_stats(
+    abbrev: str,
+    sp: bool = False,
+    ssb_entries: int = 256,
+    seed: int = 7,
+) -> Dict[PersistMode, RunStats]:
+    """All four Figure-8 variants for one benchmark.
+
+    With ``sp=True`` the LOG_P_SF trace additionally runs on the
+    speculative-persistence machine and is stored under the key
+    ``"SP"`` in the returned mapping (alongside the enum keys).
+    """
+    results: Dict = {}
+    base_cfg = MachineConfig()
+    for mode in PersistMode:
+        results[mode] = run_variant(abbrev, mode, base_cfg, seed)
+    if sp:
+        sp_cfg = base_cfg.with_sp(ssb_entries)
+        results["SP"] = run_variant(abbrev, PersistMode.LOG_P_SF, sp_cfg, seed)
+    return results
+
+
+def geomean_overhead(ratios: Iterable[float]) -> float:
+    """The paper's summary statistic: geometric mean of slowdown ratios,
+    minus one."""
+    values = list(ratios)
+    if not values:
+        raise ValueError("no ratios")
+    return math.exp(sum(math.log(v) for v in values) / len(values)) - 1.0
+
+
+def all_benchmarks() -> List[str]:
+    return list(WORKLOADS)

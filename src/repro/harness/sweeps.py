@@ -1,0 +1,90 @@
+"""Extension sweeps beyond the paper's figures.
+
+The paper fixes the checkpoint buffer at 4 entries (motivated by Figure
+11) and the NVMM at 50/150 ns.  These sweeps explore the neighbourhood of
+those choices — the kind of sensitivity analysis a design-space study
+would add:
+
+* :func:`checkpoint_sweep` — how much speculation depth SP actually needs;
+* :func:`nvmm_latency_sweep` — how the fence penalty and the SP win scale
+  as NVMM writes get slower (slower NVM technologies make the paper's
+  mechanism *more* valuable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.harness.runner import all_benchmarks, geomean_overhead, run_variant
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+
+GEOMEAN = "GEO"
+
+
+def checkpoint_sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 7,
+) -> Dict[int, Dict[str, float]]:
+    """SP overhead over baseline per checkpoint-buffer size.
+
+    Returns ``{checkpoint_count: {benchmark: overhead, "GEO": overhead}}``.
+    """
+    benchmarks = list(benchmarks or all_benchmarks())
+    base_cfg = MachineConfig()
+    result: Dict[int, Dict[str, float]] = {}
+    for count in counts:
+        sp_cfg = base_cfg.with_sp(256, checkpoint_entries=count)
+        row: Dict[str, float] = {}
+        ratios = []
+        for ab in benchmarks:
+            base = run_variant(ab, PersistMode.BASE, base_cfg, seed)
+            stats = run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed)
+            ratio = stats.cycles / base.cycles
+            row[ab] = ratio - 1.0
+            ratios.append(ratio)
+        row[GEOMEAN] = geomean_overhead(ratios)
+        result[count] = row
+    return result
+
+
+def nvmm_latency_sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    write_latencies_ns: Sequence[int] = (150, 300, 600, 1200),
+    seed: int = 7,
+) -> Dict[int, Dict[str, float]]:
+    """Fence penalty and SP residual vs NVMM write latency.
+
+    Only the *write* path scales (reads stay at 50 ns), isolating the
+    persist-barrier effect: slower writes lengthen WPQ drains and pcommit
+    acknowledgements without touching the baseline's load behaviour.
+    Returns ``{latency_ns: {"fence": geomean Log+P+Sf-vs-Log+P overhead,
+    "sp": geomean SP-vs-Log+P overhead, "recovered": fraction of the
+    penalty SP removes}}``.
+    """
+    benchmarks = list(benchmarks or all_benchmarks())
+    result: Dict[int, Dict[str, float]] = {}
+    for write_ns in write_latencies_ns:
+        scale = write_ns / 150.0
+        base_cfg = replace(
+            MachineConfig(),
+            nvmm_write_cycles=int(315 * scale),
+        )
+        sp_cfg = base_cfg.with_sp(256)
+        fence_ratios, sp_ratios = [], []
+        for ab in benchmarks:
+            logp = run_variant(ab, PersistMode.LOG_P, base_cfg, seed)
+            fenced = run_variant(ab, PersistMode.LOG_P_SF, base_cfg, seed)
+            sp = run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed)
+            fence_ratios.append(fenced.cycles / logp.cycles)
+            sp_ratios.append(sp.cycles / logp.cycles)
+        fence = geomean_overhead(fence_ratios)
+        sp_resid = geomean_overhead(sp_ratios)
+        result[write_ns] = {
+            "fence": fence,
+            "sp": sp_resid,
+            "recovered": 1 - sp_resid / fence if fence > 0 else 0.0,
+        }
+    return result

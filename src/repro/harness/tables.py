@@ -1,0 +1,73 @@
+"""Text renderers for the paper's configuration tables (Tables 1-3)."""
+
+from __future__ import annotations
+
+from repro.uarch.config import MachineConfig, SSB_LATENCY_TABLE
+from repro.workloads.registry import PAPER_SPECS, WORKLOADS
+
+
+def table1_text() -> str:
+    """Table 1: the benchmark inventory, paper counts + scaled counts."""
+    lines = [
+        "Table 1: Benchmarks (64-byte, block-aligned nodes; one clwb per node update)",
+        f"{'Abbrev':<8}{'Benchmark':<14}{'#InitOps':>12}{'#SimOps':>10}"
+        f"{'scaled init':>13}{'scaled sim':>12}",
+    ]
+    for ab in WORKLOADS:
+        spec = PAPER_SPECS[ab]
+        lines.append(
+            f"{spec.abbrev:<8}{spec.name:<14}{spec.paper_init_ops:>12,}"
+            f"{spec.paper_sim_ops:>10,}{spec.scaled_init_ops:>13,}"
+            f"{spec.scaled_sim_ops:>12,}"
+        )
+    return "\n".join(lines)
+
+
+def table2_text(config: MachineConfig = MachineConfig()) -> str:
+    """Table 2: the baseline system configuration."""
+    rows = [
+        ("Processor", f"OOO, {config.clock_ghz}GHz, {config.width}-wide issue/retire"),
+        (
+            "",
+            f"ROB: {config.rob_entries}, fetchQ/issueQ/LSQ: "
+            f"{config.fetchq_entries}/{config.issueq_entries}/{config.lsq_entries}",
+        ),
+        ("L1I and L1D", _cache_row(config.l1)),
+        ("L2", _cache_row(config.l2)),
+        ("L3", _cache_row(config.l3)),
+        ("SSB", "variable size and latency (Table 3)"),
+        ("Checkpoint Buffer", f"{config.checkpoint_entries} entries"),
+        (
+            "NVMM",
+            f"{config.nvmm_read_cycles / config.clock_ghz:.0f}ns read, "
+            f"{config.nvmm_write_cycles / config.clock_ghz:.0f}ns write "
+            f"({config.nvmm_banks}-way bank parallelism)",
+        ),
+    ]
+    lines = ["Table 2: Baseline system configuration"]
+    for key, value in rows:
+        lines.append(f"{key:<20}{value}")
+    return "\n".join(lines)
+
+
+def _cache_row(cache) -> str:
+    size = cache.size_bytes
+    if size >= 1 << 20:
+        size_txt = f"{size >> 20}MB"
+    else:
+        size_txt = f"{size >> 10}KB"
+    return (
+        f"{size_txt}, {cache.ways}-way, {cache.block_size}B block, "
+        f"{cache.latency} cycles"
+    )
+
+
+def table3_text() -> str:
+    """Table 3: SSB configurations and access latencies."""
+    sizes = sorted(SSB_LATENCY_TABLE)
+    lines = ["Table 3: SSB configurations and parameters"]
+    lines.append("Num entries     " + "".join(f"{s:>6}" for s in sizes))
+    lines.append(
+        "Latency (cycles)" + "".join(f"{SSB_LATENCY_TABLE[s]:>6}" for s in sizes)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Micro-op instruction set and trace infrastructure.
+
+The reproduction is trace-driven: workloads execute *functionally* against a
+simulated NVMM heap and emit a linear stream of micro-ops (:class:`Instr`).
+The timing models in :mod:`repro.uarch` and :mod:`repro.core` then consume
+those traces cycle by cycle.
+
+The micro-op vocabulary mirrors the instructions the paper reasons about:
+plain loads/stores and ALU work, plus the Intel PMEM persistency instructions
+(``clwb``, ``clflushopt``, ``clflush``, ``pcommit``) and the fences
+(``sfence``, ``mfence``) that order them.
+"""
+
+from repro.isa.ops import (
+    Op,
+    FENCE_OPS,
+    PMEM_OPS,
+    FLUSH_OPS,
+    MEMORY_OPS,
+    ORDERING_OPS,
+    is_fence,
+    is_flush,
+    is_pmem,
+    is_speculation_boundary,
+)
+from repro.isa.instr import Instr
+from repro.isa.trace import Trace, TraceStats
+from repro.isa.recorder import TraceRecorder
+
+__all__ = [
+    "Op",
+    "Instr",
+    "Trace",
+    "TraceStats",
+    "TraceRecorder",
+    "FENCE_OPS",
+    "PMEM_OPS",
+    "FLUSH_OPS",
+    "MEMORY_OPS",
+    "ORDERING_OPS",
+    "is_fence",
+    "is_flush",
+    "is_pmem",
+    "is_speculation_boundary",
+]

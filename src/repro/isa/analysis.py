@@ -1,0 +1,111 @@
+"""Trace analysis: the workload characterisation behind the paper's §1.
+
+The paper's motivating observation is structural: "persistence
+instructions occur in clusters along with expensive fence operations".
+These helpers quantify that on any trace:
+
+* :func:`persist_clusters` — maximal runs of persistency/fence
+  instructions separated by fewer than ``gap`` ordinary instructions;
+* :func:`barrier_distances` — instruction distances between successive
+  ``sfence-pcommit-sfence`` barriers (how far speculation must reach);
+* :func:`characterise` — the summary used by the characterisation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.isa.ops import Op, FENCE_OPS, PMEM_OPS
+from repro.isa.trace import Trace
+
+_PERSIST_OPS = PMEM_OPS | FENCE_OPS
+
+
+@dataclass
+class PersistCluster:
+    """One run of persistency/fence instructions."""
+
+    start: int                 # trace index of the first persist op
+    end: int                   # trace index of the last persist op
+    persist_ops: int = 0       # clwb/clflushopt/clflush/pcommit count
+    fences: int = 0
+    pcommits: int = 0
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start + 1
+
+
+def persist_clusters(trace: Trace, gap: int = 16) -> List[PersistCluster]:
+    """Group persistency instructions into clusters.
+
+    Two persist ops belong to the same cluster when fewer than *gap*
+    ordinary instructions separate them — the paper's "clusters" are the
+    log-flush + barrier bursts at the end of each WAL step.
+    """
+    clusters: List[PersistCluster] = []
+    current: PersistCluster = None  # type: ignore[assignment]
+    last_persist_index = None
+    for index, instr in enumerate(trace):
+        if instr.op not in _PERSIST_OPS:
+            continue
+        if last_persist_index is None or index - last_persist_index > gap:
+            current = PersistCluster(start=index, end=index)
+            clusters.append(current)
+        current.end = index
+        last_persist_index = index
+        if instr.op in PMEM_OPS:
+            current.persist_ops += 1
+        if instr.op in FENCE_OPS:
+            current.fences += 1
+        if instr.op is Op.PCOMMIT:
+            current.pcommits += 1
+    return clusters
+
+
+def barrier_distances(trace: Trace) -> List[int]:
+    """Instruction distances between successive persist barriers
+    (``sfence [pcommit] sfence`` treated by their pcommit position)."""
+    positions = [i for i, instr in enumerate(trace) if instr.op is Op.PCOMMIT]
+    return [b - a for a, b in zip(positions, positions[1:])]
+
+
+@dataclass
+class TraceCharacterisation:
+    """Summary statistics of a fenced trace's persist structure."""
+
+    instructions: int = 0
+    clusters: int = 0
+    persist_ops: int = 0
+    fences: int = 0
+    pcommits: int = 0
+    mean_cluster_size: float = 0.0
+    mean_barrier_distance: float = 0.0
+    min_barrier_distance: int = 0
+    clustered_fraction: float = 0.0
+    distances: List[int] = field(default_factory=list)
+
+
+def characterise(trace: Trace, gap: int = 16) -> TraceCharacterisation:
+    """Full §1-style characterisation of *trace*."""
+    clusters = persist_clusters(trace, gap)
+    distances = barrier_distances(trace)
+    total_persist = sum(c.persist_ops for c in clusters)
+    total_fences = sum(c.fences for c in clusters)
+    in_multi = sum(
+        c.persist_ops + c.fences for c in clusters if c.persist_ops + c.fences > 1
+    )
+    all_ops = total_persist + total_fences
+    return TraceCharacterisation(
+        instructions=len(trace),
+        clusters=len(clusters),
+        persist_ops=total_persist,
+        fences=total_fences,
+        pcommits=sum(c.pcommits for c in clusters),
+        mean_cluster_size=(all_ops / len(clusters)) if clusters else 0.0,
+        mean_barrier_distance=(sum(distances) / len(distances)) if distances else 0.0,
+        min_barrier_distance=min(distances) if distances else 0,
+        clustered_fraction=(in_multi / all_ops) if all_ops else 0.0,
+        distances=distances,
+    )

@@ -1,0 +1,53 @@
+"""The :class:`Instr` micro-op record.
+
+Instances are created in the millions per simulation, so the class is kept
+slot-based and minimal.  ``addr`` is a byte address into the simulated NVMM
+heap for memory ops and ``0`` otherwise; ``meta`` optionally carries a
+workload-level annotation (e.g. which transaction phase emitted the op),
+used only by statistics and debugging, never by the timing models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.ops import Op, MEMORY_OPS
+
+
+class Instr:
+    """One micro-op in a trace."""
+
+    __slots__ = ("op", "addr", "size", "meta")
+
+    def __init__(self, op: Op, addr: int = 0, size: int = 8, meta: Optional[str] = None):
+        if op in MEMORY_OPS and addr < 0:
+            raise ValueError(f"memory op {op.name} requires a non-negative address")
+        self.op = op
+        self.addr = addr
+        self.size = size
+        self.meta = meta
+
+    def is_memory(self) -> bool:
+        """Whether this op carries a meaningful address."""
+        return self.op in MEMORY_OPS
+
+    def block(self, block_size: int = 64) -> int:
+        """The cache-block address this op touches."""
+        return self.addr & ~(block_size - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_memory():
+            return f"Instr({self.op.name}, addr=0x{self.addr:x})"
+        return f"Instr({self.op.name})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instr):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.addr == other.addr
+            and self.size == other.size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.addr, self.size))

@@ -1,0 +1,87 @@
+"""Micro-op opcodes and classification predicates.
+
+The opcode set is deliberately small: it is the subset of x86 semantics the
+paper's analysis depends on.  Ordering properties follow Section 2.2 of the
+paper and the Intel SDM:
+
+* ``CLWB`` / ``CLFLUSHOPT`` / ``PCOMMIT`` are *not* ordered with respect to
+  ordinary loads and stores (other than same-address dependences), so a
+  speculative-persistence epoch may legally delay them to its end.
+* ``SFENCE`` / ``MFENCE`` / ``XCHG`` / LOCK-prefixed read-modify-writes are
+  strongly ordered and therefore form speculation boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Micro-op kinds understood by the timing models."""
+
+    #: Integer/FP compute occupying one issue slot, 1-cycle latency.
+    ALU = 0
+    #: Conditional/unconditional branch; modelled as 1-cycle compute (no
+    #: wrong-path modelling; see DESIGN.md fidelity notes).
+    BRANCH = 1
+    #: Memory read of one machine word within a single cache block.
+    LOAD = 2
+    #: Memory write of one machine word within a single cache block.
+    STORE = 3
+    #: Write back a (possibly dirty) cache block, keep it resident.
+    CLWB = 4
+    #: Write back a dirty cache block and evict it.
+    CLFLUSHOPT = 5
+    #: Legacy serialising flush (ordered against everything; slow).
+    CLFLUSH = 6
+    #: Drain the memory-controller write-pending queues to NVMM.
+    PCOMMIT = 7
+    #: Store fence: retires only once all prior stores and PMEM
+    #: operations are globally visible.
+    SFENCE = 8
+    #: Full fence: same persistence role as SFENCE in this model.
+    MFENCE = 9
+    #: Atomic exchange; strongly ordered, ends speculative epochs.
+    XCHG = 10
+    #: LOCK-prefixed read-modify-write; strongly ordered like XCHG.
+    LOCK_RMW = 11
+
+
+#: Fences that order PMEM instructions (paper §2.2).
+FENCE_OPS = frozenset({Op.SFENCE, Op.MFENCE})
+
+#: Cache-block flush instructions.
+FLUSH_OPS = frozenset({Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH})
+
+#: The PMEM persistency instructions proper.
+PMEM_OPS = frozenset({Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH, Op.PCOMMIT})
+
+#: Ops that reference a memory address.
+MEMORY_OPS = frozenset(
+    {Op.LOAD, Op.STORE, Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH, Op.XCHG, Op.LOCK_RMW}
+)
+
+#: Strongly-ordered ops that cannot be reordered past and therefore bound
+#: speculative epochs (paper §4.1).
+ORDERING_OPS = frozenset({Op.SFENCE, Op.MFENCE, Op.XCHG, Op.LOCK_RMW, Op.CLFLUSH})
+
+
+def is_fence(op: Op) -> bool:
+    """Return ``True`` for store-fencing operations."""
+    return op in FENCE_OPS
+
+
+def is_flush(op: Op) -> bool:
+    """Return ``True`` for cache-block flush operations."""
+    return op in FLUSH_OPS
+
+
+def is_pmem(op: Op) -> bool:
+    """Return ``True`` for PMEM persistency instructions."""
+    return op in PMEM_OPS
+
+
+def is_speculation_boundary(op: Op) -> bool:
+    """Return ``True`` if *op* may not be delayed/reordered and hence ends a
+    speculative epoch when one is active."""
+    return op in ORDERING_OPS

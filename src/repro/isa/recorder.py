@@ -1,0 +1,135 @@
+"""Trace recorder bridging functional workloads and the timing models.
+
+Workload code does not build :class:`~repro.isa.instr.Instr` objects by hand;
+it drives a :class:`TraceRecorder`, which provides one method per event kind
+(load, store, clwb, ...).  The recorder can also be put into *fast-forward*
+mode while a data structure is being populated (the paper's "#InitOps" are
+executed in fast-forward in MarssX86) — during fast-forward nothing is
+recorded, but functional execution proceeds normally.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+
+
+class TraceRecorder:
+    """Accumulates micro-ops into a :class:`~repro.isa.trace.Trace`.
+
+    Parameters
+    ----------
+    alu_per_load, alu_per_store:
+        ALU padding micro-ops emitted alongside each memory access, modelling
+        the address arithmetic / comparison work around pointer dereferences
+        in the original C benchmarks.
+    """
+
+    def __init__(self, alu_per_load: int = 1, alu_per_store: int = 1):
+        self.trace = Trace()
+        self.alu_per_load = alu_per_load
+        self.alu_per_store = alu_per_store
+        self._fast_forward = 0
+
+    # ------------------------------------------------------------------
+    # fast-forward control
+    # ------------------------------------------------------------------
+    @property
+    def fast_forwarding(self) -> bool:
+        return self._fast_forward > 0
+
+    @contextmanager
+    def fast_forward(self) -> Iterator[None]:
+        """Suppress recording while populating data structures (re-entrant)."""
+        self._fast_forward += 1
+        try:
+            yield
+        finally:
+            self._fast_forward -= 1
+
+    # ------------------------------------------------------------------
+    # event emission
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int = 8, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        append = self.trace.append
+        for _ in range(self.alu_per_load):
+            append(Instr(Op.ALU))
+        append(Instr(Op.LOAD, addr, size, meta))
+
+    def store(self, addr: int, size: int = 8, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        append = self.trace.append
+        for _ in range(self.alu_per_store):
+            append(Instr(Op.ALU))
+        append(Instr(Op.STORE, addr, size, meta))
+
+    def clwb(self, addr: int, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.CLWB, addr, 64, meta))
+
+    def clflushopt(self, addr: int, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.CLFLUSHOPT, addr, 64, meta))
+
+    def clflush(self, addr: int, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.CLFLUSH, addr, 64, meta))
+
+    def pcommit(self, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.PCOMMIT, meta=meta))
+
+    def sfence(self, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.SFENCE, meta=meta))
+
+    def mfence(self, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.MFENCE, meta=meta))
+
+    def xchg(self, addr: int, meta: Optional[str] = None) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.XCHG, addr, 8, meta))
+
+    def compute(self, n: int, branch_every: int = 0) -> None:
+        """Emit *n* ALU ops, optionally one BRANCH per *branch_every* ALUs.
+
+        Models loop/comparison overhead that is not adjacent to a specific
+        memory access (e.g. key comparisons on register-resident values).
+        """
+        if self._fast_forward or n <= 0:
+            return
+        append = self.trace.append
+        for i in range(n):
+            append(Instr(Op.ALU))
+            if branch_every and (i + 1) % branch_every == 0:
+                append(Instr(Op.BRANCH))
+
+    def branch(self) -> None:
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.BRANCH))
+
+    def marker(self, label: str) -> None:
+        """Emit a zero-cost marker (an ALU op with ``meta`` set).
+
+        Markers let tests split a trace per logical operation; the timing
+        model treats them as ordinary single-cycle ALU work.
+        """
+        if self._fast_forward:
+            return
+        self.trace.append(Instr(Op.ALU, meta=label))

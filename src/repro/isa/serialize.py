@@ -1,0 +1,87 @@
+"""Trace serialisation: save generated traces, reload them later.
+
+Trace generation (running the functional workload) usually dominates the
+cost of an experiment, and the same trace is replayed on many machine
+configurations.  The format is a small JSON header plus a compact
+fixed-width binary body, so traces from the million-instruction range load
+in milliseconds and remain portable (no pickling).
+
+Format (little endian)::
+
+    magic   b"RPTR1\\n"
+    u32     header length
+    bytes   JSON header {"count": N, "metas": [...]}   (meta string table)
+    N x     record: u8 op | u8 size | u16 meta-index (0 = None) | u64 addr
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+
+_MAGIC = b"RPTR1\n"
+_RECORD = struct.Struct("<BBHQ")
+
+
+class TraceFormatError(ValueError):
+    """The bytes are not a serialised trace (or a newer/older version)."""
+
+
+def dump_trace(trace: Trace, target: Union[str, Path, BinaryIO]) -> int:
+    """Write *trace* to a path or binary file object; returns bytes written."""
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as handle:
+            return dump_trace(trace, handle)
+    metas = [None]
+    meta_index = {None: 0}
+    records = io.BytesIO()
+    for instr in trace:
+        meta = instr.meta
+        if meta not in meta_index:
+            meta_index[meta] = len(metas)
+            metas.append(meta)
+        records.write(
+            _RECORD.pack(int(instr.op), instr.size & 0xFF, meta_index[meta], instr.addr)
+        )
+    header = json.dumps({"count": len(trace), "metas": metas[1:]}).encode()
+    written = target.write(_MAGIC)
+    written += target.write(struct.pack("<I", len(header)))
+    written += target.write(header)
+    written += target.write(records.getvalue())
+    return written
+
+
+def load_trace(source: Union[str, Path, BinaryIO]) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return load_trace(handle)
+    magic = source.read(len(_MAGIC))
+    if magic != _MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    (header_len,) = struct.unpack("<I", source.read(4))
+    header = json.loads(source.read(header_len))
+    metas = [None] + list(header["metas"])
+    count = header["count"]
+    body = source.read(count * _RECORD.size)
+    if len(body) != count * _RECORD.size:
+        raise TraceFormatError(
+            f"truncated body: expected {count} records, "
+            f"got {len(body) // _RECORD.size}"
+        )
+    trace = Trace()
+    append = trace.append
+    for op_value, size, meta_idx, addr in _RECORD.iter_unpack(body):
+        try:
+            meta = metas[meta_idx]
+        except IndexError:
+            raise TraceFormatError(f"meta index {meta_idx} out of range") from None
+        append(Instr(Op(op_value), addr, size, meta))
+    return trace

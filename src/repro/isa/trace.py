@@ -1,0 +1,85 @@
+"""Trace container and static trace statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op, PMEM_OPS, FENCE_OPS
+
+
+@dataclass
+class TraceStats:
+    """Static instruction-mix statistics of a trace (Figure 9 inputs)."""
+
+    total: int = 0
+    by_op: Dict[Op, int] = field(default_factory=dict)
+
+    def count(self, *ops: Op) -> int:
+        """Total occurrences of any of *ops*."""
+        return sum(self.by_op.get(op, 0) for op in ops)
+
+    @property
+    def pmem_count(self) -> int:
+        return sum(self.by_op.get(op, 0) for op in PMEM_OPS)
+
+    @property
+    def fence_count(self) -> int:
+        return sum(self.by_op.get(op, 0) for op in FENCE_OPS)
+
+    @property
+    def memory_count(self) -> int:
+        return self.count(Op.LOAD, Op.STORE)
+
+
+class Trace:
+    """A linear sequence of micro-ops produced by one workload run.
+
+    A :class:`Trace` is append-only while being recorded and iterable many
+    times afterwards (the timing model for every hardware configuration under
+    study consumes the *same* trace, which is what makes variant comparisons
+    apples-to-apples).
+    """
+
+    def __init__(self, instrs: Iterable[Instr] = ()):  # noqa: D401
+        self._instrs: List[Instr] = list(instrs)
+
+    def append(self, instr: Instr) -> None:
+        self._instrs.append(instr)
+
+    def extend(self, instrs: Iterable[Instr]) -> None:
+        self._instrs.extend(instrs)
+
+    def __len__(self) -> int:
+        return len(self._instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self._instrs)
+
+    def __getitem__(self, idx: int) -> Instr:
+        return self._instrs[idx]
+
+    def stats(self) -> TraceStats:
+        """Compute the static instruction mix."""
+        by_op: Dict[Op, int] = {}
+        for instr in self._instrs:
+            by_op[instr.op] = by_op.get(instr.op, 0) + 1
+        return TraceStats(total=len(self._instrs), by_op=by_op)
+
+    def slice_between_markers(self, marker: str) -> List["Trace"]:
+        """Split the trace at ops whose ``meta`` equals *marker*.
+
+        Used by tests to examine per-operation persist-barrier structure.
+        The marker instructions themselves are dropped.
+        """
+        pieces: List[Trace] = []
+        current: List[Instr] = []
+        for instr in self._instrs:
+            if instr.meta == marker:
+                pieces.append(Trace(current))
+                current = []
+            else:
+                current.append(instr)
+        pieces.append(Trace(current))
+        return pieces

@@ -1,0 +1,13 @@
+"""Simulated byte-addressable non-volatile main memory (NVMM) heap.
+
+The workloads in :mod:`repro.workloads` are written the way the paper's C
+benchmarks are: as pointer-based data structures living at explicit byte
+addresses.  :class:`NVMHeap` supplies the flat address space plus typed
+accessors, and :class:`Allocator` hands out cache-block-aligned storage so
+that "one node = one cache block = one clwb" holds (paper Table 1 caption).
+"""
+
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+from repro.mem.alloc import Allocator, OutOfMemoryError
+
+__all__ = ["NVMHeap", "Allocator", "OutOfMemoryError", "CACHE_BLOCK"]

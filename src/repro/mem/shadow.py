@@ -1,0 +1,74 @@
+"""Shadow heap: buffered-write overlay used for dry-running mutations.
+
+Full logging (paper §3.2) must know, *before* mutating, every node an
+operation may touch.  For the self-balancing trees the statically
+predictable set (the search path) does not cover every rotation pattern, so
+the workloads determine the exact write set by **dry-running** the mutation
+against a :class:`ShadowHeap`: reads see real memory through the overlay,
+writes are buffered and discarded, and the set of written cache blocks is
+what the transaction then undo-logs (unioned with the static search path,
+keeping the log conservative the way the paper describes).
+
+The shadow heap implements the same typed-accessor interface as
+:class:`~repro.mem.heap.NVMHeap` but notifies no observers — a dry run is
+invisible to both the trace recorder and the persistence domain, exactly
+like the address-set computation a real programmer would hoist out of the
+transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+
+
+class ShadowHeap:
+    """Read-through, write-buffering view of an :class:`NVMHeap`.
+
+    The overlay is kept at byte granularity so mixed word/byte writes
+    compose correctly.
+    """
+
+    def __init__(self, heap: NVMHeap):
+        self._heap = heap
+        self.size = heap.size
+        #: buffered writes, byte address -> byte value
+        self._overlay: Dict[int, int] = {}
+        #: cache blocks written during the dry run
+        self.written_blocks: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def load_bytes(self, addr: int, size: int, meta: Optional[str] = None) -> bytes:
+        base = bytearray(self._heap.raw_read(addr, size))
+        overlay = self._overlay
+        for offset in range(size):
+            value = overlay.get(addr + offset)
+            if value is not None:
+                base[offset] = value
+        return bytes(base)
+
+    def store_bytes(self, addr: int, payload: bytes, meta: Optional[str] = None) -> None:
+        overlay = self._overlay
+        for offset, byte in enumerate(payload):
+            overlay[addr + offset] = byte
+        first = addr & ~(CACHE_BLOCK - 1)
+        last = (addr + len(payload) - 1) & ~(CACHE_BLOCK - 1)
+        self.written_blocks.update(range(first, last + CACHE_BLOCK, CACHE_BLOCK))
+
+    # ------------------------------------------------------------------
+    def load_u64(self, addr: int, meta: Optional[str] = None) -> int:
+        return int.from_bytes(self.load_bytes(addr, 8), "little")
+
+    def store_u64(self, addr: int, value: int, meta: Optional[str] = None) -> None:
+        self.store_bytes(addr, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    def load_i64(self, addr: int, meta: Optional[str] = None) -> int:
+        value = self.load_u64(addr, meta)
+        return value - (1 << 64) if value >= (1 << 63) else value
+
+    def store_i64(self, addr: int, value: int, meta: Optional[str] = None) -> None:
+        self.store_u64(addr, value & 0xFFFFFFFFFFFFFFFF, meta)
+
+    def raw_read(self, addr: int, size: int) -> bytes:
+        return self.load_bytes(addr, size)

@@ -1,0 +1,166 @@
+"""Crash-injection driver for failure-safety testing.
+
+The paper argues (but never executes) the WAL recovery protocol.  Here we
+*test* it: :class:`CrashTester` runs workload operations while observing the
+heap.  To test crash point *k* it re-runs one operation and aborts it at the
+*k*-th store event, simulates the power failure via
+:meth:`~repro.pmem.domain.PersistenceDomain.crash`, invokes the workload's
+recovery routine, and checks the workload's invariants.
+
+Crashing *before store k* for every *k* (plus one point after the final
+store) covers every distinct software-visible interleaving of the operation
+with a failure: the persistency instructions between two stores have all
+executed by the next store's crash point.  Randomised cache evictions
+(`adversarial_evictions`) additionally vary *which* un-flushed blocks happen
+to be durable at each point, the freedom a real write-back hierarchy has.
+
+This is the moral equivalent of the exhaustive crash-state enumeration used
+by file-system crash-consistency checkers, specialised to the PMEM model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.pmem.domain import PersistenceDomain
+
+
+class CrashSignal(Exception):
+    """Raised mid-operation to model an instantaneous power failure."""
+
+
+@dataclass
+class CrashOutcome:
+    """Result of one injected crash."""
+
+    crash_point: int
+    crashed: bool
+    invariants_ok: bool
+    detail: str = ""
+
+
+class CrashTester:
+    """Drives crash injection against a workload.
+
+    Parameters
+    ----------
+    domain:
+        The persistence domain observing the workload's heap.
+    run_operation:
+        Callable performing exactly one transactional operation.
+    recover:
+        The workload's post-crash recovery routine (WAL undo).
+    check_invariants:
+        Returns an error string if the recovered structure is inconsistent,
+        or ``None``/empty string when consistent.
+    adversarial_evictions:
+        Randomly write back dirty blocks while the operation runs, modelling
+        capacity evictions that make data durable "early".
+    """
+
+    def __init__(
+        self,
+        domain: PersistenceDomain,
+        run_operation: Callable[[], None],
+        recover: Callable[[], None],
+        check_invariants: Callable[[], Optional[str]],
+        adversarial_evictions: bool = True,
+        seed: int = 0,
+    ):
+        self.domain = domain
+        self.run_operation = run_operation
+        self.recover = recover
+        self.check_invariants = check_invariants
+        self.adversarial_evictions = adversarial_evictions
+        self._rng = random.Random(seed)
+        self._countdown = -1
+        self._counting = False
+        self._events = 0
+        self.outcomes: List[CrashOutcome] = []
+
+    # ------------------------------------------------------------------
+    # MemoryObserver protocol (the tester attaches itself to the heap)
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int = 8, meta: Optional[str] = None) -> None:
+        """Loads are not persistence events."""
+
+    def store(self, addr: int, size: int = 8, meta: Optional[str] = None) -> None:
+        if self._counting:
+            self._events += 1
+            return
+        if self._countdown == 0:
+            self._countdown = -1
+            raise CrashSignal()
+        if self._countdown > 0:
+            self._countdown -= 1
+            if self.adversarial_evictions and self._rng.random() < 0.05:
+                self.domain.random_evict(self._rng, fraction=0.3)
+
+    # ------------------------------------------------------------------
+    def count_events(self) -> int:
+        """Dry-run one operation, counting store events, then recover.
+
+        The dry run mutates the structure, so the tester crash-recovers
+        afterwards to restore a consistent durable state.
+        """
+        self._counting = True
+        self._events = 0
+        self.domain.heap.attach(self)
+        try:
+            self.run_operation()
+        finally:
+            self.domain.heap.detach(self)
+            self._counting = False
+        self.domain.crash()
+        self.recover()
+        return self._events
+
+    def sweep(
+        self, points: Optional[List[int]] = None, max_points: int = 64
+    ) -> List[CrashOutcome]:
+        """Inject crashes at a set of store-event indices.
+
+        When *points* is ``None``, the tester measures how many events one
+        operation generates and sweeps up to *max_points* of them (evenly
+        spaced, always including the boundaries — the edges of the four WAL
+        steps are where bugs live), plus one point past the last store
+        (crash after a fully-persisted operation).
+        """
+        if points is None:
+            total = self.count_events()
+            candidates = set(range(total + 1))
+            if len(candidates) > max_points:
+                stride = max(1, (total + 1) // max_points)
+                candidates = set(range(0, total + 1, stride))
+                candidates |= {0, 1, max(0, total - 1), total}
+            points = sorted(candidates)
+        for point in points:
+            self.outcomes.append(self._inject(point))
+        return self.outcomes
+
+    def _inject(self, point: int) -> CrashOutcome:
+        self._countdown = point
+        crashed = False
+        self.domain.heap.attach(self)
+        try:
+            self.run_operation()
+        except CrashSignal:
+            crashed = True
+        finally:
+            self.domain.heap.detach(self)
+            self._countdown = -1
+        self.domain.crash()
+        try:
+            self.recover()
+        except Exception as exc:  # recovery must never raise
+            return CrashOutcome(point, crashed, False, f"recovery raised: {exc!r}")
+        error = self.check_invariants()
+        if error:
+            return CrashOutcome(point, crashed, False, error)
+        return CrashOutcome(point, crashed, True)
+
+    @property
+    def all_consistent(self) -> bool:
+        return bool(self.outcomes) and all(o.invariants_ok for o in self.outcomes)

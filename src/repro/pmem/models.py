@@ -1,0 +1,228 @@
+"""The memory-persistency-model taxonomy of paper §2.1.
+
+The paper positions Intel PMEM against four prior persistency models:
+
+* **strict persistency** — a store that is globally visible has persisted;
+  reasoning is trivial but every store pays an NVMM write in order;
+* **epoch persistency** — *persist barriers* delimit epochs; stores within
+  an epoch persist in any order, but everything in epoch *k* persists
+  before anything in epoch *k+1*; the barrier may stall;
+* **buffered epoch persistency** — same ordering guarantee, but barriers
+  do not stall: whole epochs drain to NVMM in the background, in order;
+* **strand persistency** — independent *strands* carry no mutual ordering;
+  only barriers within a strand order its own persists.
+
+Each model here is a small functional machine: feed it the program's
+stores and its model-specific barriers, then ask what NVMM states a crash
+could expose (:meth:`PersistencyModel.sample_crash_image`) and what the
+guaranteed-durable prefix is.  The classes double as executable
+documentation of §2.1 and as the substrate for the model-comparison
+example; the PMEM model the paper (and the rest of this repository) builds
+on is the *flexible* point in this space — software picks which stores
+persist and in which order via clwb/pcommit/sfence, implemented in
+:class:`repro.pmem.domain.PersistenceDomain`.
+
+State is tracked at word granularity (address -> bytes) rather than via a
+full heap, so the models are cheap enough for property-based testing.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional, Tuple
+
+#: One recorded store: (address, payload bytes).
+Store = Tuple[int, bytes]
+
+
+class PersistencyModel(abc.ABC):
+    """Common interface: record stores, take barriers, sample crashes."""
+
+    name: str = ""
+
+    def __init__(self) -> None:
+        #: durable word values (what every possible crash image contains)
+        self._durable: Dict[int, bytes] = {}
+        # statistics for the model-comparison experiments
+        self.stores = 0
+        self.barriers = 0
+        self.stall_events = 0
+        self.nvmm_writes = 0
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def store(self, addr: int, payload: bytes) -> None:
+        """Record a store in program order."""
+
+    def persist_barrier(self) -> None:
+        """The model's ordering primitive (no-op where meaningless)."""
+        self.barriers += 1
+
+    # ------------------------------------------------------------------
+    def durable_value(self, addr: int) -> Optional[bytes]:
+        """The value guaranteed durable at *addr* (None if never persisted)."""
+        return self._durable.get(addr)
+
+    @abc.abstractmethod
+    def sample_crash_image(self, rng: random.Random) -> Dict[int, bytes]:
+        """One NVMM state the model permits at a crash."""
+
+    # helpers -----------------------------------------------------------
+    def _persist(self, addr: int, payload: bytes) -> None:
+        self._durable[addr] = payload
+        self.nvmm_writes += 1
+
+
+class StrictPersistency(PersistencyModel):
+    """Every store persists, in program order, before becoming visible."""
+
+    name = "strict"
+
+    def store(self, addr: int, payload: bytes) -> None:
+        self.stores += 1
+        self.stall_events += 1  # each store waits for its NVMM write
+        self._persist(addr, payload)
+
+    def sample_crash_image(self, rng: random.Random) -> Dict[int, bytes]:
+        # nothing is ever in flight: the crash image is exact
+        return dict(self._durable)
+
+
+class EpochPersistency(PersistencyModel):
+    """Persist barriers delimit epochs; the barrier stalls until the
+    current epoch has fully persisted."""
+
+    name = "epoch"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: List[Store] = []
+
+    def store(self, addr: int, payload: bytes) -> None:
+        self.stores += 1
+        self._pending.append((addr, payload))
+
+    def persist_barrier(self) -> None:
+        super().persist_barrier()
+        if self._pending:
+            self.stall_events += 1  # the processor waits for the epoch
+        for addr, payload in self._pending:
+            self._persist(addr, payload)
+        self._pending = []
+
+    def sample_crash_image(self, rng: random.Random) -> Dict[int, bytes]:
+        image = dict(self._durable)
+        # stores of the open epoch persist in any order: any subset may
+        # have made it (per-address, the *latest* write to an address can
+        # only land if it lands; earlier same-address writes are folded)
+        pending_by_addr: Dict[int, bytes] = {}
+        for addr, payload in self._pending:
+            pending_by_addr[addr] = payload
+        for addr, payload in pending_by_addr.items():
+            if rng.random() < 0.5:
+                image[addr] = payload
+        return image
+
+
+class BufferedEpochPersistency(PersistencyModel):
+    """Epoch ordering without barrier stalls: epochs queue and drain to
+    NVMM in order, in the background."""
+
+    name = "buffered-epoch"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queued: List[List[Store]] = []
+        self._open: List[Store] = []
+
+    def store(self, addr: int, payload: bytes) -> None:
+        self.stores += 1
+        self._open.append((addr, payload))
+
+    def persist_barrier(self) -> None:
+        super().persist_barrier()
+        # no stall: the epoch is sealed and queued
+        if self._open:
+            self._queued.append(self._open)
+            self._open = []
+
+    def drain(self, epochs: int = 1) -> int:
+        """Background progress: persist up to *epochs* queued epochs
+        (oldest first).  Returns how many drained."""
+        drained = 0
+        while self._queued and drained < epochs:
+            for addr, payload in self._queued.pop(0):
+                self._persist(addr, payload)
+            drained += 1
+        return drained
+
+    def sample_crash_image(self, rng: random.Random) -> Dict[int, bytes]:
+        image = dict(self._durable)
+        # some prefix of the queued epochs fully persisted ...
+        epochs = self._queued + ([self._open] if self._open else [])
+        if not epochs:
+            return image
+        survivors = rng.randrange(len(epochs) + 1)
+        for epoch in epochs[:survivors]:
+            for addr, payload in epoch:
+                image[addr] = payload
+        # ... and the next epoch may be partially persisted (any order)
+        if survivors < len(epochs):
+            partial: Dict[int, bytes] = {}
+            for addr, payload in epochs[survivors]:
+                partial[addr] = payload
+            for addr, payload in partial.items():
+                if rng.random() < 0.5:
+                    image[addr] = payload
+        return image
+
+
+class StrandPersistency(PersistencyModel):
+    """Strands carry no mutual persist ordering; barriers order only
+    within their strand."""
+
+    name = "strand"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: per-strand epoch lists (each strand behaves like buffered epoch)
+        self._strands: List[BufferedEpochPersistency] = []
+        self.new_strand()
+
+    @property
+    def current_strand(self) -> BufferedEpochPersistency:
+        return self._strands[-1]
+
+    def new_strand(self) -> int:
+        """Begin a new strand (the paper's strand barrier); returns its id."""
+        self._strands.append(BufferedEpochPersistency())
+        return len(self._strands) - 1
+
+    def store(self, addr: int, payload: bytes) -> None:
+        self.stores += 1
+        self.current_strand.store(addr, payload)
+
+    def persist_barrier(self) -> None:
+        super().persist_barrier()
+        self.current_strand.persist_barrier()
+
+    def sample_crash_image(self, rng: random.Random) -> Dict[int, bytes]:
+        # strands are independent: sample each one separately; later
+        # strands' writes may land while earlier strands' have not
+        image: Dict[int, bytes] = dict(self._durable)
+        for strand in self._strands:
+            image.update(strand.sample_crash_image(rng))
+        return image
+
+    @property
+    def n_strands(self) -> int:
+        return len(self._strands)
+
+
+ALL_MODELS = (
+    StrictPersistency,
+    EpochPersistency,
+    BufferedEpochPersistency,
+    StrandPersistency,
+)

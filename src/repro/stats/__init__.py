@@ -1,0 +1,5 @@
+"""Simulation statistics."""
+
+from repro.stats.run import RunStats
+
+__all__ = ["RunStats"]

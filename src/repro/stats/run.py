@@ -1,0 +1,93 @@
+"""Per-run statistics covering every figure in the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunStats:
+    """Counters produced by one :func:`repro.uarch.pipeline.simulate` run."""
+
+    # headline timing
+    cycles: int = 0
+    instructions: int = 0
+
+    # Figure 10: fetch-queue stall cycles (front end blocked because the
+    # fetch queue is full, i.e. dispatch is backpressured by the ROB).
+    fetch_stall_cycles: int = 0
+
+    # sfence behaviour
+    sfences: int = 0
+    sfence_stall_cycles: int = 0
+
+    # PMEM instruction dynamics
+    clwbs: int = 0
+    clflushopts: int = 0
+    pcommits: int = 0
+    #: Figure 11: maximum concurrently outstanding pcommits.
+    max_inflight_pcommits: int = 0
+    #: Figure 12 numerator: stores (incl. flushes) executed while at least
+    #: one pcommit was outstanding.
+    stores_during_pcommit: int = 0
+
+    # memory system
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    nvmm_reads: int = 0
+    nvmm_writes: int = 0
+
+    # speculation (SP runs only)
+    sp_entries: int = 0          # times speculation was entered
+    epochs_created: int = 0
+    max_active_epochs: int = 0
+    checkpoint_stall_cycles: int = 0
+    ssb_full_stall_cycles: int = 0
+    ssb_max_occupancy: int = 0
+    bloom_queries: int = 0
+    bloom_hits: int = 0
+    bloom_false_positives: int = 0
+    ssb_forwards: int = 0
+    rollbacks: int = 0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def stores_per_pcommit(self) -> float:
+        """Figure 12: speculative-store demand per outstanding pcommit."""
+        return self.stores_during_pcommit / self.pcommits if self.pcommits else 0.0
+
+    @property
+    def bloom_false_positive_rate(self) -> float:
+        """Figure 14: false positives per bloom-filter query."""
+        return self.bloom_false_positives / self.bloom_queries if self.bloom_queries else 0.0
+
+    def overhead_vs(self, baseline: "RunStats") -> float:
+        """Execution-time overhead relative to *baseline* (Figure 8 metric)."""
+        if baseline.cycles == 0:
+            raise ValueError("baseline has zero cycles")
+        return self.cycles / baseline.cycles - 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping of every counter plus the derived metrics — for
+        reports, JSON export, and notebook use."""
+        from dataclasses import fields
+
+        data: Dict[str, float] = {}
+        for field_ in fields(self):
+            if field_.name == "extra":
+                continue
+            data[field_.name] = getattr(self, field_.name)
+        data["ipc"] = self.ipc
+        data["stores_per_pcommit"] = self.stores_per_pcommit
+        data["bloom_false_positive_rate"] = self.bloom_false_positive_rate
+        data.update(self.extra)
+        return data

@@ -1,0 +1,54 @@
+"""Persistence-variant modes matching the paper's Figure 8 bars."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PersistMode(enum.Enum):
+    """Which persistence machinery a workload run includes.
+
+    The four values correspond to the successive bars of Figure 8:
+
+    * ``BASE`` — the original volatile data structure; no logging, no
+      persistency instructions.  The normalisation baseline.
+    * ``LOG`` — undo logging code added, but no persistency instructions.
+    * ``LOG_P`` — logging plus ``clwb``/``pcommit``, **without** the fences
+      that order them.  Fast but *not* failure safe.
+    * ``LOG_P_SF`` — the full, correct protocol with ``sfence`` ordering.
+    """
+
+    BASE = "base"
+    LOG = "log"
+    LOG_P = "log+p"
+    LOG_P_SF = "log+p+sf"
+
+    @property
+    def logging(self) -> bool:
+        """Whether undo-log code runs."""
+        return self is not PersistMode.BASE
+
+    @property
+    def pmem(self) -> bool:
+        """Whether clwb/pcommit instructions are issued."""
+        return self in (PersistMode.LOG_P, PersistMode.LOG_P_SF)
+
+    @property
+    def fences(self) -> bool:
+        """Whether sfences order the persists (required for failure safety)."""
+        return self is PersistMode.LOG_P_SF
+
+    @property
+    def failure_safe(self) -> bool:
+        """Only the fully-fenced protocol survives arbitrary crashes."""
+        return self is PersistMode.LOG_P_SF
+
+    @property
+    def label(self) -> str:
+        """Figure-8 bar label."""
+        return {
+            PersistMode.BASE: "Base",
+            PersistMode.LOG: "Log",
+            PersistMode.LOG_P: "Log+P",
+            PersistMode.LOG_P_SF: "Log+P+Sf",
+        }[self]

@@ -1,0 +1,110 @@
+"""Machine configuration — paper Tables 2 and 3.
+
+All latencies are in core cycles at the paper's 2.1 GHz clock; the NVMM
+latencies (50 ns read / 150 ns write) convert to 105 / 315 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Table 3 — SSB size (entries) to access latency (cycles).
+SSB_LATENCY_TABLE: Dict[int, int] = {32: 2, 64: 3, 128: 4, 256: 5, 512: 7, 1024: 10}
+
+
+def ssb_latency(entries: int) -> int:
+    """Access latency of an SSB with *entries* entries (paper Table 3)."""
+    try:
+        return SSB_LATENCY_TABLE[entries]
+    except KeyError:
+        raise ValueError(
+            f"no Table-3 latency for SSB size {entries}; "
+            f"valid sizes: {sorted(SSB_LATENCY_TABLE)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: int
+    block_size: int = 64
+
+    @property
+    def n_sets(self) -> int:
+        sets = self.size_bytes // (self.ways * self.block_size)
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"cache produces non-power-of-two set count {sets}")
+        return sets
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The baseline system of paper Table 2 plus SP knobs.
+
+    ``clock_ghz`` is informational; all latencies below are in cycles.
+    """
+
+    # core
+    clock_ghz: float = 2.1
+    width: int = 4                 # fetch/issue/retire width
+    rob_entries: int = 128
+    fetchq_entries: int = 48
+    issueq_entries: int = 48
+    lsq_entries: int = 48
+    fetch_to_dispatch: int = 3     # front-end depth in cycles
+
+    # caches (L1D / L2 / L3)
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 8, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * 1024, 8, 11))
+    l3: CacheConfig = field(default_factory=lambda: CacheConfig(2 * 1024 * 1024, 16, 20))
+
+    # NVMM (50 ns read / 150 ns write at 2.1 GHz)
+    nvmm_read_cycles: int = 105
+    nvmm_write_cycles: int = 315
+    nvmm_banks: int = 16           # WPQ drain parallelism (MCs x banks)
+    wpq_entries: int = 64
+    mc_roundtrip: int = 20         # core <-> memory-controller ack latency
+    #: >1 instantiates a MemoryControllerArray: blocks interleave across
+    #: controllers and pcommit waits for acknowledgement from all of them
+    #: (the paper's plural "memory controllers" semantics).
+    n_memory_controllers: int = 1
+
+    # speculative persistence
+    sp_enabled: bool = False
+    ssb_entries: int = 256
+    checkpoint_entries: int = 4
+    bloom_bytes: int = 512
+    bloom_hashes: int = 2
+    checkpoint_cycles: int = 1     # cycles to snapshot the register state
+    drain_per_cycle: int = 4       # SSB entries replayed per cycle at commit
+    #: paper §4.2.2 optimisation: one checkpoint per sfence-pcommit-sfence.
+    #: Disabling it models the naive design where each fence of the
+    #: sequence takes its own checkpoint (the ablation the paper argues
+    #: against: "it would be wasteful to devote an entire checkpoint to a
+    #: single pcommit instruction").
+    coalesce_barrier_checkpoints: bool = True
+    #: Bloom filter in front of the SSB.  Disabling it makes every
+    #: speculative load pay the SSB CAM latency (ablation).
+    bloom_enabled: bool = True
+    #: Pipeline-refill penalty after a rollback to the oldest checkpoint.
+    #: The paper notes rollback cost is nearly irrelevant (speculation
+    #: fails only on coherence conflicts / real system failures).
+    rollback_penalty: int = 20
+
+    @property
+    def ssb_latency(self) -> int:
+        return ssb_latency(self.ssb_entries)
+
+    def with_sp(self, ssb_entries: int = 256, **overrides) -> "MachineConfig":
+        """A copy of this config with speculation enabled."""
+        from dataclasses import replace
+
+        return replace(self, sp_enabled=True, ssb_entries=ssb_entries, **overrides)
+
+    def ns_to_cycles(self, ns: float) -> int:
+        return int(round(ns * self.clock_ghz))

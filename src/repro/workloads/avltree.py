@@ -1,0 +1,288 @@
+"""AVL-tree (AT) benchmark — paper §3.2, full-logging discipline.
+
+Node layout (one cache block)::
+
+    +0   key
+    +8   value
+    +16  left child pointer
+    +24  right child pointer
+    +32  height
+
+Full logging (paper §3.2 / Figure 5): before mutating anything, the
+transaction logs every node the operation may modify — the root-to-leaf
+search path (the static set the paper describes) unioned with the exact
+write set obtained by dry-running the mutation against a shadow heap (see
+:mod:`repro.workloads.fulllog`).  The operation then needs exactly one set
+of four pcommits whether or not rebalancing triggers, and the tree is
+always balanced in the durable image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+from repro.workloads.fulllog import FullLoggingMixin, FullLoggingViolation
+
+__all__ = ["AVLTreeWorkload", "FullLoggingViolation"]
+
+_KEY = 0
+_VAL = 8
+_LEFT = 16
+_RIGHT = 24
+_HEIGHT = 32
+
+
+class AVLTreeWorkload(FullLoggingMixin, PersistentWorkload):
+    """Insert-or-delete on a persistent AVL tree with full logging."""
+
+    name = "AVL-tree"
+    abbrev = "AT"
+
+    def __init__(self, bench: Workbench, key_space: int = 4096):
+        super().__init__(bench)
+        self._key_space = key_space
+        self.meta = self._alloc_node()
+        self.heap.store_u64(self.meta + 0, 0)  # root pointer
+        self.heap.store_u64(self.meta + 8, 0)  # node count
+        self._init_full_logging()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def _root(self) -> int:
+        return self.heap.load_u64(self.meta + 0)
+
+    def _set_root(self, addr: int) -> None:
+        self._store(self.meta, 0, addr)
+
+    def _key(self, node: int) -> int:
+        return self.heap.load_u64(node + _KEY)
+
+    def _left(self, node: int) -> int:
+        return self.heap.load_u64(node + _LEFT)
+
+    def _right(self, node: int) -> int:
+        return self.heap.load_u64(node + _RIGHT)
+
+    def _height(self, node: int) -> int:
+        return self.heap.load_u64(node + _HEIGHT) if node else 0
+
+    def _update_height(self, node: int) -> None:
+        self._store(
+            node,
+            _HEIGHT,
+            1 + max(self._height(self._left(node)), self._height(self._right(node))),
+        )
+
+    def _balance(self, node: int) -> int:
+        return self._height(self._left(node)) - self._height(self._right(node))
+
+    # ------------------------------------------------------------------
+    # full logging: the static (paper-described) part is the search path
+    # plus, for two-child deletes, the in-order successor spine.
+    # ------------------------------------------------------------------
+    def _search_path(self, key: int, for_delete: bool) -> List[int]:
+        nodes: List[int] = []
+        node = self._root()
+        while node:
+            self._compute(8)
+            nodes.append(node)
+            node_key = self._key(node)
+            if key == node_key:
+                if for_delete:
+                    walk = self._right(node)
+                    while walk:
+                        nodes.append(walk)
+                        walk = self._left(walk)
+                break
+            node = self._left(node) if key < node_key else self._right(node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def operation(self, key: int) -> OpResult:
+        key %= self._key_space
+        if self._search(key):
+            self._delete(key)
+            self.model.pop(key, None)
+            return OpResult(key, deleted=True)
+        self._insert(key, key ^ 0x7777)
+        self.model[key] = key ^ 0x7777
+        return OpResult(key, inserted=True)
+
+    def _search(self, key: int) -> bool:
+        node = self._root()
+        while node:
+            self._compute(8)
+            node_key = self._key(node)
+            if key == node_key:
+                return True
+            node = self._left(node) if key < node_key else self._right(node)
+        return False
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: int, value: int) -> None:
+        static = self._search_path(key, for_delete=False)
+        log_set = self._mutation_log_set(
+            static, lambda: self._insert_body(key, value, set())
+        )
+        self._begin_guarded(log_set)
+        fresh: Set[int] = set()
+        self._insert_body(key, value, fresh)
+        self._commit_guarded(fresh)
+
+    def _insert_body(self, key: int, value: int, fresh: Set[int]) -> None:
+        new_root = self._insert_rec(self._root(), key, value, fresh)
+        self._set_root(new_root)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) + 1)
+        self._dirty.add(self.meta)
+
+    def _insert_rec(self, node: int, key: int, value: int, fresh: Set[int]) -> int:
+        if not node:
+            new = self._alloc_node()
+            fresh.add(new)
+            self._guard_fresh(new)
+            self._store(new, _KEY, key)
+            self._store(new, _VAL, value)
+            self._store(new, _LEFT, 0)
+            self._store(new, _RIGHT, 0)
+            self._store(new, _HEIGHT, 1)
+            return new
+        node_key = self._key(node)
+        if key < node_key:
+            self._store(node, _LEFT, self._insert_rec(self._left(node), key, value, fresh))
+        elif key > node_key:
+            self._store(node, _RIGHT, self._insert_rec(self._right(node), key, value, fresh))
+        else:
+            self._store(node, _VAL, value)
+            return node
+        self._update_height(node)
+        return self._rebalance(node)
+
+    # ------------------------------------------------------------------
+    def _delete(self, key: int) -> None:
+        static = self._search_path(key, for_delete=True)
+        log_set = self._mutation_log_set(static, lambda: self._delete_body(key))
+        self._begin_guarded(log_set)
+        self._delete_body(key)
+        self._commit_guarded(set())
+
+    def _delete_body(self, key: int) -> None:
+        new_root = self._delete_rec(self._root(), key)
+        self._set_root(new_root)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) - 1)
+        self._dirty.add(self.meta)
+
+    def _delete_rec(self, node: int, key: int) -> int:
+        if not node:
+            return 0
+        node_key = self._key(node)
+        if key < node_key:
+            self._store(node, _LEFT, self._delete_rec(self._left(node), key))
+        elif key > node_key:
+            self._store(node, _RIGHT, self._delete_rec(self._right(node), key))
+        else:
+            left, right = self._left(node), self._right(node)
+            if not left or not right:
+                return left or right  # node dropped; not reclaimed (§5.2)
+            # Two children: splice in the in-order successor's key/value.
+            succ = right
+            while self._left(succ):
+                succ = self._left(succ)
+            self._store(node, _KEY, self._key(succ))
+            self._store(node, _VAL, self.heap.load_u64(succ + _VAL))
+            self._store(node, _RIGHT, self._delete_min(right))
+        self._update_height(node)
+        return self._rebalance(node)
+
+    def _delete_min(self, node: int) -> int:
+        if not self._left(node):
+            return self._right(node)
+        self._store(node, _LEFT, self._delete_min(self._left(node)))
+        self._update_height(node)
+        return self._rebalance(node)
+
+    # ------------------------------------------------------------------
+    # rotations
+    # ------------------------------------------------------------------
+    def _rebalance(self, node: int) -> int:
+        balance = self._balance(node)
+        if balance > 1:
+            if self._balance(self._left(node)) < 0:
+                self._store(node, _LEFT, self._rotate_left(self._left(node)))
+            return self._rotate_right(node)
+        if balance < -1:
+            if self._balance(self._right(node)) > 0:
+                self._store(node, _RIGHT, self._rotate_right(self._right(node)))
+            return self._rotate_left(node)
+        return node
+
+    def _rotate_left(self, node: int) -> int:
+        pivot = self._right(node)
+        self._store(node, _RIGHT, self._left(pivot))
+        self._store(pivot, _LEFT, node)
+        self._update_height(node)
+        self._update_height(pivot)
+        return pivot
+
+    def _rotate_right(self, node: int) -> int:
+        pivot = self._left(node)
+        self._store(node, _LEFT, self._right(pivot))
+        self._store(pivot, _RIGHT, node)
+        self._update_height(node)
+        self._update_height(pivot)
+        return pivot
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def items(self) -> List[Tuple[int, int]]:
+        """In-order (key, value) pairs, untimed."""
+        result: List[Tuple[int, int]] = []
+        with self.bench.untimed():
+            self._walk(self._root(), result, set())
+        return result
+
+    def _walk(self, node: int, out: List[Tuple[int, int]], seen: Set[int]) -> None:
+        if not node:
+            return
+        if node in seen:
+            raise RuntimeError("cycle in AVL tree")
+        seen.add(node)
+        self._walk(self._left(node), out, seen)
+        out.append((self._key(node), self.heap.load_u64(node + _VAL)))
+        self._walk(self._right(node), out, seen)
+
+    def _check_node(self, node: int) -> int:
+        """Validate AVL invariants below *node*; returns its height."""
+        if not node:
+            return 0
+        left_h = self._check_node(self._left(node))
+        right_h = self._check_node(self._right(node))
+        if abs(left_h - right_h) > 1:
+            raise RuntimeError(f"imbalance at key {self._key(node)}")
+        stored = self.heap.load_u64(node + _HEIGHT)
+        actual = 1 + max(left_h, right_h)
+        if stored != actual:
+            raise RuntimeError(
+                f"stale height at key {self._key(node)}: {stored} != {actual}"
+            )
+        return actual
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            pairs = self.items()
+            with self.bench.untimed():
+                self._check_node(self._root())
+        except RuntimeError as exc:
+            return str(exc)
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys):
+            return "in-order keys not sorted"
+        if dict(pairs) != self.model:
+            missing = set(self.model) - set(dict(pairs))
+            extra = set(dict(pairs)) - set(self.model)
+            return f"tree/model mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        return None

@@ -1,0 +1,380 @@
+"""B-tree (BT) benchmark — a 2-3 B-tree as in paper Figures 4 and 5.
+
+"A 2-3 B-tree is a sorted balanced tree where each non-leaf node can have
+anywhere between two and three children nodes.  Data is stored in the leaf
+nodes, while non-leaf nodes store keys to accelerate searching."
+
+Layout (each node one cache block):
+
+Internal node::
+
+    +0   meta: is_leaf(bit 0) | n_children << 1
+    +8   router keys[0..2]   (keys[i] = minimum key in subtree i)
+    +32  children[0..2]
+
+Leaf node::
+
+    +0   meta: is_leaf = 1
+    +8   key
+    +16  value
+
+A node momentarily acquiring a fourth child during insertion is handled in
+volatile registers (Python locals) and materialised as a split — the NVMM
+image never holds an overflowed node, so every durable state is a valid
+2-3 tree (the guarantee the paper's *full logging* buys: "the tree is
+always balanced regardless of when a failure occurs").
+
+Full logging: inserts log the root-to-near-leaf search path (splits touch
+only path nodes plus freshly-allocated nodes); deletes additionally log the
+children of every path node, because borrow/merge reaches into siblings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+from repro.workloads.fulllog import FullLoggingMixin, FullLoggingViolation
+
+__all__ = ["BTreeWorkload", "FullLoggingViolation"]
+
+_META = 0
+_KEYS = 8
+_CHILDREN = 32
+
+_LEAF_KEY = 8
+_LEAF_VAL = 16
+
+
+class BTreeWorkload(FullLoggingMixin, PersistentWorkload):
+    """Insert-or-delete on a persistent 2-3 B-tree with full logging."""
+
+    name = "B-tree"
+    abbrev = "BT"
+
+    def __init__(self, bench: Workbench, key_space: int = 4096):
+        super().__init__(bench)
+        self._key_space = key_space
+        self.meta = self._alloc_node()
+        self.heap.store_u64(self.meta + 0, 0)  # root pointer
+        self.heap.store_u64(self.meta + 8, 0)  # record count
+        self._init_full_logging()
+
+    # ------------------------------------------------------------------
+    # node accessors
+    # ------------------------------------------------------------------
+    def _root(self) -> int:
+        return self.heap.load_u64(self.meta + 0)
+
+    def _is_leaf(self, node: int) -> bool:
+        return bool(self.heap.load_u64(node + _META) & 1)
+
+    def _n_children(self, node: int) -> int:
+        return self.heap.load_u64(node + _META) >> 1
+
+    def _router(self, node: int, i: int) -> int:
+        return self.heap.load_u64(node + _KEYS + 8 * i)
+
+    def _child(self, node: int, i: int) -> int:
+        return self.heap.load_u64(node + _CHILDREN + 8 * i)
+
+    def _leaf_key(self, node: int) -> int:
+        return self.heap.load_u64(node + _LEAF_KEY)
+
+    def _write_internal(self, node: int, pairs: List[Tuple[int, int]]) -> None:
+        """Write an internal node's (router, child) list (2 or 3 entries)."""
+        if not 2 <= len(pairs) <= 3:
+            raise ValueError(f"internal node must have 2-3 children, got {len(pairs)}")
+        self._store(node, _META, len(pairs) << 1)
+        for i, (router, child) in enumerate(pairs):
+            self._store(node, _KEYS + 8 * i, router)
+            self._store(node, _CHILDREN + 8 * i, child)
+
+    def _read_internal(self, node: int) -> List[Tuple[int, int]]:
+        return [
+            (self._router(node, i), self._child(node, i))
+            for i in range(self._n_children(node))
+        ]
+
+    def _min_key(self, node: int) -> int:
+        """Smallest key in the subtree (router of entry 0 / leaf key)."""
+        if self._is_leaf(node):
+            return self._leaf_key(node)
+        return self._router(node, 0)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def _new_leaf(self, key: int, value: int, fresh: Set[int]) -> int:
+        node = self._alloc_node()
+        fresh.add(node)
+        self._guard_fresh(node)
+        self._store(node, _META, 1)
+        self._store(node, _LEAF_KEY, key)
+        self._store(node, _LEAF_VAL, value)
+        return node
+
+    def _new_internal(self, pairs: List[Tuple[int, int]], fresh: Set[int]) -> int:
+        node = self._alloc_node()
+        fresh.add(node)
+        self._guard_fresh(node)
+        self._write_internal(node, pairs)
+        return node
+
+    # ------------------------------------------------------------------
+    # full logging
+    # ------------------------------------------------------------------
+    def _search_path(self, key: int) -> List[int]:
+        """Root-to-near-leaf path, the static part of the full-logging set
+        (paper Figure 5); the dry run adds borrow/merge siblings exactly."""
+        nodes: List[int] = []
+        node = self._root()
+        while node:
+            self._compute(8)
+            nodes.append(node)
+            if self._is_leaf(node):
+                break
+            node = self._descend_child(node, key)
+        return nodes
+
+    def _descend_child(self, node: int, key: int) -> int:
+        """Pick the child whose subtree may contain *key*."""
+        index = 0
+        for i in range(1, self._n_children(node)):
+            if key >= self._router(node, i):
+                index = i
+        return self._child(node, index)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def operation(self, key: int) -> OpResult:
+        key %= self._key_space
+        if self.search(key) is not None:
+            self._delete(key)
+            self.model.pop(key, None)
+            return OpResult(key, deleted=True)
+        self._insert(key, key ^ 0x1111)
+        self.model[key] = key ^ 0x1111
+        return OpResult(key, inserted=True)
+
+    def search(self, key: int) -> Optional[int]:
+        """Return the value stored under *key*, or ``None``."""
+        node = self._root()
+        if not node:
+            return None
+        while not self._is_leaf(node):
+            self._compute(8)
+            node = self._descend_child(node, key)
+        if self._leaf_key(node) == key:
+            return self.heap.load_u64(node + _LEAF_VAL)
+        return None
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def _insert(self, key: int, value: int) -> None:
+        static = self._search_path(key)
+        log_set = self._mutation_log_set(
+            static, lambda: self._insert_body(key, value, set())
+        )
+        self._begin_guarded(log_set)
+        fresh: Set[int] = set()
+        self._insert_body(key, value, fresh)
+        self._commit_guarded(fresh)
+
+    def _insert_body(self, key: int, value: int, fresh: Set[int]) -> None:
+        root = self._root()
+        if not root:
+            new_root = self._new_leaf(key, value, fresh)
+        elif self._is_leaf(root):
+            leaf = self._new_leaf(key, value, fresh)
+            pair = sorted(
+                [(self._leaf_key(root), root), (key, leaf)], key=lambda kv: kv[0]
+            )
+            new_root = self._new_internal(pair, fresh)
+        else:
+            split = self._insert_rec(root, key, value, fresh)
+            if split is None:
+                new_root = root
+            else:
+                new_root = self._new_internal(
+                    [(self._min_key(root), root), split], fresh
+                )
+        self.heap.store_u64(self.meta + 0, new_root)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) + 1)
+        self._dirty.add(self.meta)
+
+    def _insert_rec(
+        self, node: int, key: int, value: int, fresh: Set[int]
+    ) -> Optional[Tuple[int, int]]:
+        """Insert below internal *node*; returns a (router, node) pair when
+        *node* split, else ``None``."""
+        pairs = self._read_internal(node)
+        index = 0
+        for i in range(1, len(pairs)):
+            if key >= pairs[i][0]:
+                index = i
+        child = pairs[index][1]
+        if self._is_leaf(child):
+            leaf = self._new_leaf(key, value, fresh)
+            pairs.insert(index + 1 if key > pairs[index][0] else index, (key, leaf))
+        else:
+            split = self._insert_rec(child, key, value, fresh)
+            pairs[index] = (self._min_key(child), child)
+            if split is None:
+                self._write_internal(node, pairs)
+                return None
+            pairs.insert(index + 1, split)
+        if len(pairs) <= 3:
+            self._write_internal(node, pairs)
+            return None
+        # Overflow (4 children): split 2 + 2, never materialised in NVMM.
+        self._write_internal(node, pairs[:2])
+        sibling = self._new_internal(pairs[2:], fresh)
+        return pairs[2][0], sibling
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+    def _delete(self, key: int) -> None:
+        static = self._search_path(key)
+        log_set = self._mutation_log_set(static, lambda: self._delete_body(key))
+        self._begin_guarded(log_set)
+        self._delete_body(key)
+        self._commit_guarded(set())
+
+    def _delete_body(self, key: int) -> None:
+        root = self._root()
+        if self._is_leaf(root):
+            new_root = 0  # deleting the only record
+        else:
+            underflow = self._delete_rec(root, key)
+            new_root = root
+            if underflow and self._n_children(root) == 1:
+                new_root = self._child(root, 0)  # collapse the root
+        self.heap.store_u64(self.meta + 0, new_root)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) - 1)
+        self._dirty.add(self.meta)
+
+    def _delete_rec(self, node: int, key: int) -> bool:
+        """Delete *key* below internal *node*; returns True on underflow
+        (node left with a single child) that the caller must repair."""
+        pairs = self._read_internal(node)
+        index = 0
+        for i in range(1, len(pairs)):
+            if key >= pairs[i][0]:
+                index = i
+        child = pairs[index][1]
+        if self._is_leaf(child):
+            if self._leaf_key(child) != key:
+                return False  # key absent; nothing to do
+            del pairs[index]  # leaf dropped; not reclaimed (§5.2)
+        else:
+            underflow = self._delete_rec(child, key)
+            pairs[index] = (self._min_key(child), child)
+            if underflow:
+                pairs = self._repair(pairs, index)
+        if len(pairs) >= 2:
+            self._write_internal(node, pairs)
+            return False
+        # Underflow: write the single survivor and report it upward.
+        self._store(node, _META, (1 << 1))
+        self._store(node, _KEYS, pairs[0][0])
+        self._store(node, _CHILDREN, pairs[0][1])
+        return True
+
+    def _repair(
+        self, pairs: List[Tuple[int, int]], index: int
+    ) -> List[Tuple[int, int]]:
+        """Fix an underflowed child (1 grandchild) by borrow or merge."""
+        child = pairs[index][1]
+        orphan_router, orphan = self._router(child, 0), self._child(child, 0)
+        sibling_index = index - 1 if index > 0 else index + 1
+        sibling = pairs[sibling_index][1]
+        sib_pairs = self._read_internal(sibling)
+        if len(sib_pairs) == 3:
+            # Borrow the adjacent grandchild from the sibling.
+            if sibling_index < index:
+                moved = sib_pairs.pop()
+                new_child_pairs = [moved, (orphan_router, orphan)]
+            else:
+                moved = sib_pairs.pop(0)
+                new_child_pairs = [(orphan_router, orphan), moved]
+            self._write_internal(sibling, sib_pairs)
+            self._write_internal(child, new_child_pairs)
+            pairs[index] = (new_child_pairs[0][0], child)
+            pairs[sibling_index] = (sib_pairs[0][0], sibling)
+            return pairs
+        # Merge the orphan into the sibling (child node dropped).
+        if sibling_index < index:
+            merged = sib_pairs + [(orphan_router, orphan)]
+        else:
+            merged = [(orphan_router, orphan)] + sib_pairs
+        self._write_internal(sibling, merged)
+        pairs[sibling_index] = (merged[0][0], sibling)
+        del pairs[index]
+        return pairs
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def items(self) -> List[Tuple[int, int]]:
+        result: List[Tuple[int, int]] = []
+        with self.bench.untimed():
+            root = self._root()
+            if root:
+                self._walk(root, result, set())
+        return result
+
+    def _walk(self, node: int, out: List[Tuple[int, int]], seen: Set[int]) -> None:
+        if node in seen:
+            raise RuntimeError("cycle in B-tree")
+        seen.add(node)
+        if self._is_leaf(node):
+            out.append((self._leaf_key(node), self.heap.load_u64(node + _LEAF_VAL)))
+            return
+        for i in range(self._n_children(node)):
+            self._walk(self._child(node, i), out, seen)
+
+    def _check_node(self, node: int) -> Tuple[int, int]:
+        """Validate 2-3 invariants below *node*; returns (height, min_key)."""
+        if self._is_leaf(node):
+            return 1, self._leaf_key(node)
+        n = self._n_children(node)
+        if not 2 <= n <= 3:
+            raise RuntimeError(f"internal node with {n} children")
+        heights, mins = [], []
+        for i in range(n):
+            height, min_key = self._check_node(self._child(node, i))
+            if self._router(node, i) != min_key:
+                raise RuntimeError(
+                    f"stale router: {self._router(node, i)} != subtree min {min_key}"
+                )
+            heights.append(height)
+            mins.append(min_key)
+        if len(set(heights)) != 1:
+            raise RuntimeError("leaves at unequal depths")
+        if mins != sorted(mins):
+            raise RuntimeError("router keys out of order")
+        return heights[0] + 1, mins[0]
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            pairs = self.items()
+            with self.bench.untimed():
+                root = self._root()
+                if root and not self._is_leaf(root):
+                    self._check_node(root)
+        except RuntimeError as exc:
+            return str(exc)
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys):
+            return "leaf keys not sorted"
+        if len(keys) != len(set(keys)):
+            return "duplicate keys"
+        if dict(pairs) != self.model:
+            missing = set(self.model) - set(dict(pairs))
+            extra = set(dict(pairs)) - set(self.model)
+            return f"tree/model mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        return None

@@ -1,0 +1,208 @@
+"""Extra failure-safe structures built on the library's public API.
+
+Not part of the paper's benchmark suite — these exist to show (and test)
+that the substrate generalises: a persistent FIFO queue and a persistent
+stack, each transactionalised with the same four-step WAL protocol and
+crash-testable with :class:`~repro.pmem.crash.CrashTester`.  The
+``examples/custom_workload.py`` walkthrough builds the queue from scratch;
+this module is the supported version.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+
+_VAL = 0
+_NEXT = 8
+
+
+class PersistentQueue(PersistentWorkload):
+    """A singly-linked FIFO queue with head/tail in a metadata block.
+
+    Enqueue links a fresh node after the tail (logging the old tail and
+    the metadata block); dequeue unlinks the head (logging the metadata
+    block).  Alternating operations give the same 4-pcommit-per-op pattern
+    as the paper's workloads.
+    """
+
+    name = "Persistent-Queue"
+    abbrev = "PQ"
+
+    def __init__(self, bench: Workbench, payload_work: int = 0):
+        super().__init__(bench)
+        self.payload_work = payload_work
+        self.meta = self._alloc_node()
+        self.heap.store_u64(self.meta + 0, 0)   # head
+        self.heap.store_u64(self.meta + 8, 0)   # tail
+        self.heap.store_u64(self.meta + 16, 0)  # length
+        self.model: List[int] = []
+
+    # ------------------------------------------------------------------
+    def enqueue(self, value: int) -> None:
+        heap, tx = self.heap, self.tx
+        self._compute(self.payload_work)
+        node = self._alloc_node()
+        heap.store_u64(node + _VAL, value)
+        heap.store_u64(node + _NEXT, 0)
+        tail = heap.load_u64(self.meta + 8)
+        tx.begin()
+        if tail:
+            tx.log_block(tail)
+        tx.log_block(self.meta)
+        tx.seal()
+        if tail:
+            heap.store_u64(tail + _NEXT, node)
+            tx.flush(tail)
+        else:
+            heap.store_u64(self.meta + 0, node)
+        heap.store_u64(self.meta + 8, node)
+        heap.store_u64(self.meta + 16, heap.load_u64(self.meta + 16) + 1)
+        tx.flush(node)
+        tx.flush(self.meta)
+        tx.commit()
+        self.model.append(value)
+
+    def dequeue(self) -> Optional[int]:
+        heap, tx = self.heap, self.tx
+        head = heap.load_u64(self.meta + 0)
+        if not head:
+            return None
+        self._compute(self.payload_work)
+        value = heap.load_u64(head + _VAL)
+        nxt = heap.load_u64(head + _NEXT)
+        tx.begin()
+        tx.log_block(self.meta)
+        tx.seal()
+        heap.store_u64(self.meta + 0, nxt)
+        if not nxt:
+            heap.store_u64(self.meta + 8, 0)
+        heap.store_u64(self.meta + 16, heap.load_u64(self.meta + 16) - 1)
+        tx.flush(self.meta)
+        tx.commit()
+        self.model.pop(0)
+        return value
+
+    def operation(self, key: int) -> OpResult:
+        if key % 2 == 0 or not self.model:
+            self.enqueue(key)
+            return OpResult(key, inserted=True)
+        self.dequeue()
+        return OpResult(key, deleted=True)
+
+    # ------------------------------------------------------------------
+    def contents(self) -> List[int]:
+        values = []
+        with self.bench.untimed():
+            node = self.heap.load_u64(self.meta + 0)
+            seen = set()
+            while node:
+                if node in seen:
+                    raise RuntimeError("cycle in queue")
+                seen.add(node)
+                values.append(self.heap.load_u64(node + _VAL))
+                node = self.heap.load_u64(node + _NEXT)
+        return values
+
+    def __len__(self) -> int:
+        with self.bench.untimed():
+            return self.heap.load_u64(self.meta + 16)
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            found = self.contents()
+        except RuntimeError as exc:
+            return str(exc)
+        if found != self.model:
+            return f"queue {found[:5]} != model {self.model[:5]}"
+        if len(self) != len(self.model):
+            return f"length {len(self)} != {len(self.model)}"
+        with self.bench.untimed():
+            head = self.heap.load_u64(self.meta + 0)
+            tail = self.heap.load_u64(self.meta + 8)
+        if bool(head) != bool(tail):
+            return "head/tail null-ness disagree"
+        return None
+
+
+class PersistentStack(PersistentWorkload):
+    """A singly-linked LIFO stack; push and pop both touch only the
+    metadata block's top pointer (plus the fresh node on push)."""
+
+    name = "Persistent-Stack"
+    abbrev = "PS"
+
+    def __init__(self, bench: Workbench):
+        super().__init__(bench)
+        self.meta = self._alloc_node()
+        self.heap.store_u64(self.meta + 0, 0)   # top
+        self.heap.store_u64(self.meta + 8, 0)   # depth
+        self.model: List[int] = []
+
+    # ------------------------------------------------------------------
+    def push(self, value: int) -> None:
+        heap, tx = self.heap, self.tx
+        node = self._alloc_node()
+        heap.store_u64(node + _VAL, value)
+        heap.store_u64(node + _NEXT, heap.load_u64(self.meta + 0))
+        tx.begin()
+        tx.log_block(self.meta)
+        tx.seal()
+        heap.store_u64(self.meta + 0, node)
+        heap.store_u64(self.meta + 8, heap.load_u64(self.meta + 8) + 1)
+        tx.flush(node)
+        tx.flush(self.meta)
+        tx.commit()
+        self.model.append(value)
+
+    def pop(self) -> Optional[int]:
+        heap, tx = self.heap, self.tx
+        top = heap.load_u64(self.meta + 0)
+        if not top:
+            return None
+        value = heap.load_u64(top + _VAL)
+        tx.begin()
+        tx.log_block(self.meta)
+        tx.seal()
+        heap.store_u64(self.meta + 0, heap.load_u64(top + _NEXT))
+        heap.store_u64(self.meta + 8, heap.load_u64(self.meta + 8) - 1)
+        tx.flush(self.meta)
+        tx.commit()
+        self.model.pop()
+        return value
+
+    def operation(self, key: int) -> OpResult:
+        if key % 2 == 0 or not self.model:
+            self.push(key)
+            return OpResult(key, inserted=True)
+        self.pop()
+        return OpResult(key, deleted=True)
+
+    # ------------------------------------------------------------------
+    def contents(self) -> List[int]:
+        """Top-first snapshot."""
+        values = []
+        with self.bench.untimed():
+            node = self.heap.load_u64(self.meta + 0)
+            seen = set()
+            while node:
+                if node in seen:
+                    raise RuntimeError("cycle in stack")
+                seen.add(node)
+                values.append(self.heap.load_u64(node + _VAL))
+                node = self.heap.load_u64(node + _NEXT)
+        return values
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            found = self.contents()
+        except RuntimeError as exc:
+            return str(exc)
+        if found != list(reversed(self.model)):
+            return f"stack {found[:5]} != model {self.model[-5:]}"
+        with self.bench.untimed():
+            depth = self.heap.load_u64(self.meta + 8)
+        if depth != len(self.model):
+            return f"depth {depth} != {len(self.model)}"
+        return None

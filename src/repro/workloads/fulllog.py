@@ -1,0 +1,105 @@
+"""Full-logging support shared by the self-balancing tree workloads.
+
+Paper §3.2: with *full logging*, every node that an operation (including
+any rebalancing it may trigger) might modify is undo-logged up front, so
+each operation costs exactly one four-pcommit transaction and the tree is
+always balanced in the durable image.
+
+The log set is computed in two parts:
+
+* the **static part** — the root-to-leaf search path (plus the in-order
+  successor spine for two-child deletes), the set the paper describes, and
+* the **exact part** — the cache blocks a *dry run* of the mutation against
+  a :class:`~repro.mem.shadow.ShadowHeap` would write.  Rotations can reach
+  nodes off the search path (siblings, grandchildren, and post-rotation
+  shapes); the dry run catches every such case without over-logging whole
+  neighbourhoods.
+
+Every store during the real mutation is checked against the logged set
+(:class:`FullLoggingViolation` on a miss), turning any gap in the write-set
+analysis into an immediate, loud failure instead of silent
+unrecoverability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+
+class FullLoggingViolation(RuntimeError):
+    """A store targeted a node the transaction did not log."""
+
+
+class FullLoggingMixin:
+    """Guarded-store machinery for tree workloads.
+
+    Expects the host class to provide ``tx``, ``heap``, ``meta`` and the
+    :class:`~repro.workloads.base.PersistentWorkload` helpers
+    (``_dry_run_writes``).
+    """
+
+    _guarded: Optional[Set[int]] = None
+    _dirty: Set[int]
+
+    def _init_full_logging(self) -> None:
+        self._guarded = None
+        self._dirty = set()
+
+    # ------------------------------------------------------------------
+    def _store(self, node: int, offset: int, value: int) -> None:
+        """Guarded 8-byte store into a (logged) node."""
+        if self._guarded is not None and node not in self._guarded:
+            raise FullLoggingViolation(f"store to unlogged node {node:#x}")
+        self.heap.store_u64(node + offset, value)
+        self._dirty.add(node)
+
+    # ------------------------------------------------------------------
+    def _mutation_log_set(
+        self, static_nodes: Iterable[int], mutate: Callable[[], None]
+    ) -> List[int]:
+        """Static path ∪ dry-run write set, in stable order."""
+        saved_guard, saved_dirty = self._guarded, self._dirty
+        self._guarded, self._dirty = None, set()
+        try:
+            touched = self._dry_run_writes(mutate)
+        finally:
+            self._guarded, self._dirty = saved_guard, saved_dirty
+        ordered: List[int] = []
+        seen: Set[int] = set()
+        for node in list(static_nodes) + sorted(touched):
+            if node and node != self.meta and node not in seen:
+                seen.add(node)
+                ordered.append(node)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _begin_guarded(self, log_nodes: Iterable[int]) -> None:
+        """Open the transaction and undo-log every node in *log_nodes*
+        plus the structure's metadata block (steps 1-2 of the protocol)."""
+        self.tx.begin()
+        guarded: Set[int] = set()
+        for node in log_nodes:
+            if node not in guarded:
+                guarded.add(node)
+                self.tx.log_block(node)
+        self.tx.log_block(self.meta)
+        guarded.add(self.meta)
+        self.tx.seal()
+        self._guarded = guarded
+        self._dirty = set()
+
+    def _commit_guarded(self, fresh: Set[int]) -> None:
+        """Flush every dirtied and freshly-allocated node, then commit
+        (steps 3-4 of the protocol)."""
+        for node in sorted(self._dirty | fresh):
+            self.tx.flush(node)
+        self.tx.flush(self.meta)
+        self.tx.commit()
+        self._guarded = None
+        self._dirty = set()
+
+    def _guard_fresh(self, node: int) -> None:
+        """Freshly allocated nodes are unreachable on crash and need no
+        undo logging; admit them to the guard set."""
+        if self._guarded is not None:
+            self._guarded.add(node)

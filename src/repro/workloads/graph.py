@@ -1,0 +1,152 @@
+"""Graph (GH) benchmark — paper §3.2: "Insert or delete edges in a graph".
+
+A directed graph over a fixed vertex set, stored as per-vertex adjacency
+lists of 64-byte edge nodes.  An operation picks a random (src, dst) pair,
+searches src's adjacency list for dst, deletes the edge if present and
+inserts it at the head otherwise — the same few-nodes-logged shape as the
+linked list, which is why the paper groups GH with the low-logging-overhead
+benchmarks.
+
+Vertex table entry (one block per vertex)::
+
+    +0   head pointer of the adjacency list
+    +8   out-degree
+
+Edge node (one block)::
+
+    +0   destination vertex id
+    +8   weight
+    +16  next edge pointer
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.mem.heap import CACHE_BLOCK
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+
+_HEAD = 0
+_DEGREE = 8
+
+_DST = 0
+_WEIGHT = 8
+_NEXT = 16
+
+
+class GraphWorkload(PersistentWorkload):
+    """Insert-or-delete edges on a persistent adjacency-list graph."""
+
+    name = "Graph"
+    abbrev = "GH"
+
+    def __init__(self, bench: Workbench, n_vertices: int = 256):
+        super().__init__(bench)
+        self.n_vertices = n_vertices
+        self._key_space = n_vertices * n_vertices
+        self.table = self.alloc.alloc(n_vertices * CACHE_BLOCK)
+        for v in range(n_vertices):
+            self.heap.store_u64(self._vertex(v) + _HEAD, 0)
+            self.heap.store_u64(self._vertex(v) + _DEGREE, 0)
+        #: model: set of (src, dst) pairs.
+        self.model: Set[Tuple[int, int]] = set()
+
+    def _vertex(self, v: int) -> int:
+        return self.table + v * CACHE_BLOCK
+
+    def _decode(self, key: int) -> Tuple[int, int]:
+        return key // self.n_vertices, key % self.n_vertices
+
+    # ------------------------------------------------------------------
+    def operation(self, key: int) -> OpResult:
+        src, dst = self._decode(key % self._key_space)
+        return self.edge_operation(src, dst)
+
+    def edge_operation(self, src: int, dst: int) -> OpResult:
+        tx, heap = self.tx, self.heap
+        vertex = self._vertex(src)
+        key = src * self.n_vertices + dst
+
+        # --- search the adjacency list --------------------------------
+        prev = 0
+        edge = heap.load_u64(vertex + _HEAD)
+        while edge:
+            self._compute(8)  # compare dst, advance, loop control
+            if heap.load_u64(edge + _DST) == dst:
+                break
+            prev = edge
+            edge = heap.load_u64(edge + _NEXT)
+
+        if edge:
+            # --- delete edge ------------------------------------------
+            tx.begin()
+            tx.log_block(vertex)
+            if prev:
+                tx.log_block(prev)
+            tx.seal()
+            nxt = heap.load_u64(edge + _NEXT)
+            if prev:
+                heap.store_u64(prev + _NEXT, nxt)
+                tx.flush(prev)
+            else:
+                heap.store_u64(vertex + _HEAD, nxt)
+            heap.store_u64(vertex + _DEGREE, heap.load_u64(vertex + _DEGREE) - 1)
+            tx.flush(vertex)
+            tx.commit()
+            self.model.discard((src, dst))
+            return OpResult(key, deleted=True)
+
+        # --- insert edge at the head -----------------------------------
+        new = self._alloc_node()
+        heap.store_u64(new + _DST, dst)
+        heap.store_u64(new + _WEIGHT, (src ^ dst) & 0xFFFF)
+        heap.store_u64(new + _NEXT, heap.load_u64(vertex + _HEAD))
+        tx.begin()
+        tx.log_block(vertex)
+        tx.seal()
+        heap.store_u64(vertex + _HEAD, new)
+        heap.store_u64(vertex + _DEGREE, heap.load_u64(vertex + _DEGREE) + 1)
+        tx.flush(new)
+        tx.flush(vertex)
+        tx.commit()
+        self.model.add((src, dst))
+        return OpResult(key, inserted=True)
+
+    # ------------------------------------------------------------------
+    def edges(self) -> Set[Tuple[int, int]]:
+        result: Set[Tuple[int, int]] = set()
+        with self.bench.untimed():
+            for src in range(self.n_vertices):
+                edge = self.heap.load_u64(self._vertex(src) + _HEAD)
+                seen = set()
+                while edge:
+                    if edge in seen:
+                        raise RuntimeError(f"cycle in adjacency list of {src}")
+                    seen.add(edge)
+                    dst = self.heap.load_u64(edge + _DST)
+                    if (src, dst) in result:
+                        raise RuntimeError(f"duplicate edge ({src}, {dst})")
+                    result.add((src, dst))
+                    edge = self.heap.load_u64(edge + _NEXT)
+        return result
+
+    def degree(self, src: int) -> int:
+        with self.bench.untimed():
+            return self.heap.load_u64(self._vertex(src) + _DEGREE)
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            found = self.edges()
+        except RuntimeError as exc:
+            return str(exc)
+        if found != self.model:
+            missing = self.model - found
+            extra = found - self.model
+            return f"graph/model mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        degrees: Dict[int, int] = {}
+        for src, _ in found:
+            degrees[src] = degrees.get(src, 0) + 1
+        for src in range(self.n_vertices):
+            if self.degree(src) != degrees.get(src, 0):
+                return f"vertex {src} degree {self.degree(src)} != {degrees.get(src, 0)}"
+        return None

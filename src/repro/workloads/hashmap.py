@@ -1,0 +1,215 @@
+"""Hash-Map (HM) benchmark — paper §3.2.
+
+An open-addressed hash table: a key hashes to an index, and "if the entry is
+already populated, the next consecutive entry is checked, and so on" (the
+paper's chained-collision policy, i.e. linear probing).  Deletion uses
+tombstones so probe chains stay intact.  If no free entry is found for an
+insertion, the table is resized to twice its size and every record is copied
+across, with a ``clwb`` per copied record and one transaction covering the
+table switch (paper: "pcommit persists the completion of the resizing").
+
+Entry layout (one cache block per entry)::
+
+    +0   state   (0 = empty, 1 = occupied, 2 = tombstone)
+    +8   key
+    +16  value
+
+Table metadata block::
+
+    +0   table base address
+    +8   table capacity (entries)
+    +16  live-record count
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.heap import CACHE_BLOCK
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+
+_EMPTY, _OCCUPIED, _TOMBSTONE = 0, 1, 2
+
+_STATE = 0
+_KEY = 8
+_VAL = 16
+
+
+class HashMapWorkload(PersistentWorkload):
+    """Insert-or-delete on a persistent linear-probing hash map."""
+
+    name = "Hash-Map"
+    abbrev = "HM"
+
+    def __init__(self, bench: Workbench, initial_capacity: int = 1024):
+        super().__init__(bench)
+        if initial_capacity & (initial_capacity - 1):
+            raise ValueError("capacity must be a power of two")
+        # Key space sized so the steady-state load factor sits near 60%,
+        # giving the multi-slot probe chains of a mature table.
+        self._key_space = int(initial_capacity * 1.2)
+        self.meta = self._alloc_node()
+        table = self.alloc.alloc(initial_capacity * CACHE_BLOCK)
+        self._zero_table(table, initial_capacity)
+        self.heap.store_u64(self.meta + 0, table)
+        self.heap.store_u64(self.meta + 8, initial_capacity)
+        self.heap.store_u64(self.meta + 16, 0)
+        self.resizes = 0
+
+    # ------------------------------------------------------------------
+    def _zero_table(self, base: int, capacity: int) -> None:
+        for i in range(capacity):
+            self.heap.store_u64(base + i * CACHE_BLOCK + _STATE, _EMPTY)
+
+    def _table(self) -> int:
+        return self.heap.load_u64(self.meta + 0)
+
+    def _capacity(self) -> int:
+        return self.heap.load_u64(self.meta + 8)
+
+    def _count(self) -> int:
+        return self.heap.load_u64(self.meta + 16)
+
+    @staticmethod
+    def _hash(key: int) -> int:
+        # Fibonacci hashing; cheap and well-spread for integer keys.
+        return (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+
+    def _slot(self, table: int, index: int) -> int:
+        return table + index * CACHE_BLOCK
+
+    # ------------------------------------------------------------------
+    def _probe(self, key: int) -> tuple:
+        """Find *key*; returns ``(found_slot, insert_slot)``.
+
+        ``found_slot`` is the occupied slot holding *key* (or 0).
+        ``insert_slot`` is the first reusable slot along the probe chain
+        (tombstone or empty), or 0 if the chain is full.
+        """
+        heap = self.heap
+        table, capacity = self._table(), self._capacity()
+        mask = capacity - 1
+        # hashing cost (the paper's keys are records, not raw integers)
+        self._compute(16)
+        index = self._hash(key) & mask
+        insert_slot = 0
+        for _ in range(capacity):
+            slot = self._slot(table, index)
+            state = heap.load_u64(slot + _STATE)
+            self._compute(6)  # state decode, key compare, index advance
+            if state == _EMPTY:
+                return 0, insert_slot or slot
+            if state == _TOMBSTONE:
+                if not insert_slot:
+                    insert_slot = slot
+            elif heap.load_u64(slot + _KEY) == key:
+                return slot, 0
+            index = (index + 1) & mask
+        return 0, insert_slot
+
+    # ------------------------------------------------------------------
+    def operation(self, key: int) -> OpResult:
+        tx, heap = self.tx, self.heap
+        found, free = self._probe(key)
+
+        if found:
+            # --- delete: log the entry, then tombstone it --------------
+            tx.begin()
+            tx.log_block(found)
+            tx.log_block(self.meta)
+            tx.seal()
+            heap.store_u64(found + _STATE, _TOMBSTONE)
+            heap.store_u64(self.meta + 16, self._count() - 1)
+            tx.flush(found)
+            tx.flush(self.meta)
+            tx.commit()
+            self.model.pop(key, None)
+            return OpResult(key, deleted=True)
+
+        if not free or (self._count() + 1) * 4 > self._capacity() * 3:
+            self._resize()
+            _, free = self._probe(key)
+
+        # --- insert: log the target slot and table metadata ------------
+        tx.begin()
+        tx.log_block(free)
+        tx.log_block(self.meta)
+        tx.seal()
+        heap.store_u64(free + _KEY, key)
+        heap.store_u64(free + _VAL, key ^ 0x5555)
+        heap.store_u64(free + _STATE, _OCCUPIED)
+        heap.store_u64(self.meta + 16, self._count() + 1)
+        tx.flush(free)
+        tx.flush(self.meta)
+        tx.commit()
+        self.model[key] = key ^ 0x5555
+        return OpResult(key, inserted=True)
+
+    # ------------------------------------------------------------------
+    def _resize(self) -> None:
+        """Grow the table 2x; one transaction covers the pointer switch.
+
+        The new table is fresh storage, so only the metadata block needs
+        undo logging; each copied record is followed by a ``clwb`` and the
+        final persist barrier makes the whole resize durable (paper §3.2).
+        """
+        tx, heap = self.tx, self.heap
+        old_table, old_capacity = self._table(), self._capacity()
+        new_capacity = old_capacity * 2
+        new_table = self.alloc.alloc(new_capacity * CACHE_BLOCK)
+        tx.begin()
+        tx.log_block(self.meta)
+        tx.seal()
+        self._zero_table(new_table, new_capacity)
+        mask = new_capacity - 1
+        live = 0
+        for i in range(old_capacity):
+            slot = self._slot(old_table, i)
+            if heap.load_u64(slot + _STATE) != _OCCUPIED:
+                continue
+            key = heap.load_u64(slot + _KEY)
+            value = heap.load_u64(slot + _VAL)
+            index = self._hash(key) & mask
+            while heap.load_u64(self._slot(new_table, index) + _STATE) == _OCCUPIED:
+                index = (index + 1) & mask
+            dest = self._slot(new_table, index)
+            heap.store_u64(dest + _KEY, key)
+            heap.store_u64(dest + _VAL, value)
+            heap.store_u64(dest + _STATE, _OCCUPIED)
+            tx.flush(dest)
+            live += 1
+        heap.store_u64(self.meta + 0, new_table)
+        heap.store_u64(self.meta + 8, new_capacity)
+        heap.store_u64(self.meta + 16, live)
+        tx.flush(self.meta)
+        tx.commit()
+        self.resizes += 1
+
+    # ------------------------------------------------------------------
+    def items(self) -> Dict[int, int]:
+        result: Dict[int, int] = {}
+        with self.bench.untimed():
+            table, capacity = self._table(), self._capacity()
+            for i in range(capacity):
+                slot = self._slot(table, i)
+                if self.heap.load_u64(slot + _STATE) == _OCCUPIED:
+                    key = self.heap.load_u64(slot + _KEY)
+                    if key in result:
+                        raise RuntimeError(f"duplicate key {key}")
+                    result[key] = self.heap.load_u64(slot + _VAL)
+        return result
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            found = self.items()
+        except RuntimeError as exc:
+            return str(exc)
+        if found != self.model:
+            missing = set(self.model) - set(found)
+            extra = set(found) - set(self.model)
+            return f"map/model mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        with self.bench.untimed():
+            stored = self._count()
+        if stored != len(self.model):
+            return f"count {stored} != model {len(self.model)}"
+        return None

@@ -1,0 +1,183 @@
+"""Incremental logging — the alternative the paper rejects (§3.2, Figure 4).
+
+Full logging undo-logs everything an operation *might* touch up front and
+pays exactly one four-pcommit transaction.  *Incremental* logging instead
+"breaks rebalancing into multiple steps, where in each step we log as few
+nodes as needed" — cheaper logging, but "pcommits and sfences are required
+for each step", and a crash can leave the tree temporarily imbalanced.
+
+:class:`AVLTreeIncremental` implements that policy for inserts on the AVL
+tree:
+
+* phase 1 — one small transaction attaches the new leaf (logs only the
+  attach parent);
+* phase 2 — walking back up the insertion path, each level whose height or
+  balance changes gets its *own* transaction logging just that level's
+  rebalance neighbourhood.
+
+A crash mid-sequence leaves a valid binary search tree whose upper levels
+may be imbalanced / carry stale heights — recovery must call
+:meth:`AVLTreeIncremental.repair` to "continue to rebalance the tree"
+(paper's recovery description).  Deletes fall back to full logging; the
+paper's comparison (and our ablation bench) concerns the insert-side
+rebalancing cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.workloads.avltree import AVLTreeWorkload, _HEIGHT, _KEY, _LEFT, _RIGHT, _VAL
+
+
+class AVLTreeIncremental(AVLTreeWorkload):
+    """AVL tree with per-step (incremental) logging for inserts."""
+
+    name = "AVL-tree (incremental logging)"
+    abbrev = "AT-inc"
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: int, value: int) -> None:
+        path = self._attach_path(key)
+        if path and self._key(path[-1]) == key:
+            self._overwrite_value(path[-1], value)
+            return
+        self._attach_leaf(path, key, value)
+        self._rebalance_upward(path)
+
+    # ------------------------------------------------------------------
+    def _attach_path(self, key: int) -> List[int]:
+        """Search path from the root to the attach parent (or the node
+        already holding *key*)."""
+        path: List[int] = []
+        node = self._root()
+        while node:
+            self._compute(8)
+            path.append(node)
+            node_key = self._key(node)
+            if key == node_key:
+                break
+            node = self._left(node) if key < node_key else self._right(node)
+        return path
+
+    def _overwrite_value(self, node: int, value: int) -> None:
+        self.tx.begin()
+        self.tx.log_block(node)
+        self.tx.seal()
+        self._guarded = {node}
+        self._dirty = set()
+        self._store(node, _VAL, value)
+        self._commit_guarded(set())
+
+    def _attach_leaf(self, path: List[int], key: int, value: int) -> None:
+        """Phase 1: create the leaf and link it, logging only the parent."""
+        new = self._alloc_node()
+        self.tx.begin()
+        parent = path[-1] if path else 0
+        if parent:
+            self.tx.log_block(parent)
+        self.tx.log_block(self.meta)
+        self.tx.seal()
+        self._guarded = {parent, self.meta, new} if parent else {self.meta, new}
+        self._dirty = set()
+        self._store(new, _KEY, key)
+        self._store(new, _VAL, value)
+        self._store(new, _LEFT, 0)
+        self._store(new, _RIGHT, 0)
+        self._store(new, _HEIGHT, 1)
+        if parent:
+            offset = _LEFT if key < self._key(parent) else _RIGHT
+            self._store(parent, offset, new)
+        else:
+            self._store(self.meta, 0, new)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) + 1)
+        self._dirty.add(self.meta)
+        self._commit_guarded({new})
+
+    def _rebalance_upward(self, path: List[int]) -> None:
+        """Phase 2: one transaction per level whose height/balance changed."""
+        for index in range(len(path) - 1, -1, -1):
+            node = path[index]
+            parent = path[index - 1] if index else 0
+            old_height = self._height(node)
+            needs_rotation = abs(self._balance(node)) > 1
+            new_height = 1 + max(
+                self._height(self._left(node)), self._height(self._right(node))
+            )
+            if not needs_rotation and new_height == old_height:
+                break  # heights converged: nothing above changes either
+            self._rebalance_step(node, parent)
+
+    def _rebalance_step(self, node: int, parent: int) -> None:
+        """One incremental step: log exactly what this level's height
+        update / rotation will touch ("we log as few nodes as needed to
+        perform balancing for a particular affected node"), apply it, and
+        persist it with its own barrier set."""
+        touched = self._mutation_log_set(
+            [node], lambda: self._rebalance_step_body(node, parent)
+        )
+        self._begin_guarded(touched)
+        self._rebalance_step_body(node, parent)
+        self._commit_guarded(set())
+
+    def _rebalance_step_body(self, node: int, parent: int) -> None:
+        self._update_height(node)
+        new_subtree = self._rebalance(node)
+        if new_subtree == node:
+            return  # height-only step: the parent's pointer is untouched
+        if parent:
+            offset = _LEFT if self._left(parent) == node else _RIGHT
+            if self.heap.load_u64(parent + offset) == node:
+                self._store(parent, offset, new_subtree)
+        else:
+            self._store(self.meta, 0, new_subtree)
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+    def repair(self) -> None:
+        """Complete any interrupted rebalancing: rebuild heights and
+        rebalance bottom-up over the whole tree (the paper's "recovery ...
+        continues to rebalance the tree", done eagerly)."""
+        self._guarded = None
+        root = self._repair_rec(self._root())
+        self.heap.store_u64(self.meta + 0, root)
+
+    def _repair_rec(self, node: int) -> int:
+        if not node:
+            return 0
+        self._store(node, _LEFT, self._repair_rec(self._left(node)))
+        self._store(node, _RIGHT, self._repair_rec(self._right(node)))
+        self._update_height(node)
+        return self._rebalance(node)
+
+    def check_bst_only(self) -> Optional[str]:
+        """Crash-time invariant: the tree is a valid BST matching the model
+        (balance may be temporarily violated — that is incremental
+        logging's documented weakness)."""
+        try:
+            pairs = self.items()
+        except RuntimeError as exc:
+            return str(exc)
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys):
+            return "in-order keys not sorted"
+        if set(keys) - set(self.model) or set(self.model) - set(keys):
+            # mid-sequence crashes happen after phase 1; tolerate the one
+            # key whose insert was in flight
+            diff = set(keys) ^ set(self.model)
+            if len(diff) > 1:
+                return f"key set diverged: {sorted(diff)[:5]}"
+        return None
+
+
+def persist_cost_summary(workload: AVLTreeWorkload) -> dict:
+    """Logging/barrier cost counters used by the ablation bench."""
+    return {
+        "pcommits": workload.persist.n_pcommit,
+        "sfences": workload.persist.n_sfence,
+        "clwbs": workload.persist.n_clwb,
+        "entries_logged": workload.tx.stats.entries_logged,
+        "bytes_logged": workload.tx.stats.bytes_logged,
+        "transactions": workload.tx.stats.transactions,
+    }

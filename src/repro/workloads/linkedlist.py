@@ -1,0 +1,136 @@
+"""Linked-List (LL) benchmark — paper §3.1.1 and Figure 2.
+
+A singly-linked, sorted-by-nothing list of 64-byte nodes.  An operation
+searches a random key: if found, the node is unlinked; if not, a new node is
+inserted after the node the search stopped at (paper inserts after ``nn``,
+the last visited node — we insert at the head's successor position found by
+the search, which gives the same logging shape: one existing node logged).
+
+The paper caps the list at 1024 nodes so search time does not dominate.
+
+Node layout (one cache block)::
+
+    +0   key
+    +8   value
+    +16  next (0 = NULL)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mem.heap import CACHE_BLOCK
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+
+_KEY = 0
+_VAL = 8
+_NEXT = 16
+
+
+class LinkedListWorkload(PersistentWorkload):
+    """Insert-or-delete on a persistent singly-linked list."""
+
+    name = "Linked-List"
+    abbrev = "LL"
+
+    def __init__(self, bench: Workbench, max_nodes: int = 1024):
+        super().__init__(bench)
+        self.max_nodes = max_nodes
+        self._key_space = max_nodes * 2
+        # The list head pointer lives in a dedicated NVMM metadata block so
+        # recovery can find the structure.
+        self.meta = self._alloc_node()
+        self.heap.store_u64(self.meta + 0, 0)  # head
+        self.heap.store_u64(self.meta + 8, 0)  # count
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def _head(self) -> int:
+        return self.heap.load_u64(self.meta + 0)
+
+    def _set_head(self, addr: int) -> None:
+        self.heap.store_u64(self.meta + 0, addr)
+
+    # ------------------------------------------------------------------
+    def operation(self, key: int) -> OpResult:
+        """Search; delete if found, insert otherwise (paper's op)."""
+        tx, heap = self.tx, self.heap
+        # --- search (reads are not transactional) ---------------------
+        prev = 0
+        node = self._head()
+        while node:
+            self._compute(4)  # key compare, advance, loop control
+            if heap.load_u64(node + _KEY) == key:
+                break
+            prev = node
+            node = heap.load_u64(node + _NEXT)
+
+        if node:
+            # --- delete: log the predecessor (or head block) ----------
+            tx.begin()
+            if prev:
+                tx.log_block(prev)
+            else:
+                tx.log_block(self.meta)
+            tx.seal()
+            nxt = heap.load_u64(node + _NEXT)
+            if prev:
+                heap.store_u64(prev + _NEXT, nxt)
+                tx.flush(prev)
+            else:
+                self._set_head(nxt)
+                tx.flush(self.meta)
+            tx.commit()
+            self.count -= 1
+            self.model.pop(key, None)
+            # Deleted nodes are not immediately reclaimed (paper §5.2).
+            return OpResult(key, deleted=True)
+
+        if self.count >= self.max_nodes:
+            return OpResult(key)
+        # --- insert at head: new node needs no logging (unreachable on
+        # crash until the durable head pointer update commits) ---------
+        new = self._alloc_node()
+        heap.store_u64(new + _KEY, key)
+        heap.store_u64(new + _VAL, key ^ 0xABCD)
+        heap.store_u64(new + _NEXT, self._head())
+        tx.begin()
+        tx.log_block(self.meta)
+        tx.seal()
+        self._set_head(new)
+        tx.flush(new)
+        tx.flush(self.meta)
+        tx.commit()
+        self.count += 1
+        self.model[key] = key ^ 0xABCD
+        return OpResult(key, inserted=True)
+
+    # ------------------------------------------------------------------
+    def items(self) -> List[tuple]:
+        """Walk the list untimed; returns ``[(key, value), ...]``."""
+        result = []
+        with self.bench.untimed():
+            node = self._head()
+            seen = set()
+            while node:
+                if node in seen:
+                    raise RuntimeError("cycle in linked list")
+                seen.add(node)
+                result.append(
+                    (self.heap.load_u64(node + _KEY), self.heap.load_u64(node + _VAL))
+                )
+                node = self.heap.load_u64(node + _NEXT)
+        return result
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            found = dict(self.items())
+        except RuntimeError as exc:
+            return str(exc)
+        if found != self.model:
+            missing = set(self.model) - set(found)
+            extra = set(found) - set(self.model)
+            return f"list/model mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        return None

@@ -1,0 +1,311 @@
+"""RB-tree (RT) benchmark — paper §3.2, full-logging discipline.
+
+The red-black tree is implemented as a left-leaning red-black (LLRB) tree:
+a recursive formulation with no parent pointers, in one-to-one
+correspondence with 2-3 trees.  Avoiding parent pointers keeps the write
+set of insert/delete fixups local to the recursion path, which the
+full-logging machinery (:mod:`repro.workloads.fulllog`) captures as the
+root-to-leaf search path unioned with a dry-run's exact write set.
+
+Node layout (one cache block)::
+
+    +0   key
+    +8   value
+    +16  left child pointer
+    +24  right child pointer
+    +32  color (1 = red, 0 = black)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.workloads.base import OpResult, PersistentWorkload, Workbench
+from repro.workloads.fulllog import FullLoggingMixin, FullLoggingViolation
+
+__all__ = ["RBTreeWorkload", "FullLoggingViolation", "RED", "BLACK"]
+
+_KEY = 0
+_VAL = 8
+_LEFT = 16
+_RIGHT = 24
+_COLOR = 32
+
+RED, BLACK = 1, 0
+
+
+class RBTreeWorkload(FullLoggingMixin, PersistentWorkload):
+    """Insert-or-delete on a persistent left-leaning red-black tree."""
+
+    name = "RB-tree"
+    abbrev = "RT"
+
+    def __init__(self, bench: Workbench, key_space: int = 4096):
+        super().__init__(bench)
+        self._key_space = key_space
+        self.meta = self._alloc_node()
+        self.heap.store_u64(self.meta + 0, 0)  # root pointer
+        self.heap.store_u64(self.meta + 8, 0)  # node count
+        self._init_full_logging()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def _root(self) -> int:
+        return self.heap.load_u64(self.meta + 0)
+
+    def _store_root(self, root: int) -> None:
+        self._store(self.meta, 0, root)
+
+    def _key(self, node: int) -> int:
+        return self.heap.load_u64(node + _KEY)
+
+    def _left(self, node: int) -> int:
+        return self.heap.load_u64(node + _LEFT)
+
+    def _right(self, node: int) -> int:
+        return self.heap.load_u64(node + _RIGHT)
+
+    def _is_red(self, node: int) -> bool:
+        return bool(node) and self.heap.load_u64(node + _COLOR) == RED
+
+    # ------------------------------------------------------------------
+    # full logging: static part = search path (+ successor spine)
+    # ------------------------------------------------------------------
+    def _search_path(self, key: int, for_delete: bool) -> List[int]:
+        nodes: List[int] = []
+        node = self._root()
+        while node:
+            self._compute(8)
+            nodes.append(node)
+            node_key = self._key(node)
+            if node_key == key:
+                if for_delete:
+                    walk = self._right(node)
+                    while walk:
+                        nodes.append(walk)
+                        walk = self._left(walk)
+                break
+            node = self._left(node) if key < node_key else self._right(node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def operation(self, key: int) -> OpResult:
+        key %= self._key_space
+        if self._search(key):
+            self._delete(key)
+            self.model.pop(key, None)
+            return OpResult(key, deleted=True)
+        self._insert(key, key ^ 0x3333)
+        self.model[key] = key ^ 0x3333
+        return OpResult(key, inserted=True)
+
+    def _search(self, key: int) -> bool:
+        node = self._root()
+        while node:
+            self._compute(8)
+            node_key = self._key(node)
+            if key == node_key:
+                return True
+            node = self._left(node) if key < node_key else self._right(node)
+        return False
+
+    # ------------------------------------------------------------------
+    # LLRB primitives (all mutations go through the guarded _store)
+    # ------------------------------------------------------------------
+    def _rotate_left(self, node: int) -> int:
+        pivot = self._right(node)
+        self._store(node, _RIGHT, self._left(pivot))
+        self._store(pivot, _LEFT, node)
+        self._store(pivot, _COLOR, self.heap.load_u64(node + _COLOR))
+        self._store(node, _COLOR, RED)
+        return pivot
+
+    def _rotate_right(self, node: int) -> int:
+        pivot = self._left(node)
+        self._store(node, _LEFT, self._right(pivot))
+        self._store(pivot, _RIGHT, node)
+        self._store(pivot, _COLOR, self.heap.load_u64(node + _COLOR))
+        self._store(node, _COLOR, RED)
+        return pivot
+
+    def _flip_colors(self, node: int) -> None:
+        for addr in (node, self._left(node), self._right(node)):
+            self._store(addr, _COLOR, 1 - self.heap.load_u64(addr + _COLOR))
+
+    def _fix_up(self, node: int) -> int:
+        if self._is_red(self._right(node)) and not self._is_red(self._left(node)):
+            node = self._rotate_left(node)
+        if self._is_red(self._left(node)) and self._is_red(self._left(self._left(node))):
+            node = self._rotate_right(node)
+        if self._is_red(self._left(node)) and self._is_red(self._right(node)):
+            self._flip_colors(node)
+        return node
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: int, value: int) -> None:
+        static = self._search_path(key, for_delete=False)
+        log_set = self._mutation_log_set(
+            static, lambda: self._insert_body(key, value, set())
+        )
+        self._begin_guarded(log_set)
+        fresh: Set[int] = set()
+        self._insert_body(key, value, fresh)
+        self._commit_guarded(fresh)
+
+    def _insert_body(self, key: int, value: int, fresh: Set[int]) -> None:
+        root = self._insert_rec(self._root(), key, value, fresh)
+        self._store_root(root)
+        if self._is_red(root):
+            self._store(root, _COLOR, BLACK)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) + 1)
+        self._dirty.add(self.meta)
+
+    def _insert_rec(self, node: int, key: int, value: int, fresh: Set[int]) -> int:
+        if not node:
+            new = self._alloc_node()
+            fresh.add(new)
+            self._guard_fresh(new)
+            self._store(new, _KEY, key)
+            self._store(new, _VAL, value)
+            self._store(new, _LEFT, 0)
+            self._store(new, _RIGHT, 0)
+            self._store(new, _COLOR, RED)
+            return new
+        node_key = self._key(node)
+        if key < node_key:
+            self._store(node, _LEFT, self._insert_rec(self._left(node), key, value, fresh))
+        elif key > node_key:
+            self._store(node, _RIGHT, self._insert_rec(self._right(node), key, value, fresh))
+        else:
+            self._store(node, _VAL, value)
+        return self._fix_up(node)
+
+    # ------------------------------------------------------------------
+    def _delete(self, key: int) -> None:
+        static = self._search_path(key, for_delete=True)
+        log_set = self._mutation_log_set(static, lambda: self._delete_body(key))
+        self._begin_guarded(log_set)
+        self._delete_body(key)
+        self._commit_guarded(set())
+
+    def _delete_body(self, key: int) -> None:
+        root = self._root()
+        if not self._is_red(self._left(root)) and not self._is_red(self._right(root)):
+            self._store(root, _COLOR, RED)
+        root = self._delete_rec(root, key)
+        self._store_root(root)
+        if root and self._is_red(root):
+            self._store(root, _COLOR, BLACK)
+        self.heap.store_u64(self.meta + 8, self.heap.load_u64(self.meta + 8) - 1)
+        self._dirty.add(self.meta)
+
+    def _move_red_left(self, node: int) -> int:
+        self._flip_colors(node)
+        if self._is_red(self._left(self._right(node))):
+            self._store(node, _RIGHT, self._rotate_right(self._right(node)))
+            node = self._rotate_left(node)
+            self._flip_colors(node)
+        return node
+
+    def _move_red_right(self, node: int) -> int:
+        self._flip_colors(node)
+        if self._is_red(self._left(self._left(node))):
+            node = self._rotate_right(node)
+            self._flip_colors(node)
+        return node
+
+    def _delete_rec(self, node: int, key: int) -> int:
+        if key < self._key(node):
+            if not self._is_red(self._left(node)) and not self._is_red(
+                self._left(self._left(node))
+            ):
+                node = self._move_red_left(node)
+            self._store(node, _LEFT, self._delete_rec(self._left(node), key))
+        else:
+            if self._is_red(self._left(node)):
+                node = self._rotate_right(node)
+            if key == self._key(node) and not self._right(node):
+                return 0
+            if not self._is_red(self._right(node)) and not self._is_red(
+                self._left(self._right(node))
+            ):
+                node = self._move_red_right(node)
+            if key == self._key(node):
+                succ = self._min_node(self._right(node))
+                self._store(node, _KEY, self._key(succ))
+                self._store(node, _VAL, self.heap.load_u64(succ + _VAL))
+                self._store(node, _RIGHT, self._delete_min(self._right(node)))
+            else:
+                self._store(node, _RIGHT, self._delete_rec(self._right(node), key))
+        return self._fix_up(node)
+
+    def _min_node(self, node: int) -> int:
+        while self._left(node):
+            node = self._left(node)
+        return node
+
+    def _delete_min(self, node: int) -> int:
+        if not self._left(node):
+            return 0
+        if not self._is_red(self._left(node)) and not self._is_red(
+            self._left(self._left(node))
+        ):
+            node = self._move_red_left(node)
+        self._store(node, _LEFT, self._delete_min(self._left(node)))
+        return self._fix_up(node)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def items(self) -> List[Tuple[int, int]]:
+        result: List[Tuple[int, int]] = []
+        with self.bench.untimed():
+            self._walk(self._root(), result, set())
+        return result
+
+    def _walk(self, node: int, out: List[Tuple[int, int]], seen: Set[int]) -> None:
+        if not node:
+            return
+        if node in seen:
+            raise RuntimeError("cycle in RB tree")
+        seen.add(node)
+        self._walk(self._left(node), out, seen)
+        out.append((self._key(node), self.heap.load_u64(node + _VAL)))
+        self._walk(self._right(node), out, seen)
+
+    def _check_node(self, node: int) -> int:
+        """Validate LLRB invariants below *node*; returns black height."""
+        if not node:
+            return 1
+        left, right = self._left(node), self._right(node)
+        if self._is_red(right):
+            raise RuntimeError(f"right-leaning red link at key {self._key(node)}")
+        if self._is_red(node) and self._is_red(left):
+            raise RuntimeError(f"two reds in a row at key {self._key(node)}")
+        left_bh = self._check_node(left)
+        right_bh = self._check_node(right)
+        if left_bh != right_bh:
+            raise RuntimeError(f"black-height mismatch at key {self._key(node)}")
+        return left_bh + (0 if self._is_red(node) else 1)
+
+    def check_invariants(self) -> Optional[str]:
+        try:
+            pairs = self.items()
+            with self.bench.untimed():
+                root = self._root()
+                if self._is_red(root):
+                    return "red root"
+                self._check_node(root)
+        except RuntimeError as exc:
+            return str(exc)
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys):
+            return "in-order keys not sorted"
+        if dict(pairs) != self.model:
+            missing = set(self.model) - set(dict(pairs))
+            extra = set(dict(pairs)) - set(self.model)
+            return f"tree/model mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        return None

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Workloads are built tiny (small structures, few operations) so the whole
+suite stays fast; the benchmarks/ tree exercises the paper-scale
+configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.alloc import Allocator
+from repro.mem.heap import NVMHeap
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.workloads.base import Workbench
+from repro.workloads.registry import PAPER_SPECS
+
+
+@pytest.fixture
+def heap() -> NVMHeap:
+    return NVMHeap(1 << 20)
+
+
+@pytest.fixture
+def allocator(heap: NVMHeap) -> Allocator:
+    return Allocator(heap)
+
+
+@pytest.fixture
+def bench() -> Workbench:
+    """A fully-instrumented workbench in the failure-safe mode."""
+    return Workbench(
+        mode=PersistMode.LOG_P_SF,
+        heap_size=1 << 22,
+        record=True,
+        track_persistence=True,
+        seed=1234,
+    )
+
+
+@pytest.fixture
+def base_config() -> MachineConfig:
+    return MachineConfig()
+
+
+@pytest.fixture
+def sp_config() -> MachineConfig:
+    return MachineConfig().with_sp(256)
+
+
+def make_workload(abbrev: str, mode=PersistMode.LOG_P_SF, seed=42, **kwargs):
+    """Build a small instance of a registered workload."""
+    small = {
+        "GH": dict(n_vertices=16),
+        "HM": dict(initial_capacity=64),
+        "LL": dict(max_nodes=64),
+        "SS": dict(n_strings=8),
+        "AT": dict(key_space=128),
+        "BT": dict(key_space=128),
+        "RT": dict(key_space=128),
+    }
+    bench = Workbench(
+        mode=mode,
+        heap_size=1 << 22,
+        record=True,
+        track_persistence=True,
+        seed=seed,
+    )
+    params = {**small[abbrev], **kwargs}
+    return PAPER_SPECS[abbrev].factory(bench, **params)

@@ -1,0 +1,83 @@
+"""Pipeline ablation flags: bloom_enabled, coalesce_barrier_checkpoints."""
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+
+
+def barrier(addr):
+    return [
+        Instr(Op.STORE, addr),
+        Instr(Op.CLWB, addr),
+        Instr(Op.SFENCE),
+        Instr(Op.PCOMMIT),
+        Instr(Op.SFENCE),
+    ]
+
+
+def fenced_trace(n_ops=4, loads=12):
+    instrs = []
+    for i in range(n_ops):
+        instrs += barrier(0x10000 + i * 0x400)
+        instrs += [Instr(Op.LOAD, 0x80000 + (i * loads + j) * 64) for j in range(loads)]
+        instrs += [Instr(Op.ALU)] * 20
+    return Trace(instrs)
+
+
+BASE = MachineConfig()
+
+
+class TestBloomAblation:
+    def test_disabling_bloom_never_helps(self):
+        trace = fenced_trace()
+        with_bloom = simulate(trace, BASE.with_sp(256))
+        without = simulate(trace, BASE.with_sp(256, bloom_enabled=False))
+        assert with_bloom.cycles <= without.cycles
+
+    def test_no_bloom_queries_when_disabled(self):
+        trace = fenced_trace()
+        stats = simulate(trace, BASE.with_sp(256, bloom_enabled=False))
+        assert stats.bloom_queries == 0
+
+    def test_forwarding_still_works_without_bloom(self):
+        instrs = barrier(0x10000) + [Instr(Op.STORE, 0x20000), Instr(Op.LOAD, 0x20000)]
+        stats = simulate(Trace(instrs), BASE.with_sp(256, bloom_enabled=False))
+        assert stats.ssb_forwards >= 1
+
+
+class TestCheckpointCoalescingAblation:
+    def test_naive_mode_creates_more_epochs(self):
+        trace = fenced_trace(n_ops=6, loads=4)
+        coalesced = simulate(trace, BASE.with_sp(256))
+        naive = simulate(
+            trace, BASE.with_sp(256, coalesce_barrier_checkpoints=False)
+        )
+        assert naive.epochs_created > coalesced.epochs_created
+
+    def test_naive_mode_is_not_faster(self):
+        trace = fenced_trace(n_ops=6, loads=4)
+        coalesced = simulate(trace, BASE.with_sp(256))
+        naive = simulate(
+            trace, BASE.with_sp(256, coalesce_barrier_checkpoints=False)
+        )
+        assert coalesced.cycles <= naive.cycles
+
+    def test_naive_mode_without_sp_matches_semantics(self):
+        """With SP disabled the coalescing flag is timing-irrelevant: both
+        paths stall the same way (within the macro-op's width effects)."""
+        trace = fenced_trace(n_ops=3, loads=4)
+        a = simulate(trace, BASE)
+        from dataclasses import replace
+
+        b = simulate(trace, replace(BASE, coalesce_barrier_checkpoints=False))
+        assert abs(a.cycles - b.cycles) / a.cycles < 0.05
+
+    def test_naive_mode_machine_drains_cleanly(self):
+        from repro.uarch.pipeline import PipelineModel
+
+        model = PipelineModel(BASE.with_sp(256, coalesce_barrier_checkpoints=False))
+        model.run(fenced_trace(n_ops=6, loads=4))
+        assert not model.epochs.speculating
+        assert model.checkpoints.in_use == 0

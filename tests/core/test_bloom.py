@@ -1,0 +1,95 @@
+"""Bloom filter (repro.core.bloom)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import BloomFilter
+
+
+class TestBasics:
+    def test_empty_filter_misses(self):
+        bf = BloomFilter()
+        assert not bf.maybe_contains(0x1000)
+
+    def test_inserted_block_hits(self):
+        bf = BloomFilter()
+        bf.insert(0x1000)
+        assert bf.maybe_contains(0x1000)
+
+    def test_reset_clears_everything(self):
+        bf = BloomFilter()
+        for i in range(100):
+            bf.insert(0x1000 + i * 64)
+        bf.reset()
+        assert not bf.maybe_contains(0x1000)
+        assert bf.resets == 1
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(size_bytes=0)
+        with pytest.raises(ValueError):
+            BloomFilter(n_hashes=0)
+
+
+class TestNoFalseNegatives:
+    @given(
+        blocks=st.lists(
+            st.integers(min_value=0, max_value=1 << 40).map(lambda x: x & ~63),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_inserted_block_hits(self, blocks):
+        bf = BloomFilter(512, 2)
+        for block in blocks:
+            bf.insert(block)
+        for block in blocks:
+            assert bf.maybe_contains(block)
+
+
+class TestFalsePositives:
+    def test_false_positive_rate_is_low_when_sparse(self):
+        bf = BloomFilter(512, 2)
+        for i in range(20):
+            bf.insert(i * 64)
+        false_hits = sum(
+            bf.maybe_contains((1 << 30) + i * 64) for i in range(1000)
+        )
+        assert false_hits / 1000 < 0.05
+
+    def test_false_positive_rate_rises_when_full(self):
+        bf = BloomFilter(64, 2)  # deliberately tiny
+        for i in range(2000):
+            bf.insert(i * 64)
+        false_hits = sum(
+            bf.maybe_contains((1 << 30) + i * 64) for i in range(200)
+        )
+        assert false_hits / 200 > 0.5
+
+    def test_recorded_false_positives(self):
+        bf = BloomFilter()
+        bf.insert(0x40)
+        bf.maybe_contains(0x40)
+        bf.record_false_positive()
+        assert bf.false_positives == 1
+        assert bf.false_positive_rate == 1.0
+
+    def test_rate_zero_without_queries(self):
+        assert BloomFilter().false_positive_rate == 0.0
+
+
+class TestStats:
+    def test_counters(self):
+        bf = BloomFilter()
+        bf.insert(0x40)
+        bf.maybe_contains(0x40)
+        bf.maybe_contains(0x80)
+        assert bf.inserts == 1
+        assert bf.queries == 2
+        assert bf.hits >= 1
+
+    def test_occupancy_monotone(self):
+        bf = BloomFilter()
+        before = bf.occupancy
+        bf.insert(0x40)
+        assert bf.occupancy > before

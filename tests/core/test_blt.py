@@ -1,0 +1,38 @@
+"""Block Lookup Table (repro.core.blt)."""
+
+from repro.core.blt import BlockLookupTable
+
+
+class TestConflictDetection:
+    def test_recorded_block_conflicts(self):
+        blt = BlockLookupTable()
+        blt.record(0x1000)
+        assert blt.probe(0x1000)
+
+    def test_unrecorded_block_clean(self):
+        blt = BlockLookupTable()
+        blt.record(0x1000)
+        assert not blt.probe(0x2000)
+
+    def test_loads_and_stores_both_recorded(self):
+        # the BLT does not distinguish op kinds (paper keeps it simple)
+        blt = BlockLookupTable()
+        blt.record(0x1000)
+        blt.record(0x1000)
+        assert len(blt) == 1
+
+    def test_clear(self):
+        blt = BlockLookupTable()
+        blt.record(0x1000)
+        blt.clear()
+        assert not blt.probe(0x1000)
+        assert len(blt) == 0
+
+    def test_stats(self):
+        blt = BlockLookupTable()
+        blt.record(0x1000)
+        blt.probe(0x1000)
+        blt.probe(0x2000)
+        assert blt.records == 1
+        assert blt.probes == 2
+        assert blt.conflicts == 1

@@ -1,0 +1,77 @@
+"""Checkpoint buffer (repro.core.checkpoints)."""
+
+import pytest
+
+from repro.core.checkpoints import CheckpointBuffer
+
+
+class TestAcquireRelease:
+    def test_capacity_four_by_default(self):
+        assert CheckpointBuffer().capacity == 4
+
+    def test_acquire_returns_distinct_ids(self):
+        cb = CheckpointBuffer(4)
+        ids = [cb.acquire() for _ in range(4)]
+        assert len(set(ids)) == 4
+
+    def test_exhaustion_raises(self):
+        cb = CheckpointBuffer(2)
+        cb.acquire()
+        cb.acquire()
+        assert not cb.available
+        with pytest.raises(RuntimeError):
+            cb.acquire()
+
+    def test_release_makes_available(self):
+        cb = CheckpointBuffer(1)
+        cp = cb.acquire()
+        cb.release(cp)
+        assert cb.available
+        assert cb.acquire() == cp
+
+    def test_double_release_rejected(self):
+        cb = CheckpointBuffer(2)
+        cp = cb.acquire()
+        cb.release(cp)
+        with pytest.raises(ValueError):
+            cb.release(cp)
+
+    def test_release_unacquired_rejected(self):
+        cb = CheckpointBuffer(2)
+        with pytest.raises(ValueError):
+            cb.release(0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointBuffer(0)
+
+
+class TestBookkeeping:
+    def test_in_use_count(self):
+        cb = CheckpointBuffer(4)
+        cb.acquire()
+        cb.acquire()
+        assert cb.in_use == 2
+
+    def test_taken_at(self):
+        cb = CheckpointBuffer(4)
+        cp = cb.acquire(now=123)
+        assert cb.taken_at(cp) == 123
+        cb.release(cp)
+        assert cb.taken_at(cp) is None
+
+    def test_release_all(self):
+        cb = CheckpointBuffer(4)
+        for _ in range(4):
+            cb.acquire()
+        cb.release_all()
+        assert cb.in_use == 0
+        assert cb.available
+
+    def test_max_in_use(self):
+        cb = CheckpointBuffer(4)
+        a = cb.acquire()
+        b = cb.acquire()
+        cb.release(a)
+        cb.release(b)
+        assert cb.max_in_use == 2

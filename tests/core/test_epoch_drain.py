@@ -1,0 +1,83 @@
+"""Epoch drain scheduling details (repro.core.epochs)."""
+
+from repro.core.checkpoints import CheckpointBuffer
+from repro.core.epochs import EpochManager
+from repro.core.ssb import SpeculativeStoreBuffer
+from repro.uarch.config import MachineConfig
+from repro.uarch.memctrl import MemoryController
+
+
+def make(drain=1):
+    mgr = EpochManager(
+        CheckpointBuffer(4), SpeculativeStoreBuffer(256), drain_per_cycle=drain
+    )
+    mc = MemoryController(MachineConfig())
+    return mgr, mc, mc.writeback_ack
+
+
+class TestDrainBandwidth:
+    def test_wider_ports_drain_faster(self):
+        def drain_time(ports):
+            mgr, mc, ack = make(drain=ports)
+            epoch = mgr.begin_epoch(barrier_done=0, now=0)
+            for i in range(32):
+                mgr.buffer_store(0x40 * i)
+            return mgr.schedule_drain(epoch, ended_at=10, memctrl=mc, ack=ack)
+
+        assert drain_time(4) < drain_time(1)
+
+    def test_drain_rounds_up(self):
+        mgr, mc, ack = make(drain=4)
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        for i in range(5):  # 5 stores at 4/cycle -> 2 cycles
+            mgr.buffer_store(0x40 * i)
+        done = mgr.schedule_drain(epoch, ended_at=100, memctrl=mc, ack=ack)
+        assert done >= 102
+
+    def test_empty_epoch_drains_instantly(self):
+        mgr, mc, ack = make()
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        done = mgr.schedule_drain(epoch, ended_at=50, memctrl=mc, ack=ack)
+        assert done == 50
+
+    def test_zero_drain_rate_clamped(self):
+        mgr = EpochManager(
+            CheckpointBuffer(4), SpeculativeStoreBuffer(256), drain_per_cycle=0
+        )
+        assert mgr.drain_per_cycle == 1
+
+
+class TestFlushReplay:
+    def test_flush_acks_bound_the_drain(self):
+        mgr, mc, ack = make()
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        for i in range(4):
+            mgr.buffer_flush(0x40 * i)
+        done = mgr.schedule_drain(epoch, ended_at=100, memctrl=mc, ack=ack)
+        # each replayed clwb enqueues a writeback; the last ack dominates
+        assert done > 100 + 4
+        assert mc.writes == 4
+
+    def test_pcommit_follows_flush_acks(self):
+        mgr, mc, ack = make()
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        mgr.buffer_flush(0x40)
+        end = mgr.schedule_end(epoch, ended_at=100, memctrl=mc, ack=ack)
+        assert end > epoch.drain_done
+        assert mc.pcommits == 1
+
+
+class TestBarrierDoneGating:
+    def test_drain_cannot_start_before_barrier(self):
+        mgr, mc, ack = make()
+        epoch = mgr.begin_epoch(barrier_done=5000, now=0)
+        mgr.buffer_store(0x40)
+        done = mgr.schedule_drain(epoch, ended_at=100, memctrl=mc, ack=ack)
+        assert done >= 5000
+
+    def test_late_end_pushes_drain(self):
+        mgr, mc, ack = make()
+        epoch = mgr.begin_epoch(barrier_done=10, now=0)
+        mgr.buffer_store(0x40)
+        done = mgr.schedule_drain(epoch, ended_at=9000, memctrl=mc, ack=ack)
+        assert done >= 9000

@@ -1,0 +1,161 @@
+"""Epoch manager and commit scheduling (repro.core.epochs)."""
+
+import pytest
+
+from repro.core.checkpoints import CheckpointBuffer
+from repro.core.epochs import EpochManager
+from repro.core.ssb import SpeculativeStoreBuffer, SSBOp
+from repro.uarch.config import MachineConfig
+from repro.uarch.memctrl import MemoryController
+
+
+def make_manager(checkpoints=4, ssb=256, drain=4):
+    cb = CheckpointBuffer(checkpoints)
+    buf = SpeculativeStoreBuffer(ssb)
+    return EpochManager(cb, buf, drain_per_cycle=drain), cb, buf
+
+
+def make_mc():
+    mc = MemoryController(MachineConfig())
+    return mc, mc.writeback_ack
+
+
+class TestLifecycle:
+    def test_not_speculating_initially(self):
+        mgr, _, _ = make_manager()
+        assert not mgr.speculating
+        assert mgr.current is None
+        assert mgr.oldest is None
+
+    def test_begin_epoch_takes_checkpoint(self):
+        mgr, cb, _ = make_manager()
+        epoch = mgr.begin_epoch(barrier_done=500, now=10)
+        assert mgr.speculating
+        assert cb.in_use == 1
+        assert epoch.barrier_done == 500
+
+    def test_child_epochs_ordered(self):
+        mgr, _, _ = make_manager()
+        first = mgr.begin_epoch(100, 0)
+        second = mgr.begin_epoch(200, 50)
+        assert mgr.oldest is first
+        assert mgr.current is second
+        assert mgr.max_active == 2
+
+    def test_commit_oldest_frees_resources(self):
+        mgr, cb, buf = make_manager()
+        epoch = mgr.begin_epoch(100, 0)
+        mgr.buffer_store(0x40)
+        mgr.commit_oldest()
+        assert not mgr.speculating
+        assert cb.in_use == 0
+        assert len(buf) == 0
+        del epoch
+
+
+class TestBuffering:
+    def test_buffer_store_goes_to_current_epoch(self):
+        mgr, _, buf = make_manager()
+        mgr.begin_epoch(100, 0)
+        mgr.buffer_store(0x40)
+        assert mgr.current.n_stores == 1
+        assert buf.holds_store(0x40)
+
+    def test_buffer_flush_kinds(self):
+        mgr, _, buf = make_manager()
+        mgr.begin_epoch(100, 0)
+        mgr.buffer_flush(0x40)
+        mgr.buffer_flush(0x80, invalidate=True)
+        ops = [e.op for e in buf.entries()]
+        assert ops == [SSBOp.CLWB, SSBOp.CLFLUSHOPT]
+        assert mgr.current.n_flushes == 2
+
+    def test_buffer_barrier_special_opcode(self):
+        mgr, _, buf = make_manager()
+        mgr.begin_epoch(100, 0)
+        mgr.buffer_barrier()
+        assert buf.entries()[0].op is SSBOp.BARRIER
+        assert mgr.current.n_pcommits == 1
+
+
+class TestScheduling:
+    def test_drain_after_barrier_done(self):
+        mgr, _, _ = make_manager()
+        mc, ack = make_mc()
+        epoch = mgr.begin_epoch(barrier_done=1000, now=0)
+        for i in range(8):
+            mgr.buffer_store(0x40 * i)
+        drain_done = mgr.schedule_drain(epoch, ended_at=50, memctrl=mc, ack=ack)
+        assert epoch.ended
+        assert drain_done >= 1000  # cannot drain before the barrier acks
+
+    def test_drain_accounts_store_bandwidth(self):
+        mgr, _, _ = make_manager(drain=1)
+        mc, ack = make_mc()
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        for i in range(20):
+            mgr.buffer_store(0x40 * i)
+        drain_done = mgr.schedule_drain(epoch, ended_at=100, memctrl=mc, ack=ack)
+        assert drain_done >= 100 + 20
+
+    def test_flushes_extend_drain(self):
+        mgr, _, _ = make_manager()
+        mc, ack = make_mc()
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        mgr.buffer_flush(0x40)
+        drain_done = mgr.schedule_drain(epoch, ended_at=100, memctrl=mc, ack=ack)
+        # the flush's writeback acknowledgement bounds the drain
+        assert drain_done > 100
+
+    def test_schedule_end_issues_pcommit(self):
+        mgr, _, _ = make_manager()
+        mc, ack = make_mc()
+        epoch = mgr.begin_epoch(barrier_done=0, now=0)
+        mgr.buffer_flush(0x40)
+        done = mgr.schedule_end(epoch, ended_at=100, memctrl=mc, ack=ack)
+        assert done == epoch.next_barrier_done
+        assert done > epoch.drain_done
+        assert mc.pcommits == 1
+
+    def test_sequential_epochs_serialise(self):
+        mgr, _, _ = make_manager()
+        mc, ack = make_mc()
+        first = mgr.begin_epoch(barrier_done=500, now=0)
+        mgr.buffer_store(0x40)
+        first_done = mgr.schedule_end(first, ended_at=100, memctrl=mc, ack=ack)
+        second = mgr.begin_epoch(barrier_done=first_done, now=150)
+        mgr.buffer_store(0x80)
+        second_done = mgr.schedule_end(second, ended_at=200, memctrl=mc, ack=ack)
+        assert second_done > first_done
+
+
+class TestRollback:
+    def test_rollback_discards_all_epochs(self):
+        mgr, cb, buf = make_manager()
+        mgr.begin_epoch(100, 0)
+        mgr.buffer_store(0x40)
+        mgr.begin_epoch(200, 50)
+        mgr.buffer_store(0x80)
+        discarded = mgr.rollback()
+        assert len(discarded) == 2
+        assert not mgr.speculating
+        assert cb.in_use == 0
+        assert len(buf) == 0
+        assert mgr.rollbacks == 1
+
+    def test_rollback_returns_oldest_first(self):
+        mgr, _, _ = make_manager()
+        a = mgr.begin_epoch(100, 0)
+        b = mgr.begin_epoch(200, 50)
+        discarded = mgr.rollback()
+        assert discarded == [a, b]
+
+
+class TestExhaustion:
+    def test_checkpoint_exhaustion_guard(self):
+        mgr, cb, _ = make_manager(checkpoints=2)
+        mgr.begin_epoch(100, 0)
+        mgr.begin_epoch(200, 0)
+        assert not cb.available
+        with pytest.raises(RuntimeError):
+            mgr.begin_epoch(300, 0)

@@ -1,0 +1,127 @@
+"""Rollback re-execution on coherence conflicts (paper §4.2.2).
+
+External coherence probes are scheduled at trace positions; a BLT hit
+aborts speculation and execution resumes from the oldest checkpoint —
+re-running the squashed instructions, as real hardware would.
+"""
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel
+
+SP = MachineConfig().with_sp(256)
+
+
+def barrier(addr):
+    return [
+        Instr(Op.STORE, addr),
+        Instr(Op.CLWB, addr),
+        Instr(Op.SFENCE),
+        Instr(Op.PCOMMIT),
+        Instr(Op.SFENCE),
+    ]
+
+
+def spec_trace():
+    instrs = barrier(0x10000)
+    instrs += [Instr(Op.STORE, 0x20000)]
+    instrs += [Instr(Op.LOAD, 0x30000 + i * 64) for i in range(10)]
+    instrs += [Instr(Op.ALU)] * 20
+    return Trace(instrs)
+
+
+class TestConflictRollback:
+    def test_conflicting_probe_triggers_rollback(self):
+        model = PipelineModel(SP)
+        # probe the speculatively-written block while speculation is live
+        model.schedule_probe(8, 0x20000)
+        stats = model.run(spec_trace())
+        assert stats.rollbacks == 1
+        assert not model.epochs.speculating
+        assert len(model.ssb) == 0
+        assert model.checkpoints.in_use == 0
+
+    def test_rollback_reexecutes_instructions(self):
+        trace = spec_trace()
+        clean = PipelineModel(SP).run(trace)
+        model = PipelineModel(SP)
+        model.schedule_probe(8, 0x20000)
+        squashed = model.run(trace)
+        assert squashed.instructions > clean.instructions
+        assert squashed.cycles >= clean.cycles
+
+    def test_rollback_completes_functionally(self):
+        model = PipelineModel(SP)
+        model.schedule_probe(8, 0x20000)
+        trace = spec_trace()
+        stats = model.run(trace)
+        # every instruction eventually retires (some twice)
+        assert stats.instructions >= len(trace)
+
+    def test_non_conflicting_probe_is_free(self):
+        trace = spec_trace()
+        clean = PipelineModel(SP).run(trace)
+        model = PipelineModel(SP)
+        model.schedule_probe(8, 0x999000)
+        probed = model.run(trace)
+        assert probed.rollbacks == 0
+        assert probed.cycles == clean.cycles
+
+    def test_probe_outside_speculation_is_free(self):
+        model = PipelineModel(SP)
+        model.schedule_probe(2, 0x30000)
+        stats = model.run(Trace([Instr(Op.ALU)] * 10))
+        assert stats.rollbacks == 0
+
+    def test_probe_against_speculative_load_conflicts(self):
+        """The BLT records speculative *loads* too (reading stale data
+        after an external write would be incoherent)."""
+        # a heavy barrier (many queued writebacks) keeps speculation alive
+        # long enough for the loads to run inside it
+        instrs = []
+        for i in range(8):
+            instrs += [Instr(Op.STORE, 0x10000 + i * 64), Instr(Op.CLWB, 0x10000 + i * 64)]
+        instrs += [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+        load_index = len(instrs)
+        instrs += [Instr(Op.LOAD, 0x30000, meta="bulk")]
+        instrs += [Instr(Op.ALU)] * 10
+        model = PipelineModel(SP)
+        model.schedule_probe(load_index + 1, 0x30000)
+        stats = model.run(Trace(instrs))
+        assert stats.rollbacks == 1
+
+    def test_multiple_probes_single_rollback(self):
+        model = PipelineModel(SP)
+        model.schedule_probe(8, 0x20000)
+        model.schedule_probe(8, 0x30000)
+        stats = model.run(spec_trace())
+        assert stats.rollbacks == 1  # one abort covers both conflicts
+
+
+class TestRollbackThenResume:
+    def test_speculation_can_restart_after_rollback(self):
+        instrs = []
+        for i in range(4):
+            instrs += barrier(0x10000 + i * 0x400)
+            instrs += [Instr(Op.STORE, 0x20000 + i * 64)]
+            instrs += [Instr(Op.ALU)] * 30
+        model = PipelineModel(SP)
+        model.schedule_probe(6, 0x20000)
+        stats = model.run(Trace(instrs))
+        assert stats.rollbacks == 1
+        assert stats.sp_entries >= 2  # re-entered speculation afterwards
+        assert not model.epochs.speculating
+
+    def test_rollback_penalty_charged(self):
+        from dataclasses import replace
+
+        trace = spec_trace()
+        cheap_cfg = SP
+        costly_cfg = replace(SP, rollback_penalty=500)
+        cheap = PipelineModel(cheap_cfg)
+        cheap.schedule_probe(8, 0x20000)
+        costly = PipelineModel(costly_cfg)
+        costly.schedule_probe(8, 0x20000)
+        assert costly.run(trace).cycles > cheap.run(trace).cycles

@@ -1,0 +1,102 @@
+"""Speculative Store Buffer (repro.core.ssb)."""
+
+import pytest
+
+from repro.core.ssb import SpeculativeStoreBuffer, SSBFullError, SSBOp
+
+
+class TestCapacityAndLatency:
+    def test_latency_from_table3(self):
+        assert SpeculativeStoreBuffer(32).latency == 2
+        assert SpeculativeStoreBuffer(256).latency == 5
+        assert SpeculativeStoreBuffer(1024).latency == 10
+
+    def test_overflow_raises(self):
+        ssb = SpeculativeStoreBuffer(32)
+        for i in range(32):
+            ssb.append(SSBOp.STORE, i * 64, 0)
+        with pytest.raises(SSBFullError):
+            ssb.append(SSBOp.STORE, 0x9000, 0)
+
+    def test_free_slots(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        assert ssb.free_slots == 31
+
+
+class TestForwarding:
+    def test_holds_store(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        assert ssb.holds_store(0x40)
+        assert not ssb.holds_store(0x80)
+
+    def test_pmem_entries_do_not_forward(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.CLWB, 0x40, 0)
+        assert not ssb.holds_store(0x40)
+
+    def test_duplicate_blocks_counted(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        ssb.pop_epoch(0)
+        assert not ssb.holds_store(0x40)
+
+    def test_forward_stats(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        ssb.holds_store(0x40)
+        ssb.holds_store(0x80)
+        assert ssb.lookups == 2
+        assert ssb.forwards == 1
+
+
+class TestEpochDrain:
+    def test_pop_epoch_returns_in_order(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        ssb.append(SSBOp.CLWB, 0x40, 0)
+        ssb.append(SSBOp.BARRIER, 0, 0)
+        ssb.append(SSBOp.STORE, 0x80, 1)
+        drained = ssb.pop_epoch(0)
+        assert [e.op for e in drained] == [SSBOp.STORE, SSBOp.CLWB, SSBOp.BARRIER]
+        assert len(ssb) == 1
+
+    def test_pop_epoch_clears_forwarding(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        ssb.pop_epoch(0)
+        assert not ssb.holds_store(0x40)
+
+    def test_younger_epoch_still_forwards(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 0)
+        ssb.append(SSBOp.STORE, 0x40, 1)
+        ssb.pop_epoch(0)
+        assert ssb.holds_store(0x40)
+
+    def test_non_contiguous_epoch_rejected(self):
+        ssb = SpeculativeStoreBuffer(32)
+        ssb.append(SSBOp.STORE, 0x40, 1)  # epoch 1 split around epoch 0:
+        ssb.append(SSBOp.STORE, 0x80, 0)  # a sequencing bug the SSB must
+        ssb.append(SSBOp.STORE, 0xC0, 1)  # refuse to drain silently
+        with pytest.raises(RuntimeError):
+            ssb.pop_epoch(1)
+
+
+class TestFlush:
+    def test_flush_discards_everything(self):
+        ssb = SpeculativeStoreBuffer(32)
+        for i in range(10):
+            ssb.append(SSBOp.STORE, i * 64, 0)
+        ssb.flush()
+        assert len(ssb) == 0
+        assert not ssb.holds_store(0)
+
+    def test_max_occupancy_tracked(self):
+        ssb = SpeculativeStoreBuffer(32)
+        for i in range(12):
+            ssb.append(SSBOp.STORE, i * 64, 0)
+        ssb.flush()
+        assert ssb.max_occupancy == 12

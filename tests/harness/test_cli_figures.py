@@ -1,0 +1,31 @@
+"""CLI figure commands across every figure number (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("number", [8, 9, 10, 11, 12, 14])
+def test_each_figure_renders(number, capsys):
+    assert main(["figure", str(number), "--benchmarks", "LL"]) == 0
+    out = capsys.readouterr().out
+    assert f"Figure {number}" in out
+    assert "LL" in out
+
+
+def test_figure_13_renders(capsys):
+    assert main(["figure", "13", "--benchmarks", "LL"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 13" in out
+    for size in (32, 64, 128, 256, 512, 1024):
+        assert f"SSB{size}" in out
+
+
+def test_figures_share_the_trace_cache(capsys):
+    """Two figure invocations in one process reuse cached runs — the
+    second must not change the first's numbers."""
+    main(["figure", "11", "--benchmarks", "LL"])
+    first = capsys.readouterr().out
+    main(["figure", "11", "--benchmarks", "LL"])
+    second = capsys.readouterr().out
+    assert first == second

@@ -1,0 +1,84 @@
+"""Figure-runner structure and renderer tests (repro.harness.figures).
+
+Run on a 2-benchmark subset so they stay fast; the full-suite shape
+assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness.figures import (
+    GEOMEAN,
+    fig8_overheads,
+    fig9_instruction_counts,
+    fig11_inflight_pcommits,
+    fig12_stores_per_pcommit,
+    fig13_ssb_sweep,
+    fig14_bloom_fp,
+    headline_claim,
+    render_bar_table,
+    render_scalar_series,
+)
+
+SUBSET = ["LL", "AT"]
+
+
+class TestFigureStructures:
+    def test_fig8_structure(self):
+        data = fig8_overheads(SUBSET)
+        assert set(data) == {"Log", "Log+P", "Log+P+Sf", "SP256"}
+        for row in data.values():
+            assert set(row) == {"LL", "AT", GEOMEAN}
+
+    def test_fig9_structure(self):
+        data = fig9_instruction_counts(SUBSET)
+        assert set(data) == {"Log", "Log+P", "Log+P+Sf"}
+        for row in data.values():
+            assert all(ratio >= 1.0 for ratio in row.values())
+
+    def test_fig11_values_positive(self):
+        data = fig11_inflight_pcommits(SUBSET)
+        assert all(v >= 1 for v in data.values())
+
+    def test_fig12_values_positive(self):
+        data = fig12_stores_per_pcommit(SUBSET)
+        assert all(v > 0 for v in data.values())
+
+    def test_fig13_subset_of_sizes(self):
+        data = fig13_ssb_sweep(SUBSET, sizes=[64, 256])
+        assert set(data) == {64, 256}
+
+    def test_fig14_rates_in_unit_interval(self):
+        data = fig14_bloom_fp(SUBSET)
+        assert all(0.0 <= v <= 1.0 for v in data.values())
+
+    def test_headline_keys(self):
+        data = headline_claim(SUBSET)
+        assert set(data) == {"fence_overhead_vs_logp", "sp_overhead_vs_logp"}
+        assert data["sp_overhead_vs_logp"] < data["fence_overhead_vs_logp"]
+
+
+class TestRenderers:
+    def test_bar_table_alignment(self):
+        text = render_bar_table(
+            "T", {"A": {"x": 0.5, "y": 0.25}}, columns=["x", "y"]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "+50.0%" in lines[-1]
+
+    def test_bar_table_missing_cell(self):
+        text = render_bar_table("T", {"A": {"x": 0.5}}, columns=["x", "z"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_bar_table_custom_format(self):
+        text = render_bar_table("T", {"A": {"x": 1.5}}, fmt="{:7.2f}", columns=["x"])
+        assert "1.50" in text
+
+    def test_scalar_series(self):
+        text = render_scalar_series("S", {"LL": 1.25}, fmt="{:8.2f}")
+        assert "LL" in text and "1.25" in text
+
+
+class TestFigureDeterminism:
+    def test_fig8_repeatable(self):
+        assert fig8_overheads(["LL"]) == fig8_overheads(["LL"])

@@ -1,0 +1,59 @@
+"""Table renderers (repro.harness.tables)."""
+
+from repro.harness.tables import table1_text, table2_text, table3_text
+from repro.uarch.config import MachineConfig
+
+
+class TestTable1:
+    def test_all_benchmarks_listed(self):
+        text = table1_text()
+        for ab in ("GH", "HM", "LL", "SS", "AT", "BT", "RT"):
+            assert ab in text
+
+    def test_paper_counts_present(self):
+        text = table1_text()
+        assert "2,600,000" in text  # Graph init ops
+        assert "500,000" in text    # String Swap sim ops
+
+    def test_linked_list_cap_documented(self):
+        assert "Linked-List" in table1_text()
+
+
+class TestTable2:
+    def test_core_row(self):
+        text = table2_text()
+        assert "2.1GHz" in text
+        assert "4-wide" in text
+        assert "ROB: 128" in text
+        assert "48/48/48" in text
+
+    def test_cache_rows(self):
+        text = table2_text()
+        assert "32KB, 8-way" in text
+        assert "256KB, 8-way" in text
+        assert "2MB, 16-way" in text
+
+    def test_nvmm_row(self):
+        text = table2_text()
+        assert "50ns read" in text
+        assert "150ns write" in text
+
+    def test_checkpoint_row(self):
+        assert "4 entries" in table2_text()
+
+    def test_respects_custom_config(self):
+        from dataclasses import replace
+
+        config = replace(MachineConfig(), rob_entries=256)
+        assert "ROB: 256" in table2_text(config)
+
+
+class TestTable3:
+    def test_all_sizes(self):
+        text = table3_text()
+        for size in (32, 64, 128, 256, 512, 1024):
+            assert str(size) in text
+
+    def test_latencies(self):
+        lines = table3_text().splitlines()
+        assert lines[-1].split()[-1] == "10"  # 1024-entry latency

@@ -1,0 +1,94 @@
+"""Whole-stack smoke paths: workload -> domain -> trace -> pipeline -> stats.
+
+These tests exercise the flows a downstream user of the library actually
+runs: build a structure, verify it survives crashes, time it on both
+machines, and export the results.
+"""
+
+import sys
+
+import pytest
+
+from repro.isa.serialize import dump_trace, load_trace
+from repro.pmem.crash import CrashTester
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestUserJourney:
+    """The README quickstart, as a test."""
+
+    def test_full_flow(self, tmp_path):
+        # 1. build and exercise a failure-safe structure
+        workload = make_workload("BT", seed=100)
+        workload.populate(60)
+        workload.run(10)
+        assert workload.check_invariants() is None
+
+        # 2. prove it survives crashes
+        keys = iter(range(10000))
+        tester = CrashTester(
+            workload.bench.domain,
+            lambda: workload.operation(next(keys) % workload._key_space),
+            workload.recover,
+            workload.check_invariants,
+            seed=1,
+        )
+        tester.sweep(max_points=8)
+        assert tester.all_consistent
+
+    def test_time_and_export(self, tmp_path):
+        workload = make_workload("BT", seed=100)
+        workload.populate(60)
+        workload.run(10)
+        trace = workload.bench.trace
+
+        # 3. time it with and without SP, persisting the trace on the way
+        path = tmp_path / "bt.trace"
+        dump_trace(trace, path)
+        reloaded = load_trace(path)
+        machine = MachineConfig()
+        stall = simulate(reloaded, machine)
+        sp = simulate(reloaded, machine.with_sp(256))
+        assert sp.cycles <= stall.cycles
+
+        # 4. export the stats
+        exported = sp.as_dict()
+        assert exported["cycles"] == sp.cycles
+        assert exported["ipc"] > 0
+
+
+class TestVariantsShareFunctionalBehaviour:
+    """One seed, four persistence variants, one final structure."""
+
+    @pytest.mark.parametrize("ab", ["LL", "HM", "AT"])
+    def test_contents_identical_across_variants(self, ab):
+        snapshots = []
+        for mode in PersistMode:
+            workload = make_workload(ab, mode=mode, seed=321)
+            workload.populate(50)
+            workload.run(20)
+            snapshots.append(sorted(workload.items()))
+        assert all(s == snapshots[0] for s in snapshots)
+
+
+class TestCrashDuringTimedRun:
+    """Interleaving timing-trace capture with crash recovery must not
+    corrupt either view."""
+
+    def test_trace_capture_then_crash_then_more_ops(self):
+        workload = make_workload("LL", seed=55)
+        workload.populate(40)
+        workload.run(5)
+        pre_crash_trace_len = len(workload.bench.trace)
+        workload.bench.domain.crash()
+        workload.recover()
+        assert workload.check_invariants() is None
+        workload.run(5)
+        assert len(workload.bench.trace) > pre_crash_trace_len
+        stats = simulate(workload.bench.trace, MachineConfig())
+        assert stats.cycles > 0

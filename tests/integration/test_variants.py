@@ -1,0 +1,112 @@
+"""Cross-module integration: the paper's core performance ordering.
+
+These tests run small but complete experiments (workload -> trace ->
+pipeline) and assert the *qualitative* results the paper reports.  They are
+the repository's ground truth that the reproduction reproduces.
+"""
+
+import sys
+
+import pytest
+
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+from repro.workloads.registry import WORKLOADS
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+BASE_CFG = MachineConfig()
+SP_CFG = BASE_CFG.with_sp(256)
+
+
+def traces_for(ab, n_init=80, n_ops=12, seed=17):
+    traces = {}
+    for mode in PersistMode:
+        workload = make_workload(ab, mode=mode, seed=seed)
+        workload.populate(n_init)
+        workload.run(n_ops)
+        traces[mode] = workload.bench.trace
+    return traces
+
+
+@pytest.fixture(scope="module")
+def all_traces():
+    return {ab: traces_for(ab) for ab in WORKLOADS}
+
+
+@pytest.mark.parametrize("ab", WORKLOADS)
+class TestVariantOrdering:
+    def test_logging_adds_cycles(self, ab, all_traces):
+        traces = all_traces[ab]
+        base = simulate(traces[PersistMode.BASE], BASE_CFG)
+        log = simulate(traces[PersistMode.LOG], BASE_CFG)
+        # 2% tolerance: on tiny test instances the undo-log's streaming
+        # reads can act as a prefetch for the mutation, slightly beating
+        # the un-logged run.
+        assert log.cycles >= base.cycles * 0.98
+
+    def test_fences_are_the_bottleneck(self, ab, all_traces):
+        """Log+P+Sf must be clearly slower than Log+P (paper §6.1)."""
+        traces = all_traces[ab]
+        logp = simulate(traces[PersistMode.LOG_P], BASE_CFG)
+        logpsf = simulate(traces[PersistMode.LOG_P_SF], BASE_CFG)
+        assert logpsf.cycles > logp.cycles
+
+    def test_sp_recovers_fence_overhead(self, ab, all_traces):
+        """SP on the fenced trace beats stalling on the fenced trace."""
+        traces = all_traces[ab]
+        stall = simulate(traces[PersistMode.LOG_P_SF], BASE_CFG)
+        sp = simulate(traces[PersistMode.LOG_P_SF], SP_CFG)
+        assert sp.cycles < stall.cycles
+
+    def test_sp_close_to_logp(self, ab, all_traces):
+        """SP's whole point: the fenced, failure-safe code runs within a
+        modest factor of the unordered Log+P upper bound."""
+        traces = all_traces[ab]
+        logp = simulate(traces[PersistMode.LOG_P], BASE_CFG)
+        sp = simulate(traces[PersistMode.LOG_P_SF], SP_CFG)
+        stall = simulate(traces[PersistMode.LOG_P_SF], BASE_CFG)
+        # SP recovers at least a third of the fence-stall penalty
+        assert stall.cycles - sp.cycles > (stall.cycles - logp.cycles) / 3
+
+
+@pytest.mark.parametrize("ab", WORKLOADS)
+class TestInstructionCounts:
+    def test_logging_dominates_instruction_growth(self, ab, all_traces):
+        """Figure 9: the logging code is the primary contributor to the
+        instruction-count increase; PMEM instructions add little and
+        sfences are negligible."""
+        traces = all_traces[ab]
+        base = len(traces[PersistMode.BASE])
+        log = len(traces[PersistMode.LOG])
+        logp = len(traces[PersistMode.LOG_P])
+        logpsf = len(traces[PersistMode.LOG_P_SF])
+        log_delta = log - base
+        pmem_delta = logp - log
+        fence_delta = logpsf - logp
+        assert log_delta >= pmem_delta >= fence_delta
+
+
+class TestFetchStalls:
+    def test_fences_inflate_fetch_stalls(self, all_traces):
+        """Figure 10's mechanism on at least one barrier-bound workload."""
+        inflated = 0
+        for ab in WORKLOADS:
+            traces = all_traces[ab]
+            logp = simulate(traces[PersistMode.LOG_P], BASE_CFG)
+            logpsf = simulate(traces[PersistMode.LOG_P_SF], BASE_CFG)
+            if logpsf.fetch_stall_cycles > logp.fetch_stall_cycles:
+                inflated += 1
+        assert inflated >= 4  # most benchmarks show the effect
+
+    def test_sp_removes_fetch_stalls(self, all_traces):
+        removed = 0
+        for ab in WORKLOADS:
+            traces = all_traces[ab]
+            stall = simulate(traces[PersistMode.LOG_P_SF], BASE_CFG)
+            sp = simulate(traces[PersistMode.LOG_P_SF], SP_CFG)
+            if sp.fetch_stall_cycles < stall.fetch_stall_cycles:
+                removed += 1
+        assert removed >= 4

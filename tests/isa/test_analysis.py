@@ -1,0 +1,94 @@
+"""Trace characterisation helpers (repro.isa.analysis)."""
+
+import sys
+
+from repro.isa.analysis import barrier_distances, characterise, persist_clusters
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+def barrier():
+    return [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+
+
+def wal_like_trace():
+    instrs = []
+    for step in range(4):
+        instrs += [Instr(Op.ALU)] * 30
+        instrs += [Instr(Op.CLWB, 0x1000 + i * 64) for i in range(3)]
+        instrs += barrier()
+    return Trace(instrs)
+
+
+class TestClusters:
+    def test_wal_steps_form_four_clusters(self):
+        clusters = persist_clusters(wal_like_trace())
+        assert len(clusters) == 4
+        for cluster in clusters:
+            assert cluster.persist_ops == 4  # 3 clwb + 1 pcommit
+            assert cluster.fences == 2
+            assert cluster.pcommits == 1
+
+    def test_gap_merges_nearby_clusters(self):
+        clusters = persist_clusters(wal_like_trace(), gap=100)
+        assert len(clusters) == 1
+
+    def test_isolated_ops_are_singleton_clusters(self):
+        trace = Trace(
+            [Instr(Op.CLWB, 0x40)] + [Instr(Op.ALU)] * 50 + [Instr(Op.CLWB, 0x80)]
+        )
+        clusters = persist_clusters(trace)
+        assert len(clusters) == 2
+        assert all(c.span == 1 for c in clusters)
+
+    def test_empty_trace(self):
+        assert persist_clusters(Trace()) == []
+
+    def test_cluster_span(self):
+        clusters = persist_clusters(wal_like_trace())
+        assert all(c.span == 6 for c in clusters)  # 3 clwb + sfence,pcommit,sfence
+
+
+class TestBarrierDistances:
+    def test_distances_between_pcommits(self):
+        distances = barrier_distances(wal_like_trace())
+        assert len(distances) == 3
+        assert all(d == 36 for d in distances)  # 30 ALU + 3 clwb + 3 barrier ops
+
+    def test_no_pcommits(self):
+        assert barrier_distances(Trace([Instr(Op.ALU)] * 10)) == []
+
+
+class TestCharacterise:
+    def test_summary_counts(self):
+        summary = characterise(wal_like_trace())
+        assert summary.clusters == 4
+        assert summary.pcommits == 4
+        assert summary.fences == 8
+        assert summary.persist_ops == 16
+
+    def test_clustered_fraction_high_for_wal(self):
+        summary = characterise(wal_like_trace())
+        assert summary.clustered_fraction == 1.0
+
+    def test_sparse_trace_low_clustering(self):
+        instrs = []
+        for i in range(6):
+            instrs += [Instr(Op.ALU)] * 40 + [Instr(Op.CLWB, 0x40 * i)]
+        summary = characterise(Trace(instrs))
+        assert summary.clustered_fraction == 0.0
+
+    def test_real_workload_is_clustered(self):
+        """The paper's observation holds on our actual benchmarks: most
+        persistency/fence instructions sit in multi-instruction clusters."""
+        workload = make_workload("LL", seed=5)
+        workload.populate(40)
+        workload.run(10)
+        summary = characterise(workload.bench.trace)
+        assert summary.clusters >= 10
+        assert summary.clustered_fraction > 0.9
+        assert summary.mean_cluster_size >= 3

@@ -1,0 +1,62 @@
+"""Instr micro-op records (repro.isa.instr)."""
+
+import pytest
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+
+
+class TestConstruction:
+    def test_defaults(self):
+        instr = Instr(Op.ALU)
+        assert instr.op is Op.ALU
+        assert instr.addr == 0
+        assert instr.size == 8
+        assert instr.meta is None
+
+    def test_memory_op_keeps_address(self):
+        instr = Instr(Op.LOAD, 0x1234)
+        assert instr.addr == 0x1234
+
+    def test_negative_address_rejected_for_memory_ops(self):
+        with pytest.raises(ValueError):
+            Instr(Op.STORE, -8)
+
+    def test_meta_annotation(self):
+        instr = Instr(Op.STORE, 0x40, meta="log")
+        assert instr.meta == "log"
+
+
+class TestBlockComputation:
+    def test_aligned_address(self):
+        assert Instr(Op.LOAD, 0x1000).block() == 0x1000
+
+    def test_unaligned_address_rounds_down(self):
+        assert Instr(Op.LOAD, 0x1038).block() == 0x1000
+
+    def test_custom_block_size(self):
+        assert Instr(Op.LOAD, 0x1038).block(block_size=16) == 0x1030
+
+
+class TestMemoryPredicate:
+    @pytest.mark.parametrize("op", [Op.LOAD, Op.STORE, Op.CLWB, Op.CLFLUSHOPT])
+    def test_memory_ops(self, op):
+        assert Instr(op, 0x40).is_memory()
+
+    @pytest.mark.parametrize("op", [Op.ALU, Op.BRANCH, Op.SFENCE, Op.PCOMMIT])
+    def test_non_memory_ops(self, op):
+        assert not Instr(op).is_memory()
+
+
+class TestEquality:
+    def test_equal_instrs(self):
+        assert Instr(Op.LOAD, 0x40) == Instr(Op.LOAD, 0x40)
+
+    def test_meta_does_not_affect_equality(self):
+        assert Instr(Op.LOAD, 0x40, meta="a") == Instr(Op.LOAD, 0x40, meta="b")
+
+    def test_different_addresses(self):
+        assert Instr(Op.LOAD, 0x40) != Instr(Op.LOAD, 0x80)
+
+    def test_hashable(self):
+        assert len({Instr(Op.LOAD, 0x40), Instr(Op.LOAD, 0x40)}) == 1

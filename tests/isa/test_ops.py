@@ -1,0 +1,83 @@
+"""Opcode classification (repro.isa.ops)."""
+
+import pytest
+
+from repro.isa.ops import (
+    Op,
+    FENCE_OPS,
+    FLUSH_OPS,
+    MEMORY_OPS,
+    ORDERING_OPS,
+    PMEM_OPS,
+    is_fence,
+    is_flush,
+    is_pmem,
+    is_speculation_boundary,
+)
+
+
+class TestFenceClassification:
+    def test_sfence_is_fence(self):
+        assert is_fence(Op.SFENCE)
+
+    def test_mfence_is_fence(self):
+        assert is_fence(Op.MFENCE)
+
+    @pytest.mark.parametrize("op", [Op.ALU, Op.LOAD, Op.STORE, Op.PCOMMIT, Op.CLWB])
+    def test_non_fences(self, op):
+        assert not is_fence(op)
+
+
+class TestFlushClassification:
+    @pytest.mark.parametrize("op", [Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH])
+    def test_flushes(self, op):
+        assert is_flush(op)
+
+    @pytest.mark.parametrize("op", [Op.PCOMMIT, Op.SFENCE, Op.STORE])
+    def test_non_flushes(self, op):
+        assert not is_flush(op)
+
+
+class TestPmemClassification:
+    @pytest.mark.parametrize("op", [Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH, Op.PCOMMIT])
+    def test_pmem_ops(self, op):
+        assert is_pmem(op)
+
+    def test_sfence_is_not_pmem(self):
+        # sfence is an ordering instruction, not a persistency instruction
+        assert not is_pmem(Op.SFENCE)
+
+
+class TestSpeculationBoundaries:
+    """Paper §4.1: clwb/clflushopt/pcommit may be delayed to the end of an
+    epoch, but fences, XCHG, LOCK-prefixed RMWs (and the legacy serialising
+    clflush) may not be reordered and bound speculation."""
+
+    @pytest.mark.parametrize(
+        "op", [Op.SFENCE, Op.MFENCE, Op.XCHG, Op.LOCK_RMW, Op.CLFLUSH]
+    )
+    def test_boundaries(self, op):
+        assert is_speculation_boundary(op)
+
+    @pytest.mark.parametrize(
+        "op", [Op.CLWB, Op.CLFLUSHOPT, Op.PCOMMIT, Op.LOAD, Op.STORE, Op.ALU]
+    )
+    def test_delayable(self, op):
+        assert not is_speculation_boundary(op)
+
+
+class TestOpSets:
+    def test_sets_are_disjoint_where_expected(self):
+        assert not FENCE_OPS & FLUSH_OPS
+        assert FLUSH_OPS <= PMEM_OPS
+
+    def test_memory_ops_carry_addresses(self):
+        assert Op.LOAD in MEMORY_OPS
+        assert Op.STORE in MEMORY_OPS
+        assert Op.CLWB in MEMORY_OPS
+        assert Op.PCOMMIT not in MEMORY_OPS
+        assert Op.SFENCE not in MEMORY_OPS
+
+    def test_ordering_ops_are_boundaries(self):
+        for op in ORDERING_OPS:
+            assert is_speculation_boundary(op)

@@ -1,0 +1,86 @@
+"""Trace container and static statistics (repro.isa.trace)."""
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+
+
+def _sample_trace() -> Trace:
+    return Trace(
+        [
+            Instr(Op.ALU),
+            Instr(Op.LOAD, 0x40),
+            Instr(Op.STORE, 0x80),
+            Instr(Op.CLWB, 0x80),
+            Instr(Op.SFENCE),
+            Instr(Op.PCOMMIT),
+            Instr(Op.SFENCE),
+        ]
+    )
+
+
+class TestContainer:
+    def test_len_and_iteration(self):
+        trace = _sample_trace()
+        assert len(trace) == 7
+        assert [i.op for i in trace][:2] == [Op.ALU, Op.LOAD]
+
+    def test_indexing(self):
+        trace = _sample_trace()
+        assert trace[1].op is Op.LOAD
+
+    def test_append_and_extend(self):
+        trace = Trace()
+        trace.append(Instr(Op.ALU))
+        trace.extend([Instr(Op.LOAD, 0x40), Instr(Op.BRANCH)])
+        assert len(trace) == 3
+
+    def test_reiterable(self):
+        trace = _sample_trace()
+        assert len(list(trace)) == len(list(trace))
+
+
+class TestStats:
+    def test_totals(self):
+        stats = _sample_trace().stats()
+        assert stats.total == 7
+        assert stats.by_op[Op.SFENCE] == 2
+
+    def test_pmem_count(self):
+        stats = _sample_trace().stats()
+        assert stats.pmem_count == 2  # clwb + pcommit
+
+    def test_fence_count(self):
+        assert _sample_trace().stats().fence_count == 2
+
+    def test_memory_count(self):
+        assert _sample_trace().stats().memory_count == 2  # load + store
+
+    def test_count_helper(self):
+        stats = _sample_trace().stats()
+        assert stats.count(Op.ALU, Op.LOAD) == 2
+        assert stats.count(Op.XCHG) == 0
+
+
+class TestMarkerSlicing:
+    def test_split_on_markers(self):
+        trace = Trace(
+            [
+                Instr(Op.ALU, meta="op"),
+                Instr(Op.LOAD, 0x40),
+                Instr(Op.ALU, meta="op"),
+                Instr(Op.STORE, 0x80),
+                Instr(Op.STORE, 0xC0),
+            ]
+        )
+        pieces = trace.slice_between_markers("op")
+        assert len(pieces) == 3
+        assert len(pieces[0]) == 0
+        assert len(pieces[1]) == 1
+        assert len(pieces[2]) == 2
+
+    def test_no_markers_yields_whole_trace(self):
+        trace = _sample_trace()
+        pieces = trace.slice_between_markers("missing")
+        assert len(pieces) == 1
+        assert len(pieces[0]) == len(trace)

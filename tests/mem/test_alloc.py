@@ -1,0 +1,97 @@
+"""Allocator behaviour (repro.mem.alloc)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.alloc import Allocator, OutOfMemoryError
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+
+
+class TestAlignment:
+    def test_allocations_block_aligned(self, allocator):
+        for size in (1, 8, 63, 64, 65, 200):
+            assert allocator.alloc(size) % CACHE_BLOCK == 0
+
+    def test_never_returns_null(self, allocator):
+        assert allocator.alloc(8) != 0
+
+    def test_small_allocations_get_whole_blocks(self, allocator):
+        a = allocator.alloc(8)
+        b = allocator.alloc(8)
+        assert b - a >= CACHE_BLOCK
+
+
+class TestErrors:
+    def test_zero_size_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.alloc(0)
+
+    def test_exhaustion_raises(self):
+        heap = NVMHeap(4 * CACHE_BLOCK)
+        allocator = Allocator(heap)
+        allocator.alloc(CACHE_BLOCK)  # base starts at one block in
+        allocator.alloc(CACHE_BLOCK)
+        allocator.alloc(CACHE_BLOCK)
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc(CACHE_BLOCK)
+
+    def test_bad_free_address(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.free(3, 64)
+
+    def test_unaligned_base_rejected(self, heap):
+        with pytest.raises(ValueError):
+            Allocator(heap, base=10)
+
+
+class TestFreeList:
+    def test_freed_region_reused(self, allocator):
+        addr = allocator.alloc(128)
+        allocator.free(addr, 128)
+        assert allocator.alloc(128) == addr
+
+    def test_free_list_is_per_size_class(self, allocator):
+        addr = allocator.alloc(128)
+        allocator.free(addr, 128)
+        other = allocator.alloc(64)
+        assert other != addr  # 64B request must not grab the 128B region
+
+    def test_accounting(self, allocator):
+        allocator.alloc(64)
+        allocator.alloc(100)  # rounds to 128
+        assert allocator.allocated_bytes == 64 + 128
+        allocator.free(64, 64)
+        assert allocator.freed_bytes == 64
+
+
+class TestCheckpoint:
+    def test_checkpoint_restore_replays_addresses(self, allocator):
+        state = allocator.checkpoint()
+        first = [allocator.alloc(64) for _ in range(5)]
+        allocator.restore(state)
+        second = [allocator.alloc(64) for _ in range(5)]
+        assert first == second
+
+    def test_checkpoint_preserves_free_lists(self, allocator):
+        addr = allocator.alloc(64)
+        allocator.free(addr, 64)
+        state = allocator.checkpoint()
+        assert allocator.alloc(64) == addr
+        allocator.restore(state)
+        assert allocator.alloc(64) == addr
+
+
+class TestNonOverlap:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=40)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        heap = NVMHeap(1 << 20)
+        allocator = Allocator(heap)
+        regions = []
+        for size in sizes:
+            addr = allocator.alloc(size)
+            for start, span in regions:
+                assert addr + size <= start or addr >= start + span
+            regions.append((addr, size))

@@ -1,0 +1,100 @@
+"""ShadowHeap overlay semantics (repro.mem.shadow)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+from repro.mem.shadow import ShadowHeap
+
+
+def _heap_with_pattern() -> NVMHeap:
+    heap = NVMHeap(1 << 14)
+    heap.raw_write(0x100, bytes(range(64)))
+    return heap
+
+
+class TestReadThrough:
+    def test_unwritten_addresses_read_real_memory(self):
+        heap = _heap_with_pattern()
+        shadow = ShadowHeap(heap)
+        assert shadow.load_bytes(0x100, 8) == heap.raw_read(0x100, 8)
+
+    def test_u64_read_through(self):
+        heap = NVMHeap(1 << 14)
+        heap.store_u64(0x200, 777)
+        shadow = ShadowHeap(heap)
+        assert shadow.load_u64(0x200) == 777
+
+
+class TestWriteBuffering:
+    def test_writes_visible_through_shadow(self):
+        shadow = ShadowHeap(NVMHeap(1 << 14))
+        shadow.store_u64(0x100, 42)
+        assert shadow.load_u64(0x100) == 42
+
+    def test_writes_never_reach_real_memory(self):
+        heap = NVMHeap(1 << 14)
+        shadow = ShadowHeap(heap)
+        shadow.store_u64(0x100, 42)
+        assert heap.load_u64(0x100) == 0
+
+    def test_partial_overlay_read(self):
+        heap = _heap_with_pattern()
+        shadow = ShadowHeap(heap)
+        shadow.store_bytes(0x104, b"\xff\xff")
+        data = shadow.load_bytes(0x100, 8)
+        assert data == bytes([0, 1, 2, 3, 0xFF, 0xFF, 6, 7])
+
+    def test_i64_round_trip(self):
+        shadow = ShadowHeap(NVMHeap(1 << 14))
+        shadow.store_i64(0x100, -5)
+        assert shadow.load_i64(0x100) == -5
+
+    def test_mixed_word_and_byte_writes(self):
+        shadow = ShadowHeap(NVMHeap(1 << 14))
+        shadow.store_u64(0x100, 0xAABBCCDDEEFF0011)
+        shadow.store_bytes(0x103, b"\x00")
+        value = shadow.load_u64(0x100)
+        assert value == 0xAABBCCDD00FF0011
+
+
+class TestWrittenBlocks:
+    def test_blocks_tracked(self):
+        shadow = ShadowHeap(NVMHeap(1 << 14))
+        shadow.store_u64(0x104, 1)
+        shadow.store_u64(0x244, 1)
+        assert shadow.written_blocks == {0x100, 0x240}
+
+    def test_straddling_write_tracks_both_blocks(self):
+        shadow = ShadowHeap(NVMHeap(1 << 14))
+        shadow.store_bytes(0x13C, bytes(8))  # crosses 0x100 -> 0x140
+        assert shadow.written_blocks == {0x100, 0x140}
+
+    def test_reads_do_not_track(self):
+        shadow = ShadowHeap(_heap_with_pattern())
+        shadow.load_bytes(0x100, 64)
+        assert shadow.written_blocks == set()
+
+
+class TestAgainstRealHeap:
+    """Property: a sequence of writes applied to both a real heap and a
+    shadow produces identical reads at every probed address."""
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=8, max_value=0x3F0),
+                st.integers(min_value=0, max_value=(1 << 64) - 1),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shadow_matches_real_heap(self, writes):
+        real = NVMHeap(1 << 12)
+        backing = NVMHeap(1 << 12)
+        shadow = ShadowHeap(backing)
+        for addr, value in writes:
+            real.store_u64(addr, value)
+            shadow.store_u64(addr, value)
+        for addr in {a for a, _ in writes}:
+            assert shadow.load_u64(addr) == real.load_u64(addr)

@@ -1,0 +1,112 @@
+"""CrashTester mechanics (repro.pmem.crash)."""
+
+from repro.mem.alloc import Allocator
+from repro.mem.heap import NVMHeap
+from repro.pmem.crash import CrashTester
+from repro.pmem.domain import PersistenceDomain
+from repro.txn.manager import TxManager
+from repro.txn.modes import PersistMode
+from repro.txn.persist_ops import PersistOps
+
+
+class _Counter:
+    """A trivially-transactional workload: one durable counter."""
+
+    def __init__(self, mode=PersistMode.LOG_P_SF):
+        self.heap = NVMHeap(1 << 18)
+        self.alloc = Allocator(self.heap)
+        self.domain = PersistenceDomain(self.heap)
+        self.heap.attach(self.domain)
+        persist = PersistOps(mode, domain=self.domain)
+        self.tx = TxManager(self.heap, self.alloc, persist)
+        self.addr = self.alloc.alloc(64)
+        self.heap.store_u64(self.addr, 0)
+        self.domain.sync_base()
+        self.expected = 0
+
+    def increment(self):
+        self.tx.begin()
+        self.tx.log_block(self.addr)
+        self.tx.seal()
+        self.heap.store_u64(self.addr, self.heap.load_u64(self.addr) + 1)
+        self.tx.flush(self.addr)
+        self.tx.commit()
+        self.expected += 1
+
+    def check(self):
+        value = self.heap.load_u64(self.addr)
+        if value not in (self.expected, self.expected + 1):
+            return f"counter {value} != {self.expected}"
+        self.expected = value
+        return None
+
+
+def make_tester(mode=PersistMode.LOG_P_SF, **kwargs):
+    counter = _Counter(mode)
+    tester = CrashTester(
+        counter.domain,
+        counter.increment,
+        counter.tx.recover,
+        counter.check,
+        **kwargs,
+    )
+    return counter, tester
+
+
+class TestEventCounting:
+    def test_count_events_positive(self):
+        _, tester = make_tester()
+        assert tester.count_events() > 0
+
+    def test_count_events_restores_consistency(self):
+        counter, tester = make_tester()
+        tester.count_events()
+        assert counter.check() is None
+
+
+class TestInjection:
+    def test_crash_at_point_zero(self):
+        _, tester = make_tester(seed=1)
+        outcomes = tester.sweep(points=[0])
+        assert outcomes[0].crashed
+        assert outcomes[0].invariants_ok
+
+    def test_crash_past_end_runs_to_completion(self):
+        counter, tester = make_tester(seed=1)
+        total = tester.count_events()
+        outcomes = tester.sweep(points=[total + 10])
+        assert not outcomes[0].crashed
+        assert outcomes[0].invariants_ok
+
+    def test_full_sweep_consistent(self):
+        _, tester = make_tester(seed=2)
+        outcomes = tester.sweep(max_points=32)
+        assert outcomes
+        assert tester.all_consistent
+
+    def test_sweep_without_evictions(self):
+        _, tester = make_tester(adversarial_evictions=False, seed=3)
+        tester.sweep(max_points=16)
+        assert tester.all_consistent
+
+    def test_all_consistent_false_when_empty(self):
+        _, tester = make_tester()
+        assert not tester.all_consistent
+
+
+class TestNegativeControl:
+    """Without fences (LOG_P) nothing ever becomes durable on purpose, so a
+    crash at the end of a completed operation must lose the update — the
+    experiment that shows sfences are *necessary*, not just slow."""
+
+    def test_log_p_is_not_failure_safe(self):
+        counter, tester = make_tester(mode=PersistMode.LOG_P, seed=4)
+        total = tester.count_events()
+        counter.expected = counter.heap.load_u64(counter.addr)
+        before = counter.heap.load_u64(counter.addr)
+        counter.increment()
+        counter.domain.crash()
+        counter.tx.recover()
+        after = counter.heap.load_u64(counter.addr)
+        assert after == before  # the committed increment evaporated
+        del total

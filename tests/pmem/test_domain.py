@@ -1,0 +1,173 @@
+"""PersistenceDomain state machine (repro.pmem.domain).
+
+These tests pin down the paper's Figure-1 semantics: stores dirty the
+cache, clwb+sfence moves blocks into the WPQ, pcommit drains the WPQ to
+NVMM, and nothing is durable before that.
+"""
+
+import random
+
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+from repro.pmem.domain import PersistenceDomain
+
+
+def make_domain(size=1 << 16):
+    heap = NVMHeap(size)
+    domain = PersistenceDomain(heap)
+    heap.attach(domain)
+    return heap, domain
+
+
+class TestStoreTracking:
+    def test_store_marks_block_dirty(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        assert 0x100 in domain.dirty
+        assert not domain.is_durable(0x100)
+
+    def test_straddling_store_dirties_both_blocks(self):
+        heap, domain = make_domain()
+        heap.store_bytes(0x13C, bytes(8))
+        assert {0x100, 0x140} <= domain.dirty
+
+    def test_loads_do_not_dirty(self):
+        heap, domain = make_domain()
+        heap.load_u64(0x100)
+        assert not domain.dirty
+
+
+class TestFlushAndFence:
+    def test_unfenced_clwb_gives_no_guarantee(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.clwb(0x100)
+        assert 0x100 in domain.dirty  # still only in the cache
+        assert 0x100 not in domain.wpq
+
+    def test_fenced_clwb_enters_wpq(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.clwb(0x100)
+        domain.sfence()
+        assert 0x100 not in domain.dirty
+        assert 0x100 in domain.wpq
+        assert not domain.is_durable(0x100)  # WPQ is volatile (paper fn 1)
+
+    def test_clwb_of_clean_block_is_noop(self):
+        heap, domain = make_domain()
+        domain.clwb(0x100)
+        domain.sfence()
+        assert 0x100 not in domain.wpq
+
+    def test_store_after_flush_supersedes(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.clwb(0x100)
+        heap.store_u64(0x100, 2)  # newer value makes the flush stale
+        domain.sfence()
+        assert 0x100 in domain.dirty
+        assert 0x100 not in domain.wpq
+
+
+class TestPcommit:
+    def test_pcommit_drains_wpq(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 0xAB)
+        domain.clwb(0x100)
+        domain.sfence()
+        domain.pcommit()
+        assert domain.is_durable(0x100)
+
+    def test_pcommit_without_flush_persists_nothing(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 0xAB)
+        domain.pcommit()
+        assert not domain.is_durable(0x100)
+
+    def test_persist_barrier_helper(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 0xAB)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        assert domain.is_durable(0x100)
+
+
+class TestCrashImage:
+    def test_crash_loses_cached_data(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 0xAB)
+        domain.crash()
+        assert heap.load_u64(0x100) == 0
+
+    def test_crash_loses_wpq_data(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 0xAB)
+        domain.clwb(0x100)
+        domain.sfence()
+        domain.crash()
+        assert heap.load_u64(0x100) == 0
+
+    def test_crash_preserves_durable_data(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 0xAB)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        domain.crash()
+        assert heap.load_u64(0x100) == 0xAB
+
+    def test_crash_preserves_block_granularity(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)  # same block as 0x108
+        heap.store_u64(0x108, 2)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        domain.crash()
+        # both words persisted together: durability is block-granular
+        assert heap.load_u64(0x100) == 1
+        assert heap.load_u64(0x108) == 2
+
+    def test_state_reset_after_crash(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.crash()
+        assert not domain.dirty and not domain.wpq
+
+    def test_crash_image_does_not_mutate_heap(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 7)
+        image = domain.crash_image()
+        assert heap.load_u64(0x100) == 7  # functional state untouched
+        assert image[0x100] == 0
+
+
+class TestEvictions:
+    def test_eviction_makes_dirty_block_durable(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 5)
+        domain.evict(0x100)
+        assert domain.is_durable(0x100)
+        domain.crash()
+        assert heap.load_u64(0x100) == 5
+
+    def test_eviction_of_clean_block_is_noop(self):
+        heap, domain = make_domain()
+        domain.evict(0x100)
+        assert domain.n_evictions == 0
+
+    def test_random_evict_subset(self):
+        heap, domain = make_domain()
+        for i in range(20):
+            heap.store_u64(0x100 + i * CACHE_BLOCK, i)
+        domain.random_evict(random.Random(0), fraction=1.0)
+        assert not domain.dirty
+        assert domain.n_evictions == 20
+
+
+class TestSyncBase:
+    def test_sync_base_makes_everything_durable(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 9)
+        domain.sync_base()
+        assert domain.is_durable(0x100)
+        domain.crash()
+        assert heap.load_u64(0x100) == 9

@@ -1,0 +1,117 @@
+"""PersistenceDomain edge cases beyond the main state-machine tests."""
+
+import random
+
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+from repro.pmem.domain import PersistenceDomain
+
+
+def make_domain(size=1 << 16):
+    heap = NVMHeap(size)
+    domain = PersistenceDomain(heap)
+    heap.attach(domain)
+    return heap, domain
+
+
+class TestFlushEvictInteractions:
+    def test_pending_flush_then_evict(self):
+        """An eviction while a clwb is pending: the block becomes durable
+        via the eviction; the later sfence must not resurrect stale data."""
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.clwb(0x100)
+        domain.evict(0x100)
+        assert domain.is_durable(0x100)
+        domain.sfence()  # the pending flush finds the block clean
+        domain.pcommit()
+        domain.crash()
+        assert heap.load_u64(0x100) == 1
+
+    def test_evict_then_store_then_flush(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.evict(0x100)
+        heap.store_u64(0x100, 2)  # re-dirty after the writeback
+        assert not domain.is_durable(0x100)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        domain.crash()
+        assert heap.load_u64(0x100) == 2
+
+    def test_double_flush_same_block(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.clwb(0x100)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        assert domain.is_durable(0x100)
+
+    def test_flush_pending_superseded_by_store_not_persisted(self):
+        """store A; clwb; store A'; sfence; pcommit: the flush was
+        invalidated by the newer store, so nothing persists."""
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.clwb(0x100)
+        heap.store_u64(0x100, 2)
+        domain.sfence()
+        domain.pcommit()
+        domain.crash()
+        assert heap.load_u64(0x100) == 0
+
+
+class TestMultipleBarriers:
+    def test_interleaved_epochs(self):
+        heap, domain = make_domain()
+        for round_ in range(5):
+            heap.store_u64(0x100 + round_ * CACHE_BLOCK, round_ + 1)
+            domain.clwb(0x100 + round_ * CACHE_BLOCK)
+            domain.persist_barrier()
+        domain.crash()
+        for round_ in range(5):
+            assert heap.load_u64(0x100 + round_ * CACHE_BLOCK) == round_ + 1
+
+    def test_barrier_without_any_work(self):
+        _, domain = make_domain()
+        domain.persist_barrier()
+        assert domain.n_pcommits == 1
+
+
+class TestCounters:
+    def test_all_counters_advance(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        heap.load_u64(0x100)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        assert domain.n_stores == 1
+        assert domain.n_flushes == 1
+        assert domain.n_sfences == 2
+        assert domain.n_pcommits == 1
+
+    def test_eviction_counter(self):
+        heap, domain = make_domain()
+        for i in range(4):
+            heap.store_u64(0x100 + i * CACHE_BLOCK, i)
+        domain.random_evict(random.Random(1), fraction=1.0)
+        assert domain.n_evictions == 4
+
+
+class TestCrashIdempotence:
+    def test_double_crash(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 7)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        domain.crash()
+        domain.crash()
+        assert heap.load_u64(0x100) == 7
+
+    def test_work_after_crash(self):
+        heap, domain = make_domain()
+        heap.store_u64(0x100, 1)
+        domain.crash()
+        heap.store_u64(0x100, 2)
+        domain.clwb(0x100)
+        domain.persist_barrier()
+        domain.crash()
+        assert heap.load_u64(0x100) == 2

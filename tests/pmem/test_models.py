@@ -1,0 +1,212 @@
+"""Persistency-model taxonomy (repro.pmem.models, paper §2.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pmem.models import (
+    ALL_MODELS,
+    BufferedEpochPersistency,
+    EpochPersistency,
+    StrandPersistency,
+    StrictPersistency,
+)
+
+
+def w(value: int) -> bytes:
+    return value.to_bytes(8, "little")
+
+
+class TestStrict:
+    def test_store_is_immediately_durable(self):
+        model = StrictPersistency()
+        model.store(0x100, w(1))
+        assert model.durable_value(0x100) == w(1)
+
+    def test_crash_image_is_exact(self):
+        model = StrictPersistency()
+        model.store(0x100, w(1))
+        model.store(0x108, w(2))
+        image = model.sample_crash_image(random.Random(0))
+        assert image == {0x100: w(1), 0x108: w(2)}
+
+    def test_every_store_stalls(self):
+        model = StrictPersistency()
+        for i in range(10):
+            model.store(0x100 + i * 8, w(i))
+        assert model.stall_events == 10
+        assert model.nvmm_writes == 10
+
+
+class TestEpoch:
+    def test_open_epoch_is_not_durable(self):
+        model = EpochPersistency()
+        model.store(0x100, w(1))
+        assert model.durable_value(0x100) is None
+
+    def test_barrier_persists_the_epoch(self):
+        model = EpochPersistency()
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        assert model.durable_value(0x100) == w(1)
+
+    def test_barrier_stalls_only_with_pending_stores(self):
+        model = EpochPersistency()
+        model.persist_barrier()
+        assert model.stall_events == 0
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        assert model.stall_events == 1
+
+    def test_crash_may_expose_any_open_subset(self):
+        model = EpochPersistency()
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        model.store(0x108, w(2))
+        model.store(0x110, w(3))
+        seen = set()
+        for seed in range(40):
+            image = model.sample_crash_image(random.Random(seed))
+            assert image[0x100] == w(1)  # closed epoch always durable
+            seen.add((0x108 in image, 0x110 in image))
+        assert len(seen) > 1  # the open epoch really is unordered
+
+    def test_same_address_folds_to_latest(self):
+        model = EpochPersistency()
+        model.store(0x100, w(1))
+        model.store(0x100, w(2))
+        image = model.sample_crash_image(random.Random(3))
+        assert image.get(0x100) in (None, w(2))
+
+
+class TestBufferedEpoch:
+    def test_barrier_does_not_stall(self):
+        model = BufferedEpochPersistency()
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        assert model.stall_events == 0
+        assert model.durable_value(0x100) is None  # still queued
+
+    def test_drain_persists_in_epoch_order(self):
+        model = BufferedEpochPersistency()
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        model.store(0x108, w(2))
+        model.persist_barrier()
+        assert model.drain(1) == 1
+        assert model.durable_value(0x100) == w(1)
+        assert model.durable_value(0x108) is None
+        model.drain(1)
+        assert model.durable_value(0x108) == w(2)
+
+    def test_crash_respects_epoch_ordering(self):
+        """If anything from epoch k+1 survives, all of epoch k survives."""
+        model = BufferedEpochPersistency()
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        model.store(0x108, w(2))
+        model.persist_barrier()
+        for seed in range(60):
+            image = model.sample_crash_image(random.Random(seed))
+            if 0x108 in image:
+                assert image.get(0x100) == w(1)
+
+    def test_drain_on_empty_queue(self):
+        assert BufferedEpochPersistency().drain(5) == 0
+
+
+class TestStrand:
+    def test_strands_are_independent(self):
+        """A younger strand's store may persist while an older strand's
+        earlier store has not — impossible under epoch persistency."""
+        model = StrandPersistency()
+        model.store(0x100, w(1))
+        model.new_strand()
+        model.store(0x108, w(2))
+        model.persist_barrier()
+        younger_without_older = False
+        for seed in range(80):
+            image = model.sample_crash_image(random.Random(seed))
+            if 0x108 in image and 0x100 not in image:
+                younger_without_older = True
+        assert younger_without_older
+
+    def test_within_strand_ordering_kept(self):
+        model = StrandPersistency()
+        model.store(0x100, w(1))
+        model.persist_barrier()
+        model.store(0x108, w(2))
+        model.persist_barrier()
+        for seed in range(60):
+            image = model.sample_crash_image(random.Random(seed))
+            if 0x108 in image:
+                assert image.get(0x100) == w(1)
+
+    def test_strand_count(self):
+        model = StrandPersistency()
+        model.new_strand()
+        model.new_strand()
+        assert model.n_strands == 3
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+class TestCommonProperties:
+    def test_names_distinct(self, model_cls):
+        assert model_cls.name
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_durable_values_always_in_crash_images(self, model_cls, data):
+        """Whatever the model declares durable must appear in every
+        sampled crash image (no false durability claims)."""
+        model = model_cls()
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["store", "barrier"]),
+                    st.integers(min_value=0, max_value=15),
+                    st.integers(min_value=0, max_value=255),
+                ),
+                max_size=30,
+            )
+        )
+        for kind, slot, value in ops:
+            if kind == "store":
+                model.store(0x100 + slot * 8, w(value))
+            else:
+                model.persist_barrier()
+        durable = {
+            addr
+            for addr in range(0x100, 0x180, 8)
+            if model.durable_value(addr) is not None
+        }
+        for seed in range(5):
+            image = model.sample_crash_image(random.Random(seed))
+            for addr in durable:
+                # a durable address is never *lost*; a still-pending newer
+                # store to the same address may legally supersede the value
+                assert addr in image
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_crash_images_only_contain_written_values(self, model_cls, data):
+        model = model_cls()
+        writes = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=7),
+                    st.integers(min_value=0, max_value=255),
+                ),
+                max_size=20,
+            )
+        )
+        legal = {}
+        for slot, value in writes:
+            model.store(0x100 + slot * 8, w(value))
+            legal.setdefault(0x100 + slot * 8, set()).add(w(value))
+            if data.draw(st.booleans()):
+                model.persist_barrier()
+        image = model.sample_crash_image(random.Random(0))
+        for addr, payload in image.items():
+            assert payload in legal.get(addr, set())

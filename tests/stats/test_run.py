@@ -1,0 +1,48 @@
+"""RunStats derived metrics (repro.stats.run)."""
+
+import pytest
+
+from repro.stats.run import RunStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = RunStats(cycles=100, instructions=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert RunStats().ipc == 0.0
+
+    def test_stores_per_pcommit(self):
+        stats = RunStats(pcommits=4, stores_during_pcommit=48)
+        assert stats.stores_per_pcommit == 12.0
+
+    def test_stores_per_pcommit_no_pcommits(self):
+        assert RunStats(stores_during_pcommit=10).stores_per_pcommit == 0.0
+
+    def test_bloom_fp_rate(self):
+        stats = RunStats(bloom_queries=200, bloom_false_positives=10)
+        assert stats.bloom_false_positive_rate == 0.05
+
+    def test_bloom_fp_rate_no_queries(self):
+        assert RunStats().bloom_false_positive_rate == 0.0
+
+
+class TestOverhead:
+    def test_overhead_vs_baseline(self):
+        base = RunStats(cycles=1000)
+        variant = RunStats(cycles=1250)
+        assert variant.overhead_vs(base) == pytest.approx(0.25)
+
+    def test_overhead_negative_when_faster(self):
+        base = RunStats(cycles=1000)
+        assert RunStats(cycles=900).overhead_vs(base) == pytest.approx(-0.1)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            RunStats(cycles=10).overhead_vs(RunStats(cycles=0))
+
+    def test_extra_dict_available(self):
+        stats = RunStats()
+        stats.extra["custom"] = 1.5
+        assert stats.extra["custom"] == 1.5

@@ -1,0 +1,94 @@
+"""Flush-instruction policy in PersistOps (repro.txn.persist_ops)."""
+
+import pytest
+
+from repro.isa.ops import Op
+from repro.isa.recorder import TraceRecorder
+from repro.txn.modes import PersistMode
+from repro.txn.persist_ops import FLUSH_POLICIES, PersistOps
+
+
+def make(policy):
+    recorder = TraceRecorder()
+    return PersistOps(PersistMode.LOG_P_SF, recorder, flush_with=policy), recorder
+
+
+class TestPolicySelection:
+    def test_default_is_clwb(self):
+        ops, recorder = make("clwb")
+        ops.clwb(0x100)
+        assert [i.op for i in recorder.trace] == [Op.CLWB]
+
+    def test_clflushopt_policy(self):
+        ops, recorder = make("clflushopt")
+        ops.clwb(0x100)
+        assert [i.op for i in recorder.trace] == [Op.CLFLUSHOPT]
+
+    def test_clflush_policy(self):
+        ops, recorder = make("clflush")
+        ops.clwb(0x100)
+        assert [i.op for i in recorder.trace] == [Op.CLFLUSH]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PersistOps(PersistMode.LOG_P_SF, flush_with="flushall")
+
+    def test_policy_table(self):
+        assert FLUSH_POLICIES == ("clwb", "clflushopt", "clflush")
+
+
+class TestPolicyCounting:
+    def test_clwb_counted_as_clwb(self):
+        ops, _ = make("clwb")
+        ops.clwb(0x100)
+        assert (ops.n_clwb, ops.n_clflushopt) == (1, 0)
+
+    def test_alternative_policies_counted_as_flushopt(self):
+        for policy in ("clflushopt", "clflush"):
+            ops, _ = make(policy)
+            ops.clwb(0x100)
+            assert (ops.n_clwb, ops.n_clflushopt) == (0, 1)
+
+
+class TestPolicyWithDomain:
+    @pytest.mark.parametrize("policy", FLUSH_POLICIES)
+    def test_all_policies_reach_durability(self, policy):
+        from repro.mem.heap import NVMHeap
+        from repro.pmem.domain import PersistenceDomain
+
+        heap = NVMHeap(1 << 14)
+        domain = PersistenceDomain(heap)
+        heap.attach(domain)
+        ops = PersistOps(PersistMode.LOG_P_SF, domain=domain, flush_with=policy)
+        heap.store_u64(0x100, 9)
+        ops.clwb(0x100)
+        ops.persist_barrier()
+        assert domain.is_durable(0x100)
+
+    @pytest.mark.parametrize("policy", FLUSH_POLICIES)
+    def test_workloads_stay_crash_safe_under_any_policy(self, policy):
+        """The flush choice is a performance decision, not a correctness
+        one: the linked list survives crash sweeps under every policy."""
+        from repro.pmem.crash import CrashTester
+        from repro.workloads.base import Workbench
+        from repro.workloads.linkedlist import LinkedListWorkload
+
+        bench = Workbench(
+            mode=PersistMode.LOG_P_SF,
+            heap_size=1 << 22,
+            track_persistence=True,
+            seed=2,
+            flush_with=policy,
+        )
+        workload = LinkedListWorkload(bench, max_nodes=64)
+        workload.populate(30)
+        keys = iter(range(10000))
+        tester = CrashTester(
+            bench.domain,
+            lambda: workload.operation(next(keys) % workload._key_space),
+            workload.recover,
+            workload.check_invariants,
+            seed=4,
+        )
+        tester.sweep(max_points=10)
+        assert tester.all_consistent

@@ -1,0 +1,195 @@
+"""TxManager four-step protocol (repro.txn.manager)."""
+
+import pytest
+
+from repro.isa.ops import Op
+from repro.isa.recorder import TraceRecorder
+from repro.mem.alloc import Allocator
+from repro.mem.heap import NVMHeap
+from repro.pmem.domain import PersistenceDomain
+from repro.txn.manager import TxError, TxManager
+from repro.txn.modes import PersistMode
+from repro.txn.persist_ops import PersistOps
+
+
+def make_manager(mode=PersistMode.LOG_P_SF):
+    heap = NVMHeap(1 << 18)
+    allocator = Allocator(heap)
+    recorder = TraceRecorder()
+    heap.attach(recorder)
+    domain = PersistenceDomain(heap)
+    heap.attach(domain)
+    persist = PersistOps(mode, recorder, domain)
+    tx = TxManager(heap, allocator, persist)
+    return heap, allocator, recorder, domain, tx
+
+
+def run_simple_tx(heap, allocator, tx, value=0xCAFE):
+    target = allocator.alloc(64)
+    heap.store_u64(target, 0x1111)
+    tx.begin()
+    tx.log_block(target)
+    tx.seal()
+    heap.store_u64(target, value)
+    tx.flush(target)
+    tx.commit()
+    return target
+
+
+class TestProtocolCounts:
+    def test_four_pcommits_eight_sfences_per_tx(self):
+        """Paper §3.1: 'at least 4 pcommits and 8 sfence operations are
+        needed per transactional update'."""
+        heap, allocator, _, _, tx = make_manager()
+        run_simple_tx(heap, allocator, tx)
+        assert tx.persist.n_pcommit == 4
+        assert tx.persist.n_sfence == 8
+
+    def test_barrier_sequence_shape(self):
+        heap, allocator, recorder, _, tx = make_manager()
+        run_simple_tx(heap, allocator, tx)
+        ops = [i.op for i in recorder.trace]
+        # every pcommit is bracketed by sfences
+        for i, op in enumerate(ops):
+            if op is Op.PCOMMIT:
+                assert ops[i - 1] is Op.SFENCE
+                assert ops[i + 1] is Op.SFENCE
+
+    def test_log_mode_has_no_pmem(self):
+        heap, allocator, recorder, _, tx = make_manager(PersistMode.LOG)
+        run_simple_tx(heap, allocator, tx)
+        stats = recorder.trace.stats()
+        assert stats.pmem_count == 0
+        assert stats.fence_count == 0
+
+    def test_base_mode_does_not_log(self):
+        heap, allocator, _, _, tx = make_manager(PersistMode.BASE)
+        run_simple_tx(heap, allocator, tx)
+        assert tx.stats.entries_logged == 0
+
+
+class TestProtocolErrors:
+    def test_nested_begin_rejected(self):
+        _, _, _, _, tx = make_manager()
+        tx.begin()
+        with pytest.raises(TxError):
+            tx.begin()
+
+    def test_log_outside_tx_rejected(self):
+        _, _, _, _, tx = make_manager()
+        with pytest.raises(TxError):
+            tx.log_range(0x2000, 8)
+
+    def test_log_after_seal_rejected(self):
+        """Full logging (paper §3.2) requires all logging before seal."""
+        _, _, _, _, tx = make_manager()
+        tx.begin()
+        tx.seal()
+        with pytest.raises(TxError):
+            tx.log_range(0x2000, 8)
+
+    def test_commit_before_seal_rejected(self):
+        _, _, _, _, tx = make_manager()
+        tx.begin()
+        with pytest.raises(TxError):
+            tx.commit()
+
+    def test_double_seal_rejected(self):
+        _, _, _, _, tx = make_manager()
+        tx.begin()
+        tx.seal()
+        with pytest.raises(TxError):
+            tx.seal()
+
+    def test_flush_outside_tx_rejected(self):
+        _, _, _, _, tx = make_manager()
+        with pytest.raises(TxError):
+            tx.flush(0x2000)
+
+
+class TestDurability:
+    def test_committed_update_is_durable(self):
+        heap, allocator, _, domain, tx = make_manager()
+        target = run_simple_tx(heap, allocator, tx, value=0xBEEF)
+        domain.crash()
+        assert heap.load_u64(target) == 0xBEEF
+
+    def test_logged_bit_clear_after_commit(self):
+        heap, allocator, _, _, tx = make_manager()
+        run_simple_tx(heap, allocator, tx)
+        assert tx.log.read_logged_bit() == 0
+
+    def test_logged_bit_set_between_seal_and_commit(self):
+        heap, allocator, _, _, tx = make_manager()
+        target = allocator.alloc(64)
+        tx.begin()
+        tx.log_block(target)
+        tx.seal()
+        assert tx.log.read_logged_bit() == 1
+        tx.flush(target)
+        tx.commit()
+
+
+class TestRecovery:
+    def test_recovery_undoes_open_transaction(self):
+        heap, allocator, _, domain, tx = make_manager()
+        target = allocator.alloc(64)
+        heap.store_u64(target, 0x1111)
+        domain.sync_base()
+        tx.begin()
+        tx.log_block(target)
+        tx.seal()
+        heap.store_u64(target, 0x2222)
+        tx.flush(target)
+        # crash between step 3 and step 4: data durable, bit still set
+        domain.sfence()
+        domain.pcommit()
+        domain.crash()
+        undone = tx.recover()
+        assert undone == 1
+        assert heap.load_u64(target) == 0x1111
+
+    def test_recovery_noop_when_bit_clear(self):
+        heap, allocator, _, domain, tx = make_manager()
+        run_simple_tx(heap, allocator, tx)
+        domain.crash()
+        assert tx.recover() == 0
+
+    def test_recovery_is_failure_safe_itself(self):
+        """Recovery flushes what it restores, so a crash right after
+        recovery preserves the restored state."""
+        heap, allocator, _, domain, tx = make_manager()
+        target = allocator.alloc(64)
+        heap.store_u64(target, 0xAAAA)
+        domain.sync_base()
+        tx.begin()
+        tx.log_block(target)
+        tx.seal()
+        heap.store_u64(target, 0xBBBB)
+        tx.flush(target)
+        domain.persist_barrier()
+        domain.crash()
+        tx.recover()
+        domain.crash()  # second failure immediately after recovery
+        assert heap.load_u64(target) == 0xAAAA
+
+    def test_recovery_resets_tx_state(self):
+        heap, allocator, _, _, tx = make_manager()
+        tx.begin()
+        tx.recover()
+        tx.begin()  # must not raise "nested transaction"
+        tx.seal()
+        tx.commit()
+
+
+class TestStats:
+    def test_transaction_counter(self):
+        heap, allocator, _, _, tx = make_manager()
+        run_simple_tx(heap, allocator, tx)
+        run_simple_tx(heap, allocator, tx)
+        assert tx.stats.transactions == 2
+
+    def test_bytes_logged(self):
+        heap, allocator, _, _, tx = make_manager()
+        run_simple_tx(heap, allocator, tx)
+        assert tx.stats.bytes_logged == 64

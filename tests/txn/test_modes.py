@@ -1,0 +1,32 @@
+"""PersistMode gating flags (repro.txn.modes)."""
+
+from repro.txn.modes import PersistMode
+
+
+class TestFlags:
+    def test_base_has_nothing(self):
+        assert not PersistMode.BASE.logging
+        assert not PersistMode.BASE.pmem
+        assert not PersistMode.BASE.fences
+
+    def test_log_only_logs(self):
+        assert PersistMode.LOG.logging
+        assert not PersistMode.LOG.pmem
+        assert not PersistMode.LOG.fences
+
+    def test_log_p_adds_pmem(self):
+        assert PersistMode.LOG_P.logging
+        assert PersistMode.LOG_P.pmem
+        assert not PersistMode.LOG_P.fences
+
+    def test_log_p_sf_is_complete(self):
+        assert PersistMode.LOG_P_SF.logging
+        assert PersistMode.LOG_P_SF.pmem
+        assert PersistMode.LOG_P_SF.fences
+
+    def test_only_full_protocol_is_failure_safe(self):
+        safe = [m for m in PersistMode if m.failure_safe]
+        assert safe == [PersistMode.LOG_P_SF]
+
+    def test_labels_match_figure8(self):
+        assert [m.label for m in PersistMode] == ["Base", "Log", "Log+P", "Log+P+Sf"]

@@ -1,0 +1,95 @@
+"""Mode gating in the PersistOps facade (repro.txn.persist_ops)."""
+
+from repro.isa.ops import Op
+from repro.isa.recorder import TraceRecorder
+from repro.mem.heap import NVMHeap
+from repro.pmem.domain import PersistenceDomain
+from repro.txn.modes import PersistMode
+from repro.txn.persist_ops import PersistOps
+
+
+def make(mode):
+    heap = NVMHeap(1 << 14)
+    recorder = TraceRecorder()
+    domain = PersistenceDomain(heap)
+    heap.attach(domain)
+    return PersistOps(mode, recorder, domain), recorder, heap, domain
+
+
+class TestBaseMode:
+    def test_everything_swallowed(self):
+        ops, recorder, _, _ = make(PersistMode.BASE)
+        ops.clwb(0x100)
+        ops.pcommit()
+        ops.sfence()
+        ops.persist_barrier()
+        assert len(recorder.trace) == 0
+        assert ops.n_clwb == ops.n_pcommit == ops.n_sfence == 0
+
+
+class TestLogMode:
+    def test_pmem_swallowed(self):
+        ops, recorder, _, _ = make(PersistMode.LOG)
+        ops.clwb(0x100)
+        ops.clflushopt(0x100)
+        ops.pcommit()
+        ops.sfence()
+        assert len(recorder.trace) == 0
+
+
+class TestLogPMode:
+    def test_pmem_passes_fences_swallowed(self):
+        ops, recorder, _, _ = make(PersistMode.LOG_P)
+        ops.clwb(0x100)
+        ops.pcommit()
+        ops.sfence()
+        recorded = [i.op for i in recorder.trace]
+        assert recorded == [Op.CLWB, Op.PCOMMIT]
+        assert ops.n_sfence == 0
+
+    def test_barrier_emits_pcommit_only(self):
+        ops, recorder, _, _ = make(PersistMode.LOG_P)
+        ops.persist_barrier()
+        assert [i.op for i in recorder.trace] == [Op.PCOMMIT]
+
+
+class TestLogPSfMode:
+    def test_full_barrier_sequence(self):
+        ops, recorder, _, _ = make(PersistMode.LOG_P_SF)
+        ops.persist_barrier()
+        assert [i.op for i in recorder.trace] == [Op.SFENCE, Op.PCOMMIT, Op.SFENCE]
+
+    def test_counts(self):
+        ops, _, _, _ = make(PersistMode.LOG_P_SF)
+        ops.clwb(0x100)
+        ops.clflushopt(0x140)
+        ops.persist_barrier()
+        assert ops.n_clwb == 1
+        assert ops.n_clflushopt == 1
+        assert ops.n_pcommit == 1
+        assert ops.n_sfence == 2
+
+    def test_domain_receives_instructions(self):
+        ops, _, heap, domain = make(PersistMode.LOG_P_SF)
+        heap.store_u64(0x100, 1)
+        ops.clwb(0x100)
+        ops.persist_barrier()
+        assert domain.is_durable(0x100)
+
+
+class TestOptionalBackends:
+    def test_recorder_only(self):
+        recorder = TraceRecorder()
+        ops = PersistOps(PersistMode.LOG_P_SF, recorder=recorder)
+        ops.persist_barrier()
+        assert len(recorder.trace) == 3
+
+    def test_domain_only(self):
+        heap = NVMHeap(1 << 14)
+        domain = PersistenceDomain(heap)
+        heap.attach(domain)
+        ops = PersistOps(PersistMode.LOG_P_SF, domain=domain)
+        heap.store_u64(0x100, 1)
+        ops.clwb(0x100)
+        ops.persist_barrier()
+        assert domain.is_durable(0x100)

@@ -1,0 +1,132 @@
+"""Undo log layout and recovery (repro.txn.undolog)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.alloc import Allocator
+from repro.mem.heap import NVMHeap, CACHE_BLOCK
+from repro.txn.undolog import LogOverflowError, UndoLog
+
+
+def make_log(capacity=1 << 12):
+    heap = NVMHeap(1 << 18)
+    allocator = Allocator(heap)
+    log = UndoLog(heap, allocator, capacity)
+    return heap, allocator, log
+
+
+class TestHeader:
+    def test_initial_state(self):
+        _, _, log = make_log()
+        assert log.read_logged_bit() == 0
+        assert log.read_n_entries() == 0
+
+    def test_logged_bit_round_trip(self):
+        _, _, log = make_log()
+        log.write_logged_bit(1)
+        assert log.read_logged_bit() == 1
+
+    def test_capacity_validation(self):
+        heap = NVMHeap(1 << 18)
+        with pytest.raises(ValueError):
+            UndoLog(heap, Allocator(heap), capacity=32)
+
+
+class TestAppend:
+    def test_append_records_pre_image(self):
+        heap, _, log = make_log()
+        target = 0x2000
+        heap.store_u64(target, 0x1111)
+        log.append(target, 8)
+        entries = log.entries()
+        assert len(entries) == 1
+        _, addr, size = entries[0]
+        assert (addr, size) == (target, 8)
+
+    def test_append_returns_touched_blocks(self):
+        heap, _, log = make_log()
+        blocks = log.append(0x2000, CACHE_BLOCK)
+        assert all(b % CACHE_BLOCK == 0 for b in blocks)
+        assert len(blocks) >= 2  # 16B header + 64B payload spans 2+ blocks
+
+    def test_entry_count_increments(self):
+        heap, _, log = make_log()
+        log.append(0x2000, 8)
+        log.append(0x2100, 8)
+        assert log.read_n_entries() == 2
+
+    def test_reset_clears_entries(self):
+        heap, _, log = make_log()
+        log.append(0x2000, 8)
+        log.reset()
+        assert log.read_n_entries() == 0
+        assert log.entries() == []
+
+    def test_zero_size_rejected(self):
+        _, _, log = make_log()
+        with pytest.raises(ValueError):
+            log.append(0x2000, 0)
+
+    def test_overflow_raises(self):
+        _, _, log = make_log(capacity=128)
+        log.append(0x2000, 8)  # 24 bytes
+        log.append(0x2100, 8)
+        with pytest.raises(LogOverflowError):
+            log.append(0x2200, 64)
+
+
+class TestUndo:
+    def test_undo_restores_pre_image(self):
+        heap, _, log = make_log()
+        heap.store_u64(0x2000, 0xAAAA)
+        log.append(0x2000, 8)
+        heap.store_u64(0x2000, 0xBBBB)
+        assert log.apply_undo() == 1
+        assert heap.load_u64(0x2000) == 0xAAAA
+
+    def test_undo_applies_in_reverse_order(self):
+        heap, _, log = make_log()
+        heap.store_u64(0x2000, 1)
+        log.append(0x2000, 8)  # pre-image 1 (older entry must win)
+        heap.store_u64(0x2000, 2)
+        log.append(0x2000, 8)  # pre-image 2
+        heap.store_u64(0x2000, 3)
+        log.apply_undo()
+        assert heap.load_u64(0x2000) == 1
+
+    def test_undo_is_idempotent(self):
+        heap, _, log = make_log()
+        heap.store_u64(0x2000, 7)
+        log.append(0x2000, 8)
+        heap.store_u64(0x2000, 8)
+        log.apply_undo()
+        log.apply_undo()
+        assert heap.load_u64(0x2000) == 7
+
+    def test_undo_multiple_targets(self):
+        heap, _, log = make_log()
+        targets = [0x2000, 0x2100, 0x2200]
+        for i, target in enumerate(targets):
+            heap.store_u64(target, i)
+            log.append(target, 8)
+            heap.store_u64(target, 0xFF)
+        log.apply_undo()
+        for i, target in enumerate(targets):
+            assert heap.load_u64(target) == i
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_undo_restores_arbitrary_values(self, values):
+        heap, _, log = make_log()
+        base = 0x4000
+        for i, value in enumerate(values):
+            heap.store_u64(base + i * CACHE_BLOCK, value)
+            log.append(base + i * CACHE_BLOCK, 8)
+            heap.store_u64(base + i * CACHE_BLOCK, ~value & 0xFFFFFFFFFFFFFFFF)
+        log.apply_undo()
+        for i, value in enumerate(values):
+            assert heap.load_u64(base + i * CACHE_BLOCK) == value

@@ -1,0 +1,82 @@
+"""Differential test: the cache hierarchy against a brute-force reference.
+
+A reference model tracks, for one cache level, the exact LRU order of each
+set; the real implementation must agree on every hit/miss decision across
+randomised access streams.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.caches import CacheLevel
+from repro.uarch.config import CacheConfig
+
+
+class ReferenceCache:
+    """Obviously-correct set-associative LRU cache."""
+
+    def __init__(self, n_sets, ways, block_size=64):
+        self.n_sets = n_sets
+        self.ways = ways
+        self.block_bits = block_size.bit_length() - 1
+        self.sets = {i: [] for i in range(n_sets)}
+
+    def access(self, block):
+        index = (block >> self.block_bits) % self.n_sets
+        lru = self.sets[index]
+        hit = block in lru
+        if hit:
+            lru.remove(block)
+        lru.append(block)
+        if len(lru) > self.ways:
+            lru.pop(0)
+        return hit
+
+
+@given(
+    blocks=st.lists(
+        st.integers(min_value=0, max_value=255).map(lambda x: x * 64),
+        min_size=1,
+        max_size=400,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_lru_decisions_match_reference(blocks):
+    config = CacheConfig(size_bytes=8 * 4 * 64, ways=4, latency=1)  # 8 sets
+    real = CacheLevel(config, "dut")
+    reference = ReferenceCache(config.n_sets, config.ways)
+    for block in blocks:
+        expected = reference.access(block)
+        actual = real.lookup(block)
+        if not actual:
+            real.fill(block)
+        assert actual == expected, f"divergence at block {block:#x}"
+
+
+@given(
+    blocks=st.lists(
+        st.integers(min_value=0, max_value=127).map(lambda x: x * 64),
+        min_size=1,
+        max_size=300,
+    ),
+    dirty_mask=st.lists(st.booleans(), min_size=1, max_size=300),
+)
+@settings(max_examples=40, deadline=None)
+def test_dirty_bits_survive_lru_refreshes(blocks, dirty_mask):
+    """Once a resident block is dirtied, it stays dirty until cleaned or
+    evicted — LRU refreshes must not drop the bit."""
+    config = CacheConfig(size_bytes=16 * 4 * 64, ways=4, latency=1)
+    cache = CacheLevel(config, "dut")
+    dirty = set()
+    for block, make_dirty in zip(blocks, dirty_mask):
+        if cache.lookup(block, make_dirty=make_dirty):
+            if make_dirty:
+                dirty.add(block)
+        else:
+            victim = cache.fill(block, dirty=make_dirty)
+            if make_dirty:
+                dirty.add(block)
+            if victim is not None:
+                victim_block, victim_dirty = victim
+                assert victim_dirty == (victim_block in dirty)
+                dirty.discard(victim_block)
+        assert cache.is_dirty(block) == (block in dirty)

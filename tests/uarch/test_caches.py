@@ -1,0 +1,149 @@
+"""Cache hierarchy behaviour (repro.uarch.caches)."""
+
+from repro.uarch.caches import CacheHierarchy, CacheLevel
+from repro.uarch.config import CacheConfig, MachineConfig
+
+
+class _StubMC:
+    def __init__(self):
+        self.writebacks = []
+
+    def enqueue_writeback(self, block, now):
+        self.writebacks.append((block, now))
+        return now + 1
+
+
+def make_hierarchy():
+    mc = _StubMC()
+    return CacheHierarchy(MachineConfig(), mc), mc
+
+
+class TestCacheLevel:
+    def test_miss_then_hit(self):
+        level = CacheLevel(CacheConfig(1024, 2, 1), "L1")
+        assert not level.lookup(0x40)
+        level.fill(0x40)
+        assert level.lookup(0x40)
+
+    def test_lru_eviction(self):
+        level = CacheLevel(CacheConfig(2 * 64, 2, 1), "tiny")  # 1 set, 2 ways
+        level.fill(0x000)
+        level.fill(0x1000)
+        level.lookup(0x000)          # refresh LRU: 0x1000 is now LRU
+        victim = level.fill(0x2000)
+        assert victim == (0x1000, False)
+
+    def test_dirty_victim_reported(self):
+        level = CacheLevel(CacheConfig(2 * 64, 2, 1), "tiny")
+        level.fill(0x000, dirty=True)
+        level.fill(0x1000)
+        victim = level.fill(0x2000)
+        assert victim == (0x000, True)
+        assert level.writebacks == 1
+
+    def test_lookup_sets_dirty(self):
+        level = CacheLevel(CacheConfig(1024, 2, 1), "L1")
+        level.fill(0x40)
+        level.lookup(0x40, make_dirty=True)
+        assert level.is_dirty(0x40)
+
+    def test_clean_clears_dirty(self):
+        level = CacheLevel(CacheConfig(1024, 2, 1), "L1")
+        level.fill(0x40, dirty=True)
+        assert level.clean(0x40)
+        assert not level.is_dirty(0x40)
+        assert not level.clean(0x40)
+
+    def test_evict_returns_dirty_bit(self):
+        level = CacheLevel(CacheConfig(1024, 2, 1), "L1")
+        level.fill(0x40, dirty=True)
+        assert level.evict(0x40) is True
+        assert level.evict(0x40) is None
+        assert 0x40 not in level
+
+
+class TestHierarchyLatency:
+    def test_l1_hit_latency(self):
+        h, _ = make_hierarchy()
+        h.access(0x40, False, 0)  # install
+        assert h.access(0x40, False, 10) == 2
+
+    def test_cold_miss_latency_includes_nvmm(self):
+        h, _ = make_hierarchy()
+        latency = h.access(0x40, False, 0)
+        assert latency == 2 + 11 + 20 + 105
+
+    def test_l2_hit_latency(self):
+        h, _ = make_hierarchy()
+        h.access(0x40, False, 0)
+        # evict from L1 only by filling its set (8 ways, 64 sets)
+        for i in range(1, 9):
+            h.access(0x40 + i * 64 * 64, False, 0)
+        assert h.access(0x40, False, 100) == 2 + 11
+
+    def test_miss_counts(self):
+        h, _ = make_hierarchy()
+        h.access(0x40, False, 0)
+        h.access(0x40, False, 1)
+        assert h.l1.misses == 1
+        assert h.l1.hits == 1
+        assert h.nvmm_reads == 1
+
+
+class TestWritebackRouting:
+    def test_dirty_l3_victim_reaches_memory_controller(self):
+        h, mc = make_hierarchy()
+        sets = h.l3.n_sets
+        # Stream enough conflicting dirty blocks through one L3 set that
+        # dirty data cascades L1 -> L2 -> L3 and finally spills to the MC.
+        n = h.l1.ways + h.l2.ways + h.l3.ways + 4
+        for i in range(n):
+            h.access(0x40 + i * sets * 64, True, i)
+        assert mc.writebacks, "dirty L3 victim should have been written back"
+
+    def test_clean_victims_not_written_back(self):
+        h, mc = make_hierarchy()
+        sets = h.l3.n_sets
+        for i in range(h.l3.ways + 1):
+            h.access(0x40 + i * sets * 64, False, i)
+        assert not mc.writebacks
+
+
+class TestFlush:
+    def test_clwb_writes_back_dirty_block(self):
+        h, mc = make_hierarchy()
+        h.access(0x40, True, 0)
+        latency, wrote = h.flush(0x40, invalidate=False, now=10)
+        assert wrote
+        assert latency == 2 + 11 + 20
+        assert mc.writebacks
+        assert 0x40 in h.l1  # clwb keeps the block resident
+
+    def test_clwb_clean_block_no_writeback(self):
+        h, mc = make_hierarchy()
+        h.access(0x40, False, 0)
+        _, wrote = h.flush(0x40, invalidate=False, now=10)
+        assert not wrote
+        assert not mc.writebacks
+
+    def test_clflushopt_evicts(self):
+        h, mc = make_hierarchy()
+        h.access(0x40, True, 0)
+        _, wrote = h.flush(0x40, invalidate=True, now=10)
+        assert wrote
+        assert 0x40 not in h.l1
+        assert 0x40 not in h.l2
+        assert 0x40 not in h.l3
+
+    def test_flush_clears_dirty_everywhere(self):
+        h, _ = make_hierarchy()
+        h.access(0x40, True, 0)
+        h.flush(0x40, invalidate=False, now=10)
+        assert not h.is_dirty_anywhere(0x40)
+
+    def test_double_flush_single_writeback(self):
+        h, mc = make_hierarchy()
+        h.access(0x40, True, 0)
+        h.flush(0x40, invalidate=False, now=10)
+        h.flush(0x40, invalidate=False, now=20)
+        assert len(mc.writebacks) == 1

@@ -1,0 +1,106 @@
+"""Memory controller / WPQ timing (repro.uarch.memctrl)."""
+
+from repro.uarch.config import MachineConfig
+from repro.uarch.memctrl import MemoryController
+
+
+def make_mc(**overrides):
+    from dataclasses import replace
+
+    return MemoryController(replace(MachineConfig(), **overrides))
+
+
+class TestWritebackTiming:
+    def test_single_write_service_time(self):
+        mc = make_mc()
+        done = mc.enqueue_writeback(0x40, 100)
+        assert done == 100 + mc.service_cycles
+
+    def test_back_to_back_writes_queue(self):
+        mc = make_mc()
+        first = mc.enqueue_writeback(0x40, 100)
+        second = mc.enqueue_writeback(0x80, 100)
+        assert second == first + mc.service_cycles
+
+    def test_idle_gap_resets_queue(self):
+        mc = make_mc()
+        first = mc.enqueue_writeback(0x40, 100)
+        second = mc.enqueue_writeback(0x80, first + 1000)
+        assert second == first + 1000 + mc.service_cycles
+
+    def test_bank_parallelism_scales_service(self):
+        slow = make_mc(nvmm_banks=1)
+        fast = make_mc(nvmm_banks=16)
+        assert slow.service_cycles == slow.config.nvmm_write_cycles
+        assert fast.service_cycles == slow.config.nvmm_write_cycles // 16
+
+    def test_write_counter(self):
+        mc = make_mc()
+        mc.enqueue_writeback(0x40, 0)
+        mc.enqueue_writeback(0x80, 0)
+        assert mc.writes == 2
+
+
+class TestPcommit:
+    def test_empty_queue_costs_roundtrip(self):
+        mc = make_mc()
+        assert mc.pcommit(100) == 100 + mc.config.mc_roundtrip
+
+    def test_pcommit_waits_for_drain(self):
+        mc = make_mc()
+        done_write = mc.enqueue_writeback(0x40, 100)
+        done = mc.pcommit(100)
+        assert done == done_write + mc.config.mc_roundtrip
+
+    def test_pcommit_after_drain_is_cheap(self):
+        mc = make_mc()
+        done_write = mc.enqueue_writeback(0x40, 100)
+        done = mc.pcommit(done_write + 50)
+        assert done == done_write + 50 + mc.config.mc_roundtrip
+
+    def test_pcommit_scales_with_queue_depth(self):
+        mc = make_mc()
+        for i in range(10):
+            mc.enqueue_writeback(0x40 * i, 100)
+        done = mc.pcommit(100)
+        assert done == 100 + 10 * mc.service_cycles + mc.config.mc_roundtrip
+
+
+class TestInflightTracking:
+    def test_single_pcommit(self):
+        mc = make_mc()
+        mc.pcommit(0)
+        assert mc.max_inflight_pcommits == 1
+
+    def test_overlapping_pcommits_counted(self):
+        mc = make_mc()
+        for i in range(5):
+            mc.enqueue_writeback(0x40 * i, 0)
+        # issue pcommits before the first completes
+        mc.pcommit(0)
+        mc.pcommit(1)
+        mc.pcommit(2)
+        assert mc.max_inflight_pcommits == 3
+
+    def test_completed_pcommits_retire_from_tracking(self):
+        mc = make_mc()
+        first = mc.pcommit(0)
+        mc.pcommit(first + 100)  # issued after the first completed
+        assert mc.max_inflight_pcommits == 1
+
+    def test_pcommit_counter(self):
+        mc = make_mc()
+        mc.pcommit(0)
+        mc.pcommit(0)
+        assert mc.pcommits == 2
+
+
+class TestOccupancy:
+    def test_occupancy_drops_after_drain(self):
+        mc = make_mc()
+        done = 0
+        for i in range(4):
+            done = mc.enqueue_writeback(0x40 * i, 0)
+        assert mc.wpq_occupancy(0) == 4
+        assert mc.wpq_occupancy(done) == 0
+        assert mc.max_wpq_occupancy == 4

@@ -1,0 +1,161 @@
+"""Baseline pipeline timing model (repro.uarch.pipeline), SP disabled."""
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel, simulate
+
+
+def run(instrs, config=None):
+    return simulate(Trace(instrs), config or MachineConfig())
+
+
+class TestBandwidth:
+    def test_alu_ipc_is_width(self):
+        stats = run([Instr(Op.ALU)] * 400)
+        assert abs(stats.ipc - 4.0) < 0.5
+
+    def test_instruction_count(self):
+        stats = run([Instr(Op.ALU)] * 100)
+        assert stats.instructions == 100
+
+    def test_empty_trace(self):
+        stats = run([])
+        assert stats.cycles == 0
+        assert stats.instructions == 0
+
+
+class TestLoads:
+    def test_cold_load_pays_full_miss(self):
+        stats = run([Instr(Op.LOAD, 0x1000)])
+        assert stats.cycles >= 105  # NVMM read dominates
+
+    def test_warm_load_is_cheap(self):
+        stats = run([Instr(Op.LOAD, 0x1000), Instr(Op.LOAD, 0x1000, meta="x")])
+        # second load hits L1; total stays near the single miss
+        assert stats.cycles < 160
+
+    def test_dependent_chain_serialises(self):
+        chain = [Instr(Op.LOAD, 0x1000 + i * 4096) for i in range(10)]
+        stats = run(chain)
+        assert stats.cycles >= 10 * 105
+
+    def test_streaming_loads_overlap(self):
+        streaming = [Instr(Op.LOAD, 0x1000 + i * 4096, meta="bulk") for i in range(10)]
+        stats = run(streaming)
+        assert stats.cycles < 2 * (2 + 11 + 20 + 105)
+
+    def test_same_block_fields_share_fill(self):
+        stats = run([Instr(Op.LOAD, 0x1000), Instr(Op.LOAD, 0x1010)])
+        assert stats.cycles < 1.5 * (2 + 11 + 20 + 105)
+
+
+class TestStores:
+    def test_stores_do_not_stall_retirement(self):
+        # stores retire at width pace even though they miss
+        stats = run([Instr(Op.STORE, 0x1000 + i * 4096) for i in range(100)])
+        assert stats.cycles < 500
+
+    def test_store_counts(self):
+        stats = run([Instr(Op.STORE, 0x40), Instr(Op.XCHG, 0x80)])
+        assert stats.stores == 2
+
+
+class TestSfenceSemantics:
+    def test_sfence_waits_for_store_visibility(self):
+        trace = [Instr(Op.STORE, 0x1000), Instr(Op.SFENCE)]
+        stats = run(trace)
+        assert stats.sfence_stall_cycles > 0
+
+    def test_sfence_after_nothing_is_cheap(self):
+        stats = run([Instr(Op.ALU), Instr(Op.SFENCE)])
+        assert stats.sfence_stall_cycles == 0
+
+    def test_barrier_stalls_for_pcommit(self):
+        trace = [
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.SFENCE),
+            Instr(Op.PCOMMIT),
+            Instr(Op.SFENCE),
+        ]
+        stats = run(trace)
+        assert stats.sfence_stall_cycles > 50
+        assert stats.pcommits == 1
+        assert stats.sfences == 2
+
+    def test_lone_pcommit_does_not_stall(self):
+        trace = [Instr(Op.STORE, 0x1000), Instr(Op.CLWB, 0x1000), Instr(Op.PCOMMIT)]
+        stats = run(trace)
+        assert stats.sfence_stall_cycles == 0
+
+    def test_barrier_cost_visible_in_cycles(self):
+        body = [Instr(Op.ALU)] * 50
+        plain = run(body * 4)
+        barrier = [
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.SFENCE),
+            Instr(Op.PCOMMIT),
+            Instr(Op.SFENCE),
+        ]
+        fenced = run((body + barrier) * 4)
+        assert fenced.cycles > plain.cycles + 200
+
+
+class TestBackpressure:
+    def test_long_stall_causes_fetch_queue_stalls(self):
+        barrier = [
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.SFENCE),
+            Instr(Op.PCOMMIT),
+            Instr(Op.SFENCE),
+        ]
+        # enough trailing work to fill ROB + fetch queue during the stall
+        trace = barrier + [Instr(Op.ALU)] * 400
+        stats = run(trace)
+        assert stats.fetch_stall_cycles > 0
+
+    def test_no_fetch_stalls_without_fences(self):
+        stats = run([Instr(Op.ALU)] * 400)
+        assert stats.fetch_stall_cycles == 0
+
+
+class TestInflightPcommitStats:
+    def test_multiple_outstanding_pcommits(self):
+        trace = []
+        for i in range(6):
+            trace.append(Instr(Op.STORE, 0x1000 + i * 64))
+            trace.append(Instr(Op.CLWB, 0x1000 + i * 64))
+            trace.append(Instr(Op.PCOMMIT))
+        stats = run(trace)
+        assert stats.max_inflight_pcommits >= 2
+
+    def test_stores_during_pcommit_counted(self):
+        trace = [
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.PCOMMIT),
+            Instr(Op.STORE, 0x2000),
+            Instr(Op.STORE, 0x3000),
+        ]
+        stats = run(trace)
+        assert stats.stores_during_pcommit >= 2
+
+
+class TestDeterminism:
+    def test_same_trace_same_cycles(self):
+        trace = Trace(
+            [Instr(Op.LOAD, 0x1000), Instr(Op.STORE, 0x2000), Instr(Op.ALU)] * 30
+        )
+        a = simulate(trace, MachineConfig())
+        b = simulate(trace, MachineConfig())
+        assert a.cycles == b.cycles
+
+    def test_model_reusable_objects_fresh(self):
+        trace = Trace([Instr(Op.LOAD, 0x1000)])
+        first = PipelineModel(MachineConfig()).run(trace)
+        second = PipelineModel(MachineConfig()).run(trace)
+        assert first.cycles == second.cycles

@@ -1,0 +1,138 @@
+"""Pipeline edge cases not covered by the main timing tests."""
+
+from dataclasses import replace
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel, simulate
+
+BASE = MachineConfig()
+
+
+class TestLoneSfence:
+    def test_lone_sfence_without_pcommit(self):
+        trace = Trace([
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.SFENCE),
+            Instr(Op.ALU),
+        ])
+        stats = simulate(trace, BASE)
+        assert stats.sfences == 1
+        assert stats.sfence_stall_cycles > 0
+
+    def test_mfence_acts_like_sfence_for_persists(self):
+        trace = Trace([
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.MFENCE),
+        ])
+        stats = simulate(trace, BASE)
+        assert stats.sfence_stall_cycles > 0
+
+    def test_lone_sfence_can_start_speculation(self):
+        trace = Trace([
+            Instr(Op.STORE, 0x1000),
+            Instr(Op.CLWB, 0x1000),
+            Instr(Op.SFENCE),
+            Instr(Op.ALU),
+        ])
+        stats = simulate(trace, BASE.with_sp(256))
+        assert stats.sp_entries == 1
+        assert stats.sfence_stall_cycles == 0
+
+    def test_trailing_sfence_pair_without_pcommit(self):
+        # two adjacent fences must not be mistaken for a barrier triple
+        trace = Trace([Instr(Op.SFENCE), Instr(Op.SFENCE)])
+        stats = simulate(trace, BASE)
+        assert stats.sfences == 2
+        assert stats.pcommits == 0
+
+    def test_truncated_barrier_at_trace_end(self):
+        # sfence+pcommit at the very end (no closing sfence)
+        trace = Trace([Instr(Op.STORE, 0x1000), Instr(Op.SFENCE), Instr(Op.PCOMMIT)])
+        stats = simulate(trace, BASE)
+        assert stats.instructions == 3
+        assert stats.pcommits == 1
+
+
+class TestStrongOrderingOutsideSpeculation:
+    def test_xchg_without_speculation(self):
+        trace = Trace([Instr(Op.XCHG, 0x1000), Instr(Op.ALU)])
+        stats = simulate(trace, BASE)
+        assert stats.stores == 1
+        assert stats.instructions == 2
+
+    def test_lock_rmw(self):
+        trace = Trace([Instr(Op.LOCK_RMW, 0x1000)])
+        stats = simulate(trace, BASE)
+        assert stats.stores == 1
+
+    def test_clflush_without_speculation_stalls_retirement(self):
+        fast = simulate(Trace([Instr(Op.STORE, 0x1000), Instr(Op.CLWB, 0x1000),
+                               Instr(Op.ALU)]), BASE)
+        slow = simulate(Trace([Instr(Op.STORE, 0x1000), Instr(Op.CLFLUSH, 0x1000),
+                               Instr(Op.ALU)]), BASE)
+        assert slow.cycles > fast.cycles
+
+
+class TestLSQConstraint:
+    def test_lsq_full_throttles_memory_ops(self):
+        # a burst of slow independent loads larger than the LSQ
+        trace = Trace(
+            [Instr(Op.LOAD, 0x100000 + i * 4096, meta="bulk") for i in range(120)]
+        )
+        tiny = simulate(trace, replace(BASE, lsq_entries=4))
+        roomy = simulate(trace, replace(BASE, lsq_entries=512))
+        assert tiny.cycles > roomy.cycles
+
+    def test_alu_unaffected_by_lsq(self):
+        trace = Trace([Instr(Op.ALU)] * 200)
+        tiny = simulate(trace, replace(BASE, lsq_entries=4))
+        roomy = simulate(trace, BASE)
+        assert tiny.cycles == roomy.cycles
+
+
+class TestWidthScaling:
+    def test_wider_machine_never_slower(self):
+        trace = Trace([Instr(Op.ALU)] * 400)
+        narrow = simulate(trace, replace(BASE, width=2))
+        wide = simulate(trace, replace(BASE, width=8))
+        assert wide.cycles <= narrow.cycles
+
+    def test_bigger_rob_never_slower(self):
+        instrs = []
+        for i in range(8):
+            instrs += [Instr(Op.STORE, 0x1000 + i * 64), Instr(Op.CLWB, 0x1000 + i * 64),
+                       Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+            instrs += [Instr(Op.ALU)] * 100
+        trace = Trace(instrs)
+        small = simulate(trace, replace(BASE, rob_entries=32))
+        big = simulate(trace, replace(BASE, rob_entries=256))
+        assert big.cycles <= small.cycles
+
+
+class TestStatsSanity:
+    def test_op_counts_partition_the_trace(self):
+        instrs = (
+            [Instr(Op.ALU)] * 10
+            + [Instr(Op.LOAD, 0x1000, meta="bulk")] * 5
+            + [Instr(Op.STORE, 0x2000)] * 4
+            + [Instr(Op.CLWB, 0x2000)] * 3
+            + [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+        )
+        stats = simulate(Trace(instrs), BASE)
+        assert stats.loads == 5
+        assert stats.stores == 4
+        assert stats.clwbs == 3
+        assert stats.pcommits == 1
+        assert stats.sfences == 2
+        assert stats.instructions == len(instrs)
+
+    def test_model_exposes_component_stats(self):
+        model = PipelineModel(BASE)
+        model.run(Trace([Instr(Op.LOAD, 0x1000)]))
+        assert model.caches.l1.misses == 1
+        assert model.stats.nvmm_reads == 1

@@ -1,0 +1,126 @@
+"""Cross-cutting timing-model properties.
+
+These are the "physics" the model must obey regardless of trace shape:
+slower memory never speeds a run up, speculation never loses, bigger
+structures never hurt, and simulation is deterministic.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+
+BASE = MachineConfig()
+
+_OPS = [Op.ALU, Op.BRANCH, Op.LOAD, Op.STORE, Op.CLWB]
+
+
+def random_trace(draw_ops, barriers_every=0):
+    instrs = []
+    for index, (op, slot) in enumerate(draw_ops):
+        addr = 0x10000 + slot * 64
+        instrs.append(Instr(op, addr if op in (Op.LOAD, Op.STORE, Op.CLWB) else 0))
+        if barriers_every and (index + 1) % barriers_every == 0:
+            instrs += [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+    return Trace(instrs)
+
+
+trace_strategy = st.lists(
+    st.tuples(st.sampled_from(_OPS), st.integers(min_value=0, max_value=63)),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestDeterminism:
+    @given(ops=trace_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_repeated_simulation_identical(self, ops):
+        trace = random_trace(ops, barriers_every=17)
+        first = simulate(trace, BASE)
+        second = simulate(trace, BASE)
+        assert first.cycles == second.cycles
+        assert first.instructions == second.instructions
+        assert first.fetch_stall_cycles == second.fetch_stall_cycles
+
+
+class TestMemoryLatencyMonotonicity:
+    @given(ops=trace_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_slower_nvmm_never_faster(self, ops):
+        trace = random_trace(ops, barriers_every=13)
+        fast = simulate(trace, BASE)
+        slow = simulate(
+            trace, replace(BASE, nvmm_read_cycles=400, nvmm_write_cycles=1200)
+        )
+        assert slow.cycles >= fast.cycles
+
+    @given(ops=trace_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_fewer_banks_never_faster(self, ops):
+        trace = random_trace(ops, barriers_every=13)
+        wide = simulate(trace, BASE)
+        narrow = simulate(trace, replace(BASE, nvmm_banks=1))
+        assert narrow.cycles >= wide.cycles
+
+
+class TestSpeculationNeverLoses:
+    @given(ops=trace_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_sp_never_slower_on_fenced_traces(self, ops):
+        trace = random_trace(ops, barriers_every=11)
+        stall = simulate(trace, BASE)
+        sp = simulate(trace, BASE.with_sp(256))
+        # SP pays bloom/SSB latencies, so allow a tiny epsilon, but it can
+        # never be meaningfully slower than stalling
+        assert sp.cycles <= stall.cycles * 1.02 + 50
+
+    @given(ops=trace_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_sp_identical_without_fences(self, ops):
+        trace = random_trace(ops, barriers_every=0)
+        assert simulate(trace, BASE).cycles == simulate(trace, BASE.with_sp(256)).cycles
+
+
+class TestStructuralInvariants:
+    @given(ops=trace_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_instruction_conservation(self, ops):
+        trace = random_trace(ops, barriers_every=9)
+        stats = simulate(trace, BASE.with_sp(256))
+        assert stats.instructions == len(trace)
+
+    @given(ops=trace_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_cycles_bounded_below_by_width(self, ops):
+        trace = random_trace(ops)
+        stats = simulate(trace, BASE)
+        assert stats.cycles >= len(trace) // BASE.width
+
+    @given(ops=trace_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_machine_always_drains(self, ops):
+        from repro.uarch.pipeline import PipelineModel
+
+        model = PipelineModel(BASE.with_sp(64))
+        model.run(random_trace(ops, barriers_every=7))
+        assert not model.epochs.speculating
+        assert len(model.ssb) == 0
+        assert model.checkpoints.in_use == 0
+
+
+class TestConfigSweepSanity:
+    @pytest.mark.parametrize("checkpoints", [1, 2, 4, 8])
+    def test_more_checkpoints_never_slower(self, checkpoints):
+        trace = random_trace(
+            [(Op.STORE, i % 40) for i in range(200)], barriers_every=10
+        )
+        few = simulate(trace, BASE.with_sp(256, checkpoint_entries=1))
+        some = simulate(trace, BASE.with_sp(256, checkpoint_entries=checkpoints))
+        assert some.cycles <= few.cycles

@@ -1,0 +1,110 @@
+"""2-3 B-tree internals (repro.workloads.btree)."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestNodeEncoding:
+    def test_leaf_encoding(self):
+        tree = make_workload("BT")
+        tree.operation(5)
+        with tree.bench.untimed():
+            root = tree._root()
+            assert tree._is_leaf(root)
+            assert tree._leaf_key(root) == 5
+
+    def test_internal_encoding_after_second_insert(self):
+        tree = make_workload("BT")
+        tree.operation(5)
+        tree.operation(9)
+        with tree.bench.untimed():
+            root = tree._root()
+            assert not tree._is_leaf(root)
+            assert tree._n_children(root) == 2
+            assert tree._router(root, 0) == 5
+            assert tree._router(root, 1) == 9
+
+    def test_write_internal_validates_arity(self):
+        tree = make_workload("BT")
+        node = tree._alloc_node()
+        with pytest.raises(ValueError):
+            tree._write_internal(node, [(1, 2)])
+        with pytest.raises(ValueError):
+            tree._write_internal(node, [(1, 2)] * 4)
+
+    def test_routers_are_subtree_minima(self):
+        tree = make_workload("BT")
+        for key in (10, 20, 30, 5, 25, 15, 35):
+            tree.operation(key)
+        with tree.bench.untimed():
+            root = tree._root()
+            for i in range(tree._n_children(root)):
+                child = tree._child(root, i)
+                assert tree._router(root, i) == tree._min_key(child)
+
+
+class TestDescent:
+    def test_descend_picks_floor_child(self):
+        tree = make_workload("BT")
+        for key in (10, 20, 30, 40):
+            tree.operation(key)
+        with tree.bench.untimed():
+            root = tree._root()
+            # a key below every router descends into child 0
+            assert tree._descend_child(root, 1) == tree._child(root, 0)
+            # a huge key descends into the last child
+            last = tree._n_children(root) - 1
+            assert tree._descend_child(root, 999) == tree._child(root, last)
+
+    def test_search_absent_key_between_leaves(self):
+        tree = make_workload("BT")
+        for key in (10, 30):
+            tree.operation(key)
+        with tree.bench.untimed():
+            assert tree.search(20) is None
+            assert tree.search(10) is not None
+
+
+class TestStructuralTransitions:
+    def test_root_split_increases_depth(self):
+        tree = make_workload("BT")
+
+        def depth():
+            with tree.bench.untimed():
+                node, levels = tree._root(), 1
+                while not tree._is_leaf(node):
+                    node = tree._child(node, 0)
+                    levels += 1
+                return levels
+
+        tree.operation(1)
+        tree.operation(2)
+        shallow = depth()
+        for key in range(3, 12):
+            tree.operation(key)
+        assert depth() > shallow
+        assert tree.check_invariants() is None
+
+    def test_merge_reduces_depth(self):
+        tree = make_workload("BT")
+        for key in range(12):
+            tree.operation(key)
+        deep_before = True
+        for key in range(11):
+            tree.operation(key)  # delete back down to one record
+        with tree.bench.untimed():
+            assert tree._is_leaf(tree._root())
+        assert tree.check_invariants() is None
+        del deep_before
+
+    def test_alternating_churn_at_boundary(self):
+        tree = make_workload("BT")
+        for key in range(8):
+            tree.operation(key)
+        for _ in range(40):  # repeatedly split/merge the same boundary
+            tree.operation(8)
+        assert tree.check_invariants() is None

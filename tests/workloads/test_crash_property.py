@@ -1,0 +1,100 @@
+"""Property-based crash testing: random histories, random crash points.
+
+Hypothesis drives a random operation sequence against a workload, crashes
+at a random store within a randomly chosen operation, recovers, and checks
+the structure.  This complements the deterministic sweeps in
+test_crash_consistency.py with shrinkable counterexamples: if the WAL
+protocol has a hole, hypothesis will find and minimise the history that
+exposes it.
+"""
+
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pmem.crash import CrashSignal
+from repro.txn.modes import PersistMode
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class _CrashAtStore:
+    def __init__(self, countdown):
+        self.countdown = countdown
+
+    def load(self, addr, size=8, meta=None):
+        pass
+
+    def store(self, addr, size=8, meta=None):
+        self.countdown -= 1
+        if self.countdown == 0:
+            raise CrashSignal()
+
+
+def _run_history(ab, keys, crash_op_index, crash_store, seed):
+    """Apply *keys* as operations, crashing inside operation
+    *crash_op_index* at its *crash_store*-th store; recover and verify."""
+    workload = make_workload(ab, mode=PersistMode.LOG_P_SF, seed=seed)
+    workload.populate(20)
+    domain = workload.bench.domain
+    crashed = False
+    for index, key in enumerate(keys):
+        key %= workload._key_space
+        if index == crash_op_index:
+            crasher = _CrashAtStore(crash_store)
+            workload.heap.attach(crasher)
+            try:
+                workload.operation(key)
+            except CrashSignal:
+                crashed = True
+            finally:
+                workload.heap.detach(crasher)
+            domain.crash()
+            workload.recover()
+            break
+        workload.operation(key)
+    error = workload.check_invariants()
+    return crashed, error
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=8),
+    crash_op=st.integers(min_value=0, max_value=7),
+    crash_store=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_linkedlist_random_crash_histories(keys, crash_op, crash_store, seed):
+    crashed, error = _run_history(
+        "LL", keys, crash_op % len(keys), crash_store, seed
+    )
+    assert error is None, f"crashed={crashed}: {error}"
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=8),
+    crash_op=st.integers(min_value=0, max_value=7),
+    crash_store=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_hashmap_random_crash_histories(keys, crash_op, crash_store, seed):
+    crashed, error = _run_history(
+        "HM", keys, crash_op % len(keys), crash_store, seed
+    )
+    assert error is None, f"crashed={crashed}: {error}"
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=6),
+    crash_op=st.integers(min_value=0, max_value=5),
+    crash_store=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=15, deadline=None)
+def test_rbtree_random_crash_histories(keys, crash_op, crash_store, seed):
+    crashed, error = _run_history(
+        "RT", keys, crash_op % len(keys), crash_store, seed
+    )
+    assert error is None, f"crashed={crashed}: {error}"

@@ -1,0 +1,114 @@
+"""Extra persistent structures (repro.workloads.extra)."""
+
+import pytest
+
+from repro.pmem.crash import CrashTester
+from repro.txn.modes import PersistMode
+from repro.workloads.base import Workbench
+from repro.workloads.extra import PersistentQueue, PersistentStack
+
+
+def make_bench(seed=1):
+    return Workbench(
+        mode=PersistMode.LOG_P_SF,
+        heap_size=1 << 22,
+        record=True,
+        track_persistence=True,
+        seed=seed,
+    )
+
+
+class TestQueueFunctional:
+    def test_fifo_order(self):
+        queue = PersistentQueue(make_bench())
+        for value in (1, 2, 3):
+            queue.enqueue(value)
+        assert queue.dequeue() == 1
+        assert queue.dequeue() == 2
+        assert queue.contents() == [3]
+
+    def test_dequeue_empty(self):
+        queue = PersistentQueue(make_bench())
+        assert queue.dequeue() is None
+
+    def test_drain_and_refill(self):
+        queue = PersistentQueue(make_bench())
+        queue.enqueue(5)
+        queue.dequeue()
+        queue.enqueue(6)
+        assert queue.contents() == [6]
+        assert queue.check_invariants() is None
+
+    def test_length(self):
+        queue = PersistentQueue(make_bench())
+        for value in range(7):
+            queue.enqueue(value)
+        assert len(queue) == 7
+
+    def test_random_churn(self):
+        queue = PersistentQueue(make_bench(seed=3))
+        for _ in range(300):
+            queue.random_operation()
+        assert queue.check_invariants() is None
+
+    def test_one_transaction_per_op(self):
+        queue = PersistentQueue(make_bench())
+        before = queue.persist.n_pcommit
+        queue.enqueue(1)
+        assert queue.persist.n_pcommit - before == 4
+
+
+class TestStackFunctional:
+    def test_lifo_order(self):
+        stack = PersistentStack(make_bench())
+        for value in (1, 2, 3):
+            stack.push(value)
+        assert stack.pop() == 3
+        assert stack.pop() == 2
+        assert stack.contents() == [1]
+
+    def test_pop_empty(self):
+        stack = PersistentStack(make_bench())
+        assert stack.pop() is None
+
+    def test_random_churn(self):
+        stack = PersistentStack(make_bench(seed=5))
+        for _ in range(300):
+            stack.random_operation()
+        assert stack.check_invariants() is None
+
+    def test_depth_counter(self):
+        stack = PersistentStack(make_bench())
+        stack.push(1)
+        stack.push(2)
+        stack.pop()
+        assert stack.check_invariants() is None
+
+
+@pytest.mark.parametrize("cls", [PersistentQueue, PersistentStack])
+class TestCrashConsistency:
+    def test_crash_sweep(self, cls):
+        bench = make_bench(seed=11)
+        structure = cls(bench)
+        structure.populate(40)
+        keys = iter(range(100000))
+        tester = CrashTester(
+            bench.domain,
+            lambda: structure.operation(next(keys)),
+            structure.recover,
+            structure.check_invariants,
+            seed=7,
+        )
+        tester.sweep(max_points=20)
+        assert tester.all_consistent
+
+    def test_completed_op_survives_crash(self, cls):
+        bench = make_bench(seed=13)
+        structure = cls(bench)
+        structure.populate(10)
+        before = len(structure.model)
+        structure.operation(1000)  # even key -> always an insert
+        bench.domain.crash()
+        structure.recover()
+        assert structure.check_invariants() is None
+        assert len(structure.model) == before + 1

@@ -1,0 +1,68 @@
+"""Graph workload (repro.workloads.graph)."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestFunctional:
+    def test_insert_edge(self):
+        gh = make_workload("GH")
+        result = gh.edge_operation(1, 2)
+        assert result.inserted
+        assert gh.edges() == {(1, 2)}
+
+    def test_delete_edge(self):
+        gh = make_workload("GH")
+        gh.edge_operation(1, 2)
+        result = gh.edge_operation(1, 2)
+        assert result.deleted
+        assert gh.edges() == set()
+
+    def test_edges_are_directed(self):
+        gh = make_workload("GH")
+        gh.edge_operation(1, 2)
+        gh.edge_operation(2, 1)
+        assert gh.edges() == {(1, 2), (2, 1)}
+
+    def test_degree_counter(self):
+        gh = make_workload("GH")
+        gh.edge_operation(3, 1)
+        gh.edge_operation(3, 2)
+        assert gh.degree(3) == 2
+        gh.edge_operation(3, 1)
+        assert gh.degree(3) == 1
+
+    def test_delete_from_middle_of_adjacency_list(self):
+        gh = make_workload("GH")
+        for dst in (1, 2, 3):
+            gh.edge_operation(5, dst)
+        gh.edge_operation(5, 2)
+        assert gh.edges() == {(5, 1), (5, 3)}
+
+    def test_self_loop_allowed(self):
+        gh = make_workload("GH")
+        gh.edge_operation(4, 4)
+        assert (4, 4) in gh.edges()
+
+    def test_many_random_ops_match_model(self):
+        gh = make_workload("GH", seed=3)
+        for _ in range(300):
+            gh.random_operation()
+        assert gh.check_invariants() is None
+
+
+class TestTraceShape:
+    def test_operation_is_one_transaction(self):
+        gh = make_workload("GH")
+        before = gh.persist.n_pcommit
+        gh.edge_operation(1, 2)
+        assert gh.persist.n_pcommit - before == 4
+
+    def test_few_blocks_logged_per_operation(self):
+        """GH belongs to the paper's low-logging-overhead group: an edge
+        insert logs just the vertex entry."""
+        gh = make_workload("GH")
+        gh.edge_operation(1, 2)
+        assert gh.tx.stats.entries_logged <= 2

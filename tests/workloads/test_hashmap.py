@@ -1,0 +1,80 @@
+"""Hash-Map workload (repro.workloads.hashmap)."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestFunctional:
+    def test_insert_and_lookup(self):
+        hm = make_workload("HM")
+        hm.operation(10)
+        assert hm.items() == {10: 10 ^ 0x5555}
+
+    def test_delete(self):
+        hm = make_workload("HM")
+        hm.operation(10)
+        result = hm.operation(10)
+        assert result.deleted
+        assert hm.items() == {}
+
+    def test_tombstone_preserves_probe_chain(self):
+        hm = make_workload("HM", initial_capacity=8)
+        # Force a collision chain, then delete the middle entry.
+        keys = [0, 8, 16]  # hash to related slots in a tiny table
+        for key in keys:
+            hm.operation(key % hm._key_space)
+        present = set(hm.items())
+        victim = sorted(present)[1]
+        hm.operation(victim)
+        for key in present - {victim}:
+            assert key in hm.items()
+
+    def test_count_tracks_live_records(self):
+        hm = make_workload("HM")
+        hm.operation(1)
+        hm.operation(2)
+        hm.operation(1)  # delete
+        with hm.bench.untimed():
+            assert hm._count() == 1
+
+    def test_many_random_ops_match_model(self):
+        hm = make_workload("HM", seed=5)
+        for _ in range(300):
+            hm.random_operation()
+        assert hm.check_invariants() is None
+
+
+class TestResize:
+    def test_resize_triggered_by_load_factor(self):
+        hm = make_workload("HM", initial_capacity=8)
+        hm._key_space = 1 << 30  # unique keys so the table only grows
+        for key in range(7):
+            hm.operation(key * 1013 + 1)
+        assert hm.resizes >= 1
+        with hm.bench.untimed():
+            assert hm._capacity() >= 16
+
+    def test_resize_preserves_contents(self):
+        hm = make_workload("HM", initial_capacity=8)
+        hm._key_space = 1 << 30
+        keys = [k * 769 + 3 for k in range(12)]
+        for key in keys:
+            hm.operation(key)
+        assert hm.check_invariants() is None
+        assert set(hm.items()) == set(keys)
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            make_workload("HM", initial_capacity=100)
+
+
+class TestTraceShape:
+    def test_operation_is_one_transaction(self):
+        hm = make_workload("HM")
+        before = hm.persist.n_pcommit
+        hm.operation(42)
+        assert hm.persist.n_pcommit - before == 4

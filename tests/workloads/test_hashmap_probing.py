@@ -1,0 +1,54 @@
+"""Hash-map probing edge cases (repro.workloads.hashmap)."""
+
+import sys
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestProbeWraparound:
+    def test_chain_wraps_past_table_end(self):
+        """Force a probe chain across the table boundary by filling the
+        last slots, then verify lookups still find everything."""
+        hm = make_workload("HM", initial_capacity=8)
+        hm._key_space = 1 << 30
+
+        # find keys hashing to the last slot (index 7 of 8)
+        tail_keys = [k for k in range(1, 4000) if (hm._hash(k) & 7) == 7][:3]
+        assert len(tail_keys) == 3
+        for key in tail_keys:
+            hm.operation(key)
+        found = hm.items()
+        for key in tail_keys:
+            assert key in found
+        assert hm.check_invariants() is None
+
+    def test_delete_in_wrapped_chain(self):
+        hm = make_workload("HM", initial_capacity=8)
+        hm._key_space = 1 << 30
+        tail_keys = [k for k in range(1, 4000) if (hm._hash(k) & 7) == 7][:3]
+        for key in tail_keys:
+            hm.operation(key)
+        hm.operation(tail_keys[0])  # delete the chain head
+        found = hm.items()
+        assert tail_keys[0] not in found
+        assert tail_keys[1] in found and tail_keys[2] in found
+
+    def test_reinsert_reuses_tombstone(self):
+        hm = make_workload("HM", initial_capacity=8)
+        hm._key_space = 1 << 30
+        hm.operation(11)
+        hm.operation(11)   # delete -> tombstone
+        hm.operation(11)   # reinsert
+        assert 11 in hm.items()
+        assert hm.check_invariants() is None
+
+    def test_tombstone_churn_does_not_grow_table(self):
+        hm = make_workload("HM", initial_capacity=16)
+        hm._key_space = 1 << 30
+        for _ in range(30):
+            hm.operation(7)  # insert/delete the same key repeatedly
+        with hm.bench.untimed():
+            capacity = hm._capacity()
+        # one slot of churn must not force resizes
+        assert capacity == 16 or hm.resizes <= 1

@@ -1,0 +1,128 @@
+"""Incremental-logging AVL variant (repro.workloads.incremental)."""
+
+import sys
+
+from repro.pmem.crash import CrashSignal
+from repro.txn.modes import PersistMode
+from repro.workloads.base import Workbench
+from repro.workloads.incremental import AVLTreeIncremental, persist_cost_summary
+from repro.workloads.avltree import AVLTreeWorkload
+
+sys.path.insert(0, "tests")
+
+
+def make_incremental(seed=1, key_space=128):
+    bench = Workbench(
+        mode=PersistMode.LOG_P_SF,
+        heap_size=1 << 22,
+        record=True,
+        track_persistence=True,
+        seed=seed,
+    )
+    return AVLTreeIncremental(bench, key_space=key_space)
+
+
+class TestFunctionalEquivalence:
+    def test_inserts_produce_valid_avl(self):
+        tree = make_incremental()
+        for key in range(50):
+            tree.operation(key)
+        assert tree.check_invariants() is None
+
+    def test_mixed_churn_matches_model(self):
+        tree = make_incremental(seed=7)
+        for _ in range(300):
+            tree.random_operation()
+        assert tree.check_invariants() is None
+
+    def test_same_contents_as_full_logging(self):
+        def run(cls):
+            bench = Workbench(
+                mode=PersistMode.LOG_P_SF, heap_size=1 << 22, seed=5
+            )
+            tree = cls(bench, key_space=128)
+            for _ in range(120):
+                tree.random_operation()
+            return tree.items()
+
+        assert run(AVLTreeIncremental) == run(AVLTreeWorkload)
+
+    def test_value_overwrite(self):
+        tree = make_incremental()
+        tree._insert(5, 10)
+        tree._insert(5, 20)
+        assert dict(tree.items())[5] == 20
+
+
+class TestCostStructure:
+    def test_more_transactions_than_full_logging(self):
+        inc = make_incremental(seed=2)
+        for key in range(0, 60):
+            inc.operation(key)
+        bench = Workbench(mode=PersistMode.LOG_P_SF, heap_size=1 << 22, seed=2)
+        full = AVLTreeWorkload(bench, key_space=128)
+        for key in range(0, 60):
+            full.operation(key)
+        assert inc.tx.stats.transactions > full.tx.stats.transactions
+
+    def test_fewer_entries_per_transaction(self):
+        inc = make_incremental(seed=2)
+        for key in range(0, 60):
+            inc.operation(key)
+        cost = persist_cost_summary(inc)
+        assert cost["entries_logged"] / cost["transactions"] < 4
+
+    def test_barriers_per_step(self):
+        """Every incremental step carries its own 4-pcommit set."""
+        tree = make_incremental()
+        before_tx = tree.tx.stats.transactions
+        before_pc = tree.persist.n_pcommit
+        tree.operation(1)
+        steps = tree.tx.stats.transactions - before_tx
+        assert tree.persist.n_pcommit - before_pc == 4 * steps
+
+
+class TestCrashBehaviour:
+    def test_mid_sequence_crash_leaves_valid_bst(self):
+        """The paper's stated weakness: a crash between incremental steps
+        may leave the tree imbalanced but recovery + repair restores a
+        proper AVL tree."""
+        tree = make_incremental(seed=9)
+        for key in range(0, 64, 2):
+            tree.operation(key)
+        domain = tree.bench.domain
+
+        class _Crash:
+            def __init__(self):
+                self.countdown = 25
+
+            def load(self, addr, size=8, meta=None):
+                pass
+
+            def store(self, addr, size=8, meta=None):
+                self.countdown -= 1
+                if self.countdown == 0:
+                    raise CrashSignal()
+
+        crasher = _Crash()
+        tree.heap.attach(crasher)
+        try:
+            tree.operation(33)
+        except CrashSignal:
+            pass
+        finally:
+            tree.heap.detach(crasher)
+        domain.crash()
+        tree.recover()
+        assert tree.check_bst_only() is None
+        tree.model = dict(tree.items())  # resynchronise after partial op
+        tree.repair()
+        assert tree.check_invariants() is None
+
+    def test_repair_is_idempotent(self):
+        tree = make_incremental(seed=4)
+        for key in range(40):
+            tree.operation(key)
+        tree.repair()
+        tree.repair()
+        assert tree.check_invariants() is None

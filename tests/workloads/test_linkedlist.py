@@ -1,0 +1,88 @@
+"""Linked-List workload (repro.workloads.linkedlist)."""
+
+import sys
+
+from repro.isa.ops import Op
+from repro.txn.modes import PersistMode
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestFunctional:
+    def test_insert_then_find(self):
+        ll = make_workload("LL")
+        result = ll.operation(5)
+        assert result.inserted
+        assert dict(ll.items()) == {5: 5 ^ 0xABCD}
+
+    def test_insert_then_delete(self):
+        ll = make_workload("LL")
+        ll.operation(5)
+        result = ll.operation(5)
+        assert result.deleted
+        assert ll.items() == []
+
+    def test_max_nodes_cap(self):
+        ll = make_workload("LL", max_nodes=4)
+        for key in range(4):
+            ll.operation(key)
+        result = ll.operation(99)
+        assert not result.inserted and not result.deleted
+        assert len(ll.items()) == 4
+
+    def test_delete_middle_node(self):
+        ll = make_workload("LL")
+        for key in (1, 2, 3):
+            ll.operation(key)
+        ll.operation(2)
+        assert sorted(k for k, _ in ll.items()) == [1, 3]
+
+    def test_delete_head(self):
+        ll = make_workload("LL")
+        ll.operation(1)
+        ll.operation(2)  # 2 is at the head (insert-at-head)
+        ll.operation(2)
+        assert [k for k, _ in ll.items()] == [1]
+
+    def test_many_random_ops_match_model(self):
+        ll = make_workload("LL", seed=9)
+        for _ in range(300):
+            ll.random_operation()
+        assert ll.check_invariants() is None
+
+
+class TestTraceShape:
+    def test_operation_is_one_transaction(self):
+        """Each LL operation = 4 pcommits / 8 sfences (paper Figure 2)."""
+        ll = make_workload("LL")
+        before = ll.persist.n_pcommit
+        ll.operation(42)
+        assert ll.persist.n_pcommit - before == 4
+        assert ll.persist.n_sfence == 8
+
+    def test_insert_traffic_includes_clwb_of_new_node(self):
+        ll = make_workload("LL")
+        start = len(ll.bench.trace)
+        ll.operation(42)
+        ops = [i.op for i in ll.bench.trace][start:]
+        assert ops.count(Op.PCOMMIT) == 4
+        assert Op.CLWB in ops
+
+
+class TestVariants:
+    def test_base_mode_emits_no_persistence(self):
+        ll = make_workload("LL", mode=PersistMode.BASE)
+        ll.operation(42)
+        stats = ll.bench.trace.stats()
+        assert stats.pmem_count == 0
+        assert stats.fence_count == 0
+
+    def test_same_seed_same_functional_result(self):
+        results = []
+        for mode in PersistMode:
+            ll = make_workload("LL", mode=mode, seed=77)
+            for _ in range(50):
+                ll.random_operation()
+            results.append(sorted(ll.items()))
+        assert all(r == results[0] for r in results)

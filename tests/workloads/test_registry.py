@@ -1,0 +1,68 @@
+"""Benchmark registry (repro.workloads.registry)."""
+
+import pytest
+
+from repro.txn.modes import PersistMode
+from repro.workloads.registry import PAPER_SPECS, WORKLOADS, build_workload
+
+
+class TestTable1Fidelity:
+    def test_seven_benchmarks_in_paper_order(self):
+        assert WORKLOADS == ("GH", "HM", "LL", "SS", "AT", "BT", "RT")
+
+    def test_paper_counts(self):
+        expected = {
+            "GH": (2_600_000, 100_000),
+            "HM": (1_500_000, 100_000),
+            "LL": (500, 50_000),
+            "SS": (120_000, 500_000),
+            "AT": (1_000_000, 50_000),
+            "BT": (1_000_000, 50_000),
+            "RT": (1_500_000, 50_000),
+        }
+        for ab, (init, sim) in expected.items():
+            assert PAPER_SPECS[ab].paper_init_ops == init, ab
+            assert PAPER_SPECS[ab].paper_sim_ops == sim, ab
+
+    def test_scaled_counts_positive(self):
+        for ab in WORKLOADS:
+            spec = PAPER_SPECS[ab]
+            assert spec.scaled_sim_ops > 0
+            assert spec.scaled_init_ops >= 0
+
+    def test_abbrev_consistency(self):
+        for ab, spec in PAPER_SPECS.items():
+            assert spec.abbrev == ab
+
+
+class TestBuildWorkload:
+    def test_builds_each_benchmark(self):
+        for ab in WORKLOADS:
+            workload = build_workload(ab)
+            assert workload.abbrev in (ab, workload.abbrev)
+            assert workload.bench.mode is PersistMode.LOG_P_SF
+
+    def test_mode_threading(self):
+        workload = build_workload("LL", PersistMode.LOG)
+        assert workload.bench.mode is PersistMode.LOG
+
+    def test_observers_off_by_default(self):
+        workload = build_workload("LL")
+        assert workload.bench.recorder is None
+        assert workload.bench.domain is None
+
+    def test_observers_on_request(self):
+        workload = build_workload("LL", record=True, track_persistence=True)
+        assert workload.bench.recorder is not None
+        assert workload.bench.domain is not None
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build_workload("ZZ")
+
+    def test_factory_kwargs_override(self):
+        spec = PAPER_SPECS["LL"]
+        from repro.workloads.base import Workbench
+
+        workload = spec.factory(Workbench(heap_size=1 << 22), max_nodes=16)
+        assert workload.max_nodes == 16

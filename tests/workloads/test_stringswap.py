@@ -1,0 +1,66 @@
+"""String Swap workload (repro.workloads.stringswap)."""
+
+import sys
+
+import pytest
+
+from repro.isa.ops import Op
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+
+class TestFunctional:
+    def test_swap_exchanges_contents(self):
+        ss = make_workload("SS")
+        before_0, before_1 = ss._read(0), ss._read(1)
+        ss.swap(0, 1)
+        assert ss._read(0) == before_1
+        assert ss._read(1) == before_0
+
+    def test_double_swap_restores(self):
+        ss = make_workload("SS")
+        before = ss.strings()
+        ss.swap(2, 5)
+        ss.swap(2, 5)
+        assert ss.strings() == before
+
+    def test_multiset_preserved_under_random_ops(self):
+        ss = make_workload("SS", seed=8)
+        before = sorted(ss.strings())
+        for _ in range(100):
+            ss.random_operation()
+        assert sorted(ss.strings()) == before
+
+    def test_same_index_redirected(self):
+        ss = make_workload("SS")
+        result = ss.operation(0)  # would be swap(0, 0); redirected to (0, 1)
+        assert result.swapped
+
+    def test_needs_two_strings(self):
+        with pytest.raises(ValueError):
+            make_workload("SS", n_strings=1)
+
+    def test_invariants_after_ops(self):
+        ss = make_workload("SS", seed=2)
+        for _ in range(60):
+            ss.random_operation()
+        assert ss.check_invariants() is None
+
+
+class TestTraceShape:
+    def test_clwb_count_matches_paper(self):
+        """Paper §3.2: eight clwbs for the two logged strings (plus the
+        bookkeeping block), then eight more for the swapped data."""
+        ss = make_workload("SS")
+        start = len(ss.bench.trace)
+        ss.swap(0, 1)
+        ops = [i.op for i in ss.bench.trace][start:]
+        # 2 x 256B of log payload -> >= 8 blocks, 2 x 256B of data -> 8 more
+        assert ops.count(Op.CLWB) >= 17
+        assert ops.count(Op.PCOMMIT) == 4
+
+    def test_swap_logs_both_strings(self):
+        ss = make_workload("SS")
+        ss.swap(0, 1)
+        assert ss.tx.stats.bytes_logged >= 512

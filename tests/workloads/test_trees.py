@@ -1,0 +1,183 @@
+"""Tree workloads: AVL, 2-3 B-tree, LLRB (repro.workloads.{avltree,btree,rbtree}).
+
+The three trees share the full-logging mixin, so the structural tests run
+parametrised over all of them; tree-specific invariants live below.
+"""
+
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.txn.modes import PersistMode
+from repro.workloads.avltree import AVLTreeWorkload
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.rbtree import RBTreeWorkload, RED
+
+sys.path.insert(0, "tests")
+from conftest import make_workload  # noqa: E402
+
+TREES = ["AT", "BT", "RT"]
+
+
+@pytest.mark.parametrize("ab", TREES)
+class TestCommonBehaviour:
+    def test_insert_and_items(self, ab):
+        tree = make_workload(ab)
+        tree.operation(10)
+        tree.operation(20)
+        tree.operation(5)
+        assert [k for k, _ in tree.items()] == [5, 10, 20]
+
+    def test_delete(self, ab):
+        tree = make_workload(ab)
+        for key in (10, 20, 5):
+            tree.operation(key)
+        tree.operation(10)  # present -> delete
+        assert [k for k, _ in tree.items()] == [5, 20]
+        assert tree.check_invariants() is None
+
+    def test_delete_until_empty(self, ab):
+        tree = make_workload(ab)
+        keys = [3, 1, 4, 1, 5, 9, 2, 6]
+        for key in keys:
+            tree.operation(key)
+        for key in sorted(set(tree.model)):
+            tree.operation(key)
+        assert tree.items() == []
+        assert tree.check_invariants() is None
+
+    def test_ascending_insertions_stay_balanced(self, ab):
+        tree = make_workload(ab)
+        for key in range(40):
+            tree.operation(key)
+        assert tree.check_invariants() is None
+
+    def test_descending_insertions_stay_balanced(self, ab):
+        tree = make_workload(ab)
+        for key in reversed(range(40)):
+            tree.operation(key)
+        assert tree.check_invariants() is None
+
+    def test_random_churn_matches_model(self, ab):
+        tree = make_workload(ab, seed=13)
+        for _ in range(400):
+            tree.random_operation()
+        assert tree.check_invariants() is None
+
+    def test_one_transaction_per_operation(self, ab):
+        """Full logging: exactly 4 pcommits per op, rebalancing or not
+        (paper §3.2)."""
+        tree = make_workload(ab, seed=1)
+        for _ in range(30):
+            before = tree.persist.n_pcommit
+            tree.random_operation()
+            assert tree.persist.n_pcommit - before == 4
+
+    def test_full_logging_never_violated(self, ab):
+        """The guarded-store check would raise if any rotation touched an
+        unlogged node; 500 churn ops across shapes must stay silent."""
+        tree = make_workload(ab, seed=99)
+        for _ in range(500):
+            tree.random_operation()
+
+    def test_log_volume_grows_with_depth(self, ab):
+        small = make_workload(ab, seed=4)
+        small.operation(1)
+        shallow = small.tx.stats.bytes_logged
+        big = make_workload(ab, seed=4)
+        for key in range(0, 120, 2):
+            big.operation(key)
+        before = big.tx.stats.bytes_logged
+        big.operation(63)
+        deep = big.tx.stats.bytes_logged - before
+        assert deep > shallow
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_sequences(self, ab, data):
+        keys = data.draw(
+            st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60)
+        )
+        tree = make_workload(ab)
+        reference = {}
+        for key in keys:
+            result = tree.operation(key)
+            if result.inserted:
+                reference[key] = True
+            else:
+                reference.pop(key, None)
+        assert sorted(k for k, _ in tree.items()) == sorted(reference)
+        assert tree.check_invariants() is None
+
+
+class TestAVLSpecific:
+    def test_heights_maintained(self):
+        tree = make_workload("AT")
+        for key in range(31):
+            tree.operation(key)
+        with tree.bench.untimed():
+            height = tree._check_node(tree._root())
+        assert height <= 6  # AVL bound ~1.44*log2(32)
+
+    def test_update_existing_key_overwrites_value(self):
+        tree = make_workload("AT")
+        tree.operation(5)
+        with tree.bench.untimed():
+            tree._insert(5, 999)
+        assert dict(tree.items())[5] == 999
+
+
+class TestBTreeSpecific:
+    def test_search_api(self):
+        tree = make_workload("BT")
+        tree.operation(7)
+        with tree.bench.untimed():
+            assert tree.search(7) == 7 ^ 0x1111
+            assert tree.search(8) is None
+
+    def test_leaves_at_equal_depth(self):
+        tree = make_workload("BT")
+        for key in range(50):
+            tree.operation(key)
+        assert tree.check_invariants() is None  # includes equal-depth check
+
+    def test_root_collapse_on_shrink(self):
+        tree = make_workload("BT")
+        for key in range(16):
+            tree.operation(key)
+        for key in range(15):
+            tree.operation(key)
+        assert [k for k, _ in tree.items()] == [15]
+
+
+class TestRBSpecific:
+    def test_root_is_black(self):
+        tree = make_workload("RT")
+        for key in range(20):
+            tree.operation(key)
+        with tree.bench.untimed():
+            assert tree.heap.load_u64(tree._root() + 32) != RED
+
+    def test_black_height_uniform(self):
+        tree = make_workload("RT")
+        for key in range(64):
+            tree.operation(key)
+        assert tree.check_invariants() is None
+
+
+class TestFactoryTypes:
+    def test_registry_builds_correct_types(self):
+        assert isinstance(make_workload("AT"), AVLTreeWorkload)
+        assert isinstance(make_workload("BT"), BTreeWorkload)
+        assert isinstance(make_workload("RT"), RBTreeWorkload)
+
+    def test_modes_produce_identical_structures(self):
+        for ab in TREES:
+            shapes = []
+            for mode in PersistMode:
+                tree = make_workload(ab, mode=mode, seed=55)
+                for _ in range(60):
+                    tree.random_operation()
+                shapes.append(tree.items())
+            assert all(s == shapes[0] for s in shapes)

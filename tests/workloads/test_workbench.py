@@ -1,0 +1,135 @@
+"""Workbench wiring and configuration flags (repro.workloads.base)."""
+
+import pytest
+
+from repro.isa.ops import Op
+from repro.txn.modes import PersistMode
+from repro.workloads.base import Workbench
+from repro.workloads.linkedlist import LinkedListWorkload
+
+
+class TestObserverWiring:
+    def test_recorder_attached_only_when_requested(self):
+        bench = Workbench(record=False)
+        assert bench.recorder is None
+        assert bench.trace is None
+
+    def test_domain_attached_only_when_requested(self):
+        bench = Workbench(track_persistence=False)
+        assert bench.domain is None
+
+    def test_both_observers_see_the_same_stores(self):
+        bench = Workbench(record=True, track_persistence=True)
+        bench.finish_init()  # drop constructor-time log-header stores
+        before = bench.domain.n_stores
+        bench.heap.store_u64(0x100, 1)
+        assert bench.domain.n_stores - before == 1
+        assert bench.trace.stats().count(Op.STORE) == 1
+
+    def test_persist_ops_share_backends(self):
+        bench = Workbench(record=True, track_persistence=True,
+                          mode=PersistMode.LOG_P_SF)
+        bench.heap.store_u64(0x100, 1)
+        bench.persist.clwb(0x100)
+        bench.persist.persist_barrier()
+        assert bench.domain.is_durable(0x100)
+        assert bench.trace.stats().pmem_count == 2  # clwb + pcommit
+
+
+class TestAluPadding:
+    def test_padding_knobs(self):
+        bench = Workbench(record=True, alu_per_load=3, alu_per_store=2)
+        bench.finish_init()
+        bench.heap.load_u64(0x100)
+        bench.heap.store_u64(0x100, 1)
+        stats = bench.trace.stats()
+        assert stats.by_op[Op.ALU] == 5
+
+    def test_zero_padding(self):
+        bench = Workbench(record=True, alu_per_load=0, alu_per_store=0)
+        bench.heap.load_u64(0x100)
+        assert bench.trace.stats().by_op.get(Op.ALU, 0) == 0
+
+
+class TestUntimed:
+    def test_untimed_suppresses_recording(self):
+        bench = Workbench(record=True)
+        bench.finish_init()
+        with bench.untimed():
+            bench.heap.store_u64(0x100, 1)
+        assert len(bench.trace) == 0
+
+    def test_untimed_without_recorder(self):
+        bench = Workbench(record=False)
+        with bench.untimed():
+            bench.heap.store_u64(0x100, 1)  # must not raise
+
+    def test_untimed_does_not_suppress_domain(self):
+        """Fast-forward hides work from the *timing* model only; the
+        persistence domain keeps tracking (init writes must be accounted
+        durable by finish_init, not lost)."""
+        bench = Workbench(record=True, track_persistence=True)
+        before = bench.domain.n_stores
+        with bench.untimed():
+            bench.heap.store_u64(0x100, 1)
+        assert bench.domain.n_stores - before == 1
+
+
+class TestFinishInit:
+    def test_finish_init_clears_trace(self):
+        bench = Workbench(record=True)
+        bench.heap.store_u64(0x100, 1)
+        bench.finish_init()
+        assert len(bench.trace) == 0
+
+    def test_finish_init_makes_state_durable(self):
+        bench = Workbench(track_persistence=True)
+        bench.heap.store_u64(0x100, 9)
+        bench.finish_init()
+        bench.domain.crash()
+        assert bench.heap.load_u64(0x100) == 9
+
+    def test_finish_init_resets_persist_counters(self):
+        bench = Workbench(record=True, mode=PersistMode.LOG_P_SF)
+        bench.persist.persist_barrier()
+        bench.finish_init()
+        assert bench.persist.n_pcommit == 0
+        assert bench.persist.n_sfence == 0
+
+    def test_populate_calls_finish_init(self):
+        bench = Workbench(record=True, track_persistence=True,
+                          heap_size=1 << 22, seed=1)
+        workload = LinkedListWorkload(bench, max_nodes=32)
+        workload.populate(10)
+        assert len(bench.trace) == 0
+        assert not bench.domain.dirty
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_trace(self):
+        def build(seed):
+            bench = Workbench(record=True, heap_size=1 << 22, seed=seed)
+            workload = LinkedListWorkload(bench, max_nodes=64)
+            workload.populate(20)
+            workload.run(10)
+            return bench.trace
+
+        a, b = build(5), build(5)
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seed_different_trace(self):
+        def build(seed):
+            bench = Workbench(record=True, heap_size=1 << 22, seed=seed)
+            workload = LinkedListWorkload(bench, max_nodes=64)
+            workload.populate(20)
+            workload.run(10)
+            return bench.trace
+
+        assert list(build(5)) != list(build(6))
+
+
+class TestInvalidConfig:
+    def test_bad_flush_policy(self):
+        with pytest.raises(ValueError):
+            Workbench(flush_with="nope")
