@@ -1,13 +1,33 @@
 """Shared infrastructure for the figure/table benches.
 
 Every bench uses ``benchmark.pedantic(..., rounds=1)``: the interesting
-output is the regenerated figure, not the wall-clock of the regeneration,
-and traces/simulations are cached across benches within the session.
+output is the regenerated figure, not the wall-clock of the regeneration.
+Traces and simulation results are cached at two layers: in-process within
+the session, and persistently under ``.repro-cache/`` so the suite warms
+once and later runs (and other test files) skip trace generation and
+simulation entirely.  Set ``REPRO_CACHE_DIR`` to relocate the store or
+``REPRO_NO_CACHE=1`` to opt out and regenerate everything.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.harness import cache as harness_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def persistent_cache():
+    """Activate the shared on-disk cache for the whole benchmark session.
+
+    The location honours ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``; with the
+    default settings the first session populates ``.repro-cache/`` and every
+    later session (or parallel worker) reuses it.
+    """
+    root = harness_cache.cache_root()
+    if root is not None:
+        root.mkdir(parents=True, exist_ok=True)
+    yield
 
 
 def run_once(benchmark, fn, *args, **kwargs):

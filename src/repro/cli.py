@@ -14,6 +14,16 @@ Commands
     Sweep crash injections through one benchmark and report consistency.
 ``report [PATH]``
     Regenerate everything into a markdown report (default: stdout).
+``bench``
+    Time cold/warm harness runs and pipeline throughput
+    (writes ``BENCH_harness.json``).
+``cache {info,clear}``
+    Inspect or empty the persistent ``.repro-cache`` store.
+
+``figure``, ``report``, ``run``, and ``bench`` accept ``--jobs N`` to fan
+variant simulation across N worker processes (default: all cores);
+results are merged deterministically, so the output is byte-identical
+for any job count.
 """
 
 from __future__ import annotations
@@ -36,7 +46,11 @@ from repro.harness import (
     table2_text,
     table3_text,
 )
+from repro.harness import cache as harness_cache
+from repro.harness import parallel
+from repro.harness.bench import DEFAULT_OUTPUT, render_bench, run_bench
 from repro.harness.figures import GEOMEAN, render_scalar_series
+from repro.harness.parallel import prefetch_variants
 from repro.harness.runner import run_variant
 from repro.pmem.crash import CrashTester
 from repro.txn.modes import PersistMode
@@ -99,6 +113,10 @@ def _headline_text() -> str:
 
 def _run_text(abbrev: str) -> str:
     machine = MachineConfig()
+    prefetch_variants(
+        [(abbrev, mode, machine) for mode in PersistMode]
+        + [(abbrev, PersistMode.LOG_P_SF, machine.with_sp(256))]
+    )
     base = run_variant(abbrev, PersistMode.BASE, machine)
     lines = [f"{PAPER_SPECS[abbrev].name} ({abbrev})"]
     lines.append(f"{'variant':<12}{'cycles':>12}{'overhead':>10}{'IPC':>7}")
@@ -166,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs(sub_parser):
+        sub_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for variant simulation "
+                 "(default: all cores; 1 = serial)",
+        )
+
     sub.add_parser("tables", help="print Tables 1-3")
 
     figure = sub.add_parser("figure", help="regenerate one figure")
@@ -174,11 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", nargs="*", choices=WORKLOADS, default=None,
         help="restrict to a subset (default: all seven)",
     )
+    add_jobs(figure)
 
     sub.add_parser("headline", help="the abstract's claim")
 
     run = sub.add_parser("run", help="run one benchmark across variants")
     run.add_argument("abbrev", choices=WORKLOADS)
+    add_jobs(run)
 
     crash = sub.add_parser("crashtest", help="sweep crash injection")
     crash.add_argument("abbrev", choices=WORKLOADS)
@@ -187,11 +214,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full markdown report")
     report.add_argument("path", nargs="?", default=None)
+    add_jobs(report)
+
+    bench = sub.add_parser(
+        "bench", help="time cold/warm harness runs and pipeline throughput"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="cheap two-benchmark smoke variant (CI)",
+    )
+    bench.add_argument(
+        "--output", default=DEFAULT_OUTPUT, metavar="PATH",
+        help=f"where to write the JSON record (default: {DEFAULT_OUTPUT})",
+    )
+    add_jobs(bench)
+
+    cache = sub.add_parser("cache", help="persistent result cache maintenance")
+    cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "jobs", None) is not None:
+        parallel.set_default_jobs(args.jobs)
     if args.command == "tables":
         print(table1_text())
         print()
@@ -214,6 +260,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"report written to {args.path}")
         else:
             print(text)
+    elif args.command == "bench":
+        record = run_bench(quick=args.quick, output=args.output)
+        print(render_bench(record))
+        if args.output:
+            print(f"record written to {args.output}")
+    elif args.command == "cache":
+        if args.action == "clear":
+            removed = harness_cache.clear_cache()
+            print(f"removed {removed} cached entries")
+        else:
+            for key, value in harness_cache.cache_info().items():
+                print(f"{key:>15}: {value}")
     return 0
 
 

@@ -3,10 +3,29 @@
 One function per artefact (``fig8`` ... ``fig14``, ``table1`` ... ``table3``,
 ``headline``), each returning structured results plus a text renderer so the
 benches under ``benchmarks/`` can print the same rows/series the paper
-reports.  Traces are cached per (benchmark, mode, seed) within a process, so
-running the whole figure suite costs one trace generation per variant.
+reports.
+
+Results are cached at two layers: an in-process memo per (benchmark, mode,
+seed, config), and a persistent content-keyed store under ``.repro-cache/``
+(:mod:`repro.harness.cache`) that survives across processes, so warm re-runs
+skip trace generation and simulation entirely.  Variant simulation fans out
+across worker processes via :mod:`repro.harness.parallel` with a
+deterministic merge.
 """
 
+from repro.harness.cache import (
+    CACHE_SCHEMA_VERSION,
+    cache_info,
+    cache_root,
+    clear_cache,
+)
+from repro.harness.parallel import (
+    VariantJob,
+    default_jobs,
+    prefetch_variants,
+    run_variants,
+    set_default_jobs,
+)
 from repro.harness.runner import (
     TraceKey,
     build_trace,
@@ -14,6 +33,7 @@ from repro.harness.runner import (
     run_variant,
     variant_stats,
 )
+from repro.harness.bench import run_bench
 from repro.harness.figures import (
     fig8_overheads,
     fig9_instruction_counts,
@@ -28,10 +48,20 @@ from repro.harness.figures import (
 from repro.harness.tables import table1_text, table2_text, table3_text
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "TraceKey",
+    "VariantJob",
     "build_trace",
+    "cache_info",
+    "cache_root",
+    "clear_cache",
     "clear_trace_cache",
+    "default_jobs",
+    "prefetch_variants",
+    "run_bench",
     "run_variant",
+    "run_variants",
+    "set_default_jobs",
     "variant_stats",
     "fig8_overheads",
     "fig9_instruction_counts",

@@ -1,0 +1,128 @@
+"""Harness performance benchmark (``python -m repro bench``).
+
+Times the three layers the performance work targets and records them in
+``BENCH_harness.json`` so the perf trajectory is tracked across commits:
+
+* **cold** — a Figure-8 regeneration against an empty cache (trace
+  generation + simulation for every variant);
+* **warm** — the same regeneration against the now-populated persistent
+  cache (must be at least ~5x faster; warm runs only read JSON/RPTR1);
+* **pipeline throughput** — committed instructions per second of the
+  timing model itself, measured by re-simulating the recorded traces.
+
+The bench uses a temporary cache directory so it never reads from (or
+pollutes) the user's ``.repro-cache``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness import cache as disk_cache
+from repro.harness.figures import fig8_overheads
+from repro.harness.parallel import default_jobs
+from repro.harness.runner import all_benchmarks, build_trace, clear_trace_cache
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+
+#: Subset used by ``bench --quick`` (CI smoke): the cheapest two traces.
+QUICK_BENCHMARKS = ("LL", "GH")
+
+DEFAULT_OUTPUT = "BENCH_harness.json"
+
+
+@contextmanager
+def _isolated_cache(root: str):
+    """Point the persistent cache at *root* for the duration of the bench."""
+    saved_dir = os.environ.get(disk_cache.ENV_CACHE_DIR)
+    saved_off = os.environ.get(disk_cache.ENV_NO_CACHE)
+    os.environ[disk_cache.ENV_CACHE_DIR] = root
+    os.environ.pop(disk_cache.ENV_NO_CACHE, None)
+    try:
+        yield
+    finally:
+        if saved_dir is None:
+            os.environ.pop(disk_cache.ENV_CACHE_DIR, None)
+        else:
+            os.environ[disk_cache.ENV_CACHE_DIR] = saved_dir
+        if saved_off is not None:
+            os.environ[disk_cache.ENV_NO_CACHE] = saved_off
+
+
+def run_bench(
+    quick: bool = False,
+    output: Optional[str] = DEFAULT_OUTPUT,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Run the harness benchmark; returns (and optionally writes) the record."""
+    names: List[str] = list(
+        benchmarks or (QUICK_BENCHMARKS if quick else all_benchmarks())
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        with _isolated_cache(tmp):
+            clear_trace_cache()
+            t0 = time.perf_counter()
+            fig8_overheads(names, seed=seed)
+            cold = time.perf_counter() - t0
+
+            # drop the in-process memo so the warm run exercises the disk
+            # cache, exactly like a fresh process against .repro-cache
+            clear_trace_cache()
+            t0 = time.perf_counter()
+            fig8_overheads(names, seed=seed)
+            warm = time.perf_counter() - t0
+
+            # pipeline throughput: re-simulate the recorded traces (cache
+            # hits now) on the baseline machine and count committed
+            # instructions per wall-clock second
+            instructions = 0
+            sim_seconds = 0.0
+            for ab in names:
+                for mode in (PersistMode.BASE, PersistMode.LOG_P_SF):
+                    trace = build_trace(ab, mode, seed=seed)
+                    t0 = time.perf_counter()
+                    stats = simulate(trace, MachineConfig())
+                    sim_seconds += time.perf_counter() - t0
+                    instructions += stats.instructions
+        clear_trace_cache()
+
+    record: Dict[str, object] = {
+        "bench": "harness",
+        "schema": disk_cache.CACHE_SCHEMA_VERSION,
+        "quick": quick,
+        "benchmarks": names,
+        "jobs": default_jobs(),
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm, 3),
+        "warm_speedup": round(cold / warm, 1) if warm > 0 else None,
+        "pipeline_instructions": instructions,
+        "pipeline_seconds": round(sim_seconds, 3),
+        "pipeline_ips": round(instructions / sim_seconds) if sim_seconds else None,
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return record
+
+
+def render_bench(record: Dict[str, object]) -> str:
+    """Human-readable summary of a bench record."""
+    return "\n".join([
+        f"harness bench ({'quick, ' if record['quick'] else ''}"
+        f"{len(record['benchmarks'])} benchmarks, jobs={record['jobs']})",
+        f"  cold figure-8 run : {record['cold_seconds']:>8.3f} s",
+        f"  warm (cached) run : {record['warm_seconds']:>8.3f} s"
+        f"   ({record['warm_speedup']}x speedup)",
+        f"  pipeline model    : {record['pipeline_ips']:>8,} instr/s"
+        f" ({record['pipeline_instructions']:,} instrs"
+        f" in {record['pipeline_seconds']} s)",
+    ])

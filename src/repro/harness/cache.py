@@ -1,0 +1,261 @@
+"""Persistent on-disk cache for generated traces and simulation results.
+
+Trace generation and simulation dominate every figure, sweep, and bench
+run, yet both are pure functions of ``(TraceKey, MachineConfig)``.  This
+module gives them a content-keyed store under ``.repro-cache/`` so warm
+re-runs skip the work entirely:
+
+* traces are stored in the compact RPTR1 binary format
+  (:mod:`repro.isa.serialize`) under ``traces/<digest>.rptr``;
+* :class:`~repro.stats.run.RunStats` results are stored as JSON under
+  ``stats/<digest>.json``.
+
+Digests are SHA-256 over a canonical JSON encoding of the key — the
+:class:`~repro.harness.runner.TraceKey`, the full
+:class:`~repro.uarch.config.MachineConfig` (for stats), and
+:data:`CACHE_SCHEMA_VERSION`.  Any config change therefore lands on a new
+file, and bumping the schema version (done whenever trace generation or
+the timing model changes semantics) invalidates every prior entry at once.
+
+Environment overrides:
+
+* ``REPRO_CACHE_DIR`` — cache location (default ``.repro-cache`` in the
+  current directory);
+* ``REPRO_NO_CACHE`` — any non-empty value disables the cache entirely.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers of
+the parallel scheduler may share one store without locking: the worst
+case is the same key being written twice with identical content.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.isa.serialize import TraceFormatError, dump_trace, load_trace
+from repro.isa.trace import Trace
+from repro.stats.run import RunStats
+from repro.uarch.config import MachineConfig
+
+#: Bump whenever trace generation or the timing model changes observable
+#: behaviour — every previously cached entry becomes unreachable.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+PathLike = Union[str, Path]
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent cache is active (``REPRO_NO_CACHE`` unset)."""
+    return not os.environ.get(ENV_NO_CACHE)
+
+
+def cache_root() -> Optional[Path]:
+    """The resolved cache directory, or ``None`` when caching is disabled.
+
+    Resolved on every call so tests (and long-lived processes) can flip the
+    environment variables at any point.
+    """
+    if not cache_enabled():
+        return None
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+def _resolve_root(root: Optional[PathLike]) -> Optional[Path]:
+    if root is not None:
+        return Path(root)
+    return cache_root()
+
+
+# ----------------------------------------------------------------------
+# keying
+# ----------------------------------------------------------------------
+def _trace_key_payload(key) -> dict:
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "trace",
+        "abbrev": key.abbrev,
+        "mode": key.mode.value,
+        "seed": key.seed,
+        "init_ops": key.init_ops,
+        "sim_ops": key.sim_ops,
+    }
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def trace_digest(key) -> str:
+    """Content digest of one :class:`~repro.harness.runner.TraceKey`."""
+    return _digest(_trace_key_payload(key))
+
+
+def stats_digest(key, config: MachineConfig) -> str:
+    """Content digest of one (trace, machine configuration) pair."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "stats",
+        "trace": _trace_key_payload(key),
+        "config": dataclasses.asdict(config),
+    }
+    return _digest(payload)
+
+
+def trace_path(key, root: Optional[PathLike] = None) -> Optional[Path]:
+    """Where *key*'s trace lives on disk (``None`` when caching is off)."""
+    resolved = _resolve_root(root)
+    if resolved is None:
+        return None
+    return resolved / "traces" / f"{trace_digest(key)}.rptr"
+
+
+def stats_path(key, config: MachineConfig, root: Optional[PathLike] = None) -> Optional[Path]:
+    """Where the stats for *key* on *config* live on disk."""
+    resolved = _resolve_root(root)
+    if resolved is None:
+        return None
+    return resolved / "stats" / f"{stats_digest(key, config)}.json"
+
+
+# ----------------------------------------------------------------------
+# atomic file helpers
+# ----------------------------------------------------------------------
+def _atomic_write(path: Path, writer) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _drop_corrupt(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# traces
+# ----------------------------------------------------------------------
+def load_cached_trace(key, root: Optional[PathLike] = None) -> Optional[Trace]:
+    """The cached trace for *key*, or ``None`` on a miss / disabled cache."""
+    path = trace_path(key, root)
+    if path is None or not path.exists():
+        return None
+    try:
+        return load_trace(path)
+    except (TraceFormatError, OSError, ValueError):
+        _drop_corrupt(path)
+        return None
+
+
+def store_trace(key, trace: Trace, root: Optional[PathLike] = None) -> Optional[Path]:
+    """Persist *trace* under *key*; returns the path (``None`` if disabled)."""
+    path = trace_path(key, root)
+    if path is None:
+        return None
+    _atomic_write(path, lambda handle: dump_trace(trace, handle))
+    return path
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def _stats_record(stats: RunStats) -> dict:
+    return {
+        field_.name: getattr(stats, field_.name)
+        for field_ in dataclasses.fields(stats)
+    }
+
+
+def load_cached_stats(
+    key, config: MachineConfig, root: Optional[PathLike] = None
+) -> Optional[RunStats]:
+    """The cached :class:`RunStats` for *(key, config)*, or ``None``."""
+    path = stats_path(key, config, root)
+    if path is None or not path.exists():
+        return None
+    try:
+        with open(path, "r") as handle:
+            data = json.load(handle)
+        return RunStats.from_dict(data)
+    except (json.JSONDecodeError, TypeError, OSError):
+        _drop_corrupt(path)
+        return None
+
+
+def store_stats(
+    key, config: MachineConfig, stats: RunStats, root: Optional[PathLike] = None
+) -> Optional[Path]:
+    """Persist *stats* for *(key, config)*; returns the path."""
+    path = stats_path(key, config, root)
+    if path is None:
+        return None
+    blob = json.dumps(_stats_record(stats), sort_keys=True).encode()
+    _atomic_write(path, lambda handle: handle.write(blob))
+    return path
+
+
+# ----------------------------------------------------------------------
+# maintenance
+# ----------------------------------------------------------------------
+def clear_cache(root: Optional[PathLike] = None) -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    resolved = _resolve_root(root)
+    if resolved is None or not resolved.exists():
+        return 0
+    removed = 0
+    for sub in ("traces", "stats"):
+        directory = resolved / sub
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def cache_info(root: Optional[PathLike] = None) -> dict:
+    """Entry counts and total size of the cache (for ``repro cache info``)."""
+    resolved = _resolve_root(root)
+    info = {
+        "root": str(resolved) if resolved is not None else None,
+        "enabled": resolved is not None,
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "traces": 0,
+        "stats": 0,
+        "bytes": 0,
+    }
+    if resolved is None or not resolved.exists():
+        return info
+    for sub in ("traces", "stats"):
+        directory = resolved / sub
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            if path.is_file():
+                info[sub] += 1
+                info["bytes"] += path.stat().st_size
+    return info

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.stats.run import RunStats
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig, SSB_LATENCY_TABLE
+from repro.harness.parallel import prefetch_variants
 from repro.harness.runner import (
     all_benchmarks,
     geomean_overhead,
@@ -46,8 +47,14 @@ def fig8_overheads(
     Returns ``{series: {benchmark: overhead, ..., "GEO": overhead}}``.
     """
     benchmarks = list(benchmarks or all_benchmarks())
+    series = _mode_series()
+    prefetch_variants(
+        [(ab, PersistMode.BASE, MachineConfig()) for ab in benchmarks]
+        + [(ab, mode, config) for _, mode, config in series for ab in benchmarks],
+        seed=seed,
+    )
     result: Dict[str, Dict[str, float]] = {}
-    for label, mode, config in _mode_series():
+    for label, mode, config in series:
         row: Dict[str, float] = {}
         ratios: List[float] = []
         for ab in benchmarks:
@@ -71,6 +78,10 @@ def fig9_instruction_counts(
     benchmarks = list(benchmarks or all_benchmarks())
     result: Dict[str, Dict[str, float]] = {}
     base_cfg = MachineConfig()
+    prefetch_variants(
+        [(ab, mode, base_cfg) for mode in PersistMode for ab in benchmarks],
+        seed=seed,
+    )
     for label, mode in (
         ("Log", PersistMode.LOG),
         ("Log+P", PersistMode.LOG_P),
@@ -100,6 +111,11 @@ def fig10_fetch_stalls(
         ("Log+P+Sf", PersistMode.LOG_P_SF, base_cfg),
         ("SP256", PersistMode.LOG_P_SF, base_cfg.with_sp(256)),
     ]
+    prefetch_variants(
+        [(ab, PersistMode.BASE, base_cfg) for ab in benchmarks]
+        + [(ab, mode, config) for _, mode, config in series for ab in benchmarks],
+        seed=seed,
+    )
     result: Dict[str, Dict[str, float]] = {}
     for label, mode, config in series:
         row = {}
@@ -118,6 +134,9 @@ def fig11_inflight_pcommits(
     benchmarks: Optional[Sequence[str]] = None, seed: int = 7
 ) -> Dict[str, int]:
     benchmarks = list(benchmarks or all_benchmarks())
+    prefetch_variants(
+        [(ab, PersistMode.LOG_P, MachineConfig()) for ab in benchmarks], seed=seed
+    )
     return {
         ab: run_variant(ab, PersistMode.LOG_P, MachineConfig(), seed).max_inflight_pcommits
         for ab in benchmarks
@@ -131,6 +150,9 @@ def fig12_stores_per_pcommit(
     benchmarks: Optional[Sequence[str]] = None, seed: int = 7
 ) -> Dict[str, float]:
     benchmarks = list(benchmarks or all_benchmarks())
+    prefetch_variants(
+        [(ab, PersistMode.LOG_P, MachineConfig()) for ab in benchmarks], seed=seed
+    )
     return {
         ab: run_variant(ab, PersistMode.LOG_P, MachineConfig(), seed).stores_per_pcommit
         for ab in benchmarks
@@ -152,6 +174,15 @@ def fig13_ssb_sweep(
     benchmarks = list(benchmarks or all_benchmarks())
     sizes = list(sizes or sorted(SSB_LATENCY_TABLE))
     base_cfg = MachineConfig()
+    prefetch_variants(
+        [(ab, PersistMode.BASE, base_cfg) for ab in benchmarks]
+        + [
+            (ab, PersistMode.LOG_P_SF, base_cfg.with_sp(size))
+            for size in sizes
+            for ab in benchmarks
+        ],
+        seed=seed,
+    )
     result: Dict[int, Dict[str, float]] = {}
     for size in sizes:
         sp_cfg = base_cfg.with_sp(size)
@@ -176,6 +207,9 @@ def fig14_bloom_fp(
 ) -> Dict[str, float]:
     benchmarks = list(benchmarks or all_benchmarks())
     sp_cfg = MachineConfig().with_sp(256)
+    prefetch_variants(
+        [(ab, PersistMode.LOG_P_SF, sp_cfg) for ab in benchmarks], seed=seed
+    )
     return {
         ab: run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed).bloom_false_positive_rate
         for ab in benchmarks
@@ -193,6 +227,12 @@ def headline_claim(
     benchmarks = list(benchmarks or all_benchmarks())
     base_cfg = MachineConfig()
     sp_cfg = base_cfg.with_sp(256)
+    prefetch_variants(
+        [(ab, PersistMode.LOG_P, base_cfg) for ab in benchmarks]
+        + [(ab, PersistMode.LOG_P_SF, base_cfg) for ab in benchmarks]
+        + [(ab, PersistMode.LOG_P_SF, sp_cfg) for ab in benchmarks],
+        seed=seed,
+    )
     sf_ratios, sp_ratios = [], []
     for ab in benchmarks:
         logp = run_variant(ab, PersistMode.LOG_P, base_cfg, seed)

@@ -1,0 +1,199 @@
+"""Parallel variant scheduler: fan (benchmark, mode, config, seed) jobs
+across cores.
+
+The paper's methodology — one recorded trace replayed on many machine
+configurations — is embarrassingly parallel across variants, so the
+scheduler runs them in a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges results deterministically (results are ordered by job
+position, never by completion order, so ``--jobs N`` output is
+byte-identical to serial output).
+
+Work is split into two phases so that every trace is generated exactly
+once fleet-wide:
+
+1. the unique :class:`~repro.harness.runner.TraceKey` set of all
+   cache-missing jobs is generated in parallel, each worker writing the
+   trace into the shared on-disk store (:mod:`repro.harness.cache`);
+2. simulations fan out, each worker loading its trace from the store,
+   simulating, and persisting the resulting stats.
+
+When the persistent cache is disabled (``REPRO_NO_CACHE``) a temporary
+directory serves as the job-scoped shared store and is removed after the
+merge.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness import cache as disk_cache
+from repro.harness import runner
+from repro.harness.runner import TraceKey
+from repro.stats.run import RunStats
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+
+
+@dataclass(frozen=True)
+class VariantJob:
+    """One (benchmark, mode, config, seed) simulation request."""
+
+    abbrev: str
+    mode: PersistMode
+    config: MachineConfig
+    seed: int = 7
+    init_ops: Optional[int] = None
+    sim_ops: Optional[int] = None
+
+    @property
+    def trace_key(self) -> TraceKey:
+        return TraceKey(self.abbrev, self.mode, self.seed, self.init_ops, self.sim_ops)
+
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def default_jobs() -> int:
+    """The effective default worker count (``--jobs`` or ``os.cpu_count()``)."""
+    if _default_jobs is not None:
+        return max(1, _default_jobs)
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# worker entry points (top-level so they pickle)
+# ----------------------------------------------------------------------
+def _trace_worker(payload: Tuple[TraceKey, str]) -> int:
+    """Generate one trace into the shared store; returns its length."""
+    key, root = payload
+    path = disk_cache.trace_path(key, root=root)
+    if path is not None and path.exists():
+        return 0
+    trace = runner.generate_trace(key)
+    disk_cache.store_trace(key, trace, root=root)
+    return len(trace)
+
+
+def _sim_worker(payload: Tuple[TraceKey, MachineConfig, str]) -> RunStats:
+    """Simulate one variant, reading its trace from the shared store."""
+    key, config, root = payload
+    trace = disk_cache.load_cached_trace(key, root=root)
+    if trace is None:
+        # phase 1 should have produced it; regenerate defensively
+        trace = runner.generate_trace(key)
+        disk_cache.store_trace(key, trace, root=root)
+    stats = simulate(trace, config)
+    disk_cache.store_stats(key, config, stats, root=root)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# scheduler
+# ----------------------------------------------------------------------
+def run_variants(
+    jobs_list: Sequence[VariantJob], jobs: Optional[int] = None
+) -> List[RunStats]:
+    """Run every job and return results in job order (deterministic merge).
+
+    With ``jobs <= 1`` (or a single job) everything runs serially in
+    process through :func:`repro.harness.runner.run_variant`; results are
+    identical either way because simulation is a pure function of
+    ``(trace, config)``.
+    """
+    jobs_list = list(jobs_list)
+    n_workers = default_jobs() if jobs is None else max(1, jobs)
+    if n_workers <= 1 or len(jobs_list) <= 1:
+        return [
+            runner.run_variant(
+                job.abbrev, job.mode, job.config, job.seed, job.init_ops, job.sim_ops
+            )
+            for job in jobs_list
+        ]
+
+    results: List[Optional[RunStats]] = [None] * len(jobs_list)
+    missing: List[Tuple[int, VariantJob, TraceKey]] = []
+    for index, job in enumerate(jobs_list):
+        key = job.trace_key
+        cached = runner.peek_cached_stats(key, job.config)
+        if cached is not None:
+            results[index] = cached
+        else:
+            missing.append((index, job, key))
+    if not missing:
+        return results  # type: ignore[return-value]
+
+    root = disk_cache.cache_root()
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    if root is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-scratch-")
+        root = Path(scratch.name)
+    try:
+        root_str = str(root)
+        # phase 1: each needed trace is generated exactly once fleet-wide
+        seen = set()
+        gen_keys: List[TraceKey] = []
+        for _, _, key in missing:
+            if key in seen:
+                continue
+            seen.add(key)
+            memo = runner._TRACE_CACHE.get(key)
+            if memo is not None:
+                # already generated in this process: publish to the store
+                path = disk_cache.trace_path(key, root=root_str)
+                if path is not None and not path.exists():
+                    disk_cache.store_trace(key, memo, root=root_str)
+                continue
+            path = disk_cache.trace_path(key, root=root_str)
+            if path is None or not path.exists():
+                gen_keys.append(key)
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(missing))) as pool:
+            if gen_keys:
+                for _ in pool.map(
+                    _trace_worker, [(key, root_str) for key in gen_keys]
+                ):
+                    pass
+            # phase 2: fan out the simulations
+            payloads = [(key, job.config, root_str) for _, job, key in missing]
+            for (index, job, key), stats in zip(
+                missing, pool.map(_sim_worker, payloads)
+            ):
+                results[index] = stats
+                runner.seed_stats_cache(key, job.config, stats)
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    return results  # type: ignore[return-value]
+
+
+def prefetch_variants(
+    pairs: Iterable[Tuple[str, PersistMode, MachineConfig]],
+    seed: int = 7,
+    jobs: Optional[int] = None,
+) -> List[RunStats]:
+    """Warm the caches for *(abbrev, mode, config)* pairs in parallel.
+
+    Figure and sweep functions call this with their full variant
+    cross-product before their (serial, order-sensitive) result assembly
+    loops; the assembly then hits the in-process memo only.
+    """
+    jobs_list = [VariantJob(ab, mode, config, seed) for ab, mode, config in pairs]
+    # de-duplicate while preserving order (BASE repeats across series)
+    unique: List[VariantJob] = []
+    seen = set()
+    for job in jobs_list:
+        if job not in seen:
+            seen.add(job)
+            unique.append(job)
+    return run_variants(unique, jobs=jobs)

@@ -1,4 +1,11 @@
-"""Trace generation and variant simulation, with per-process caching."""
+"""Trace generation and variant simulation, with two cache layers.
+
+Every lookup goes through an in-process memo first and then the
+persistent on-disk store (:mod:`repro.harness.cache`), so repeated runs
+of figures, sweeps, and the test suites regenerate nothing that is
+already known.  The parallel scheduler (:mod:`repro.harness.parallel`)
+shares the same disk store across worker processes.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.harness import cache as disk_cache
 from repro.isa.trace import Trace
 from repro.stats.run import RunStats
 from repro.txn.modes import PersistMode
@@ -31,9 +39,36 @@ _STATS_CACHE: Dict[Tuple[TraceKey, MachineConfig], RunStats] = {}
 
 
 def clear_trace_cache() -> None:
-    """Drop cached traces and simulation results (tests use this)."""
+    """Drop the in-process traces and simulation results (tests use this).
+
+    The persistent on-disk cache is left alone; see
+    :func:`repro.harness.cache.clear_cache` for that.
+    """
     _TRACE_CACHE.clear()
     _STATS_CACHE.clear()
+
+
+def generate_trace(key: TraceKey) -> Trace:
+    """Run the functional workload for *key* and return its trace (uncached)."""
+    spec = PAPER_SPECS[key.abbrev]
+    bench = Workbench(mode=key.mode, record=True, seed=key.seed)
+    workload = spec.build(bench)
+    workload.populate(spec.scaled_init_ops if key.init_ops is None else key.init_ops)
+    workload.run(spec.scaled_sim_ops if key.sim_ops is None else key.sim_ops)
+    return bench.trace
+
+
+def trace_for_key(key: TraceKey) -> Trace:
+    """The trace for *key*: in-process memo, then disk, then generation."""
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    trace = disk_cache.load_cached_trace(key)
+    if trace is None:
+        trace = generate_trace(key)
+        disk_cache.store_trace(key, trace)
+    _TRACE_CACHE[key] = trace
+    return trace
 
 
 def build_trace(
@@ -47,18 +82,27 @@ def build_trace(
 
     ``init_ops``/``sim_ops`` default to the registry's scaled counts.
     """
-    key = TraceKey(abbrev, mode, seed, init_ops, sim_ops)
-    cached = _TRACE_CACHE.get(key)
+    return trace_for_key(TraceKey(abbrev, mode, seed, init_ops, sim_ops))
+
+
+def peek_cached_stats(key: TraceKey, config: MachineConfig) -> Optional[RunStats]:
+    """The cached :class:`RunStats` for *(key, config)*, without simulating.
+
+    Checks the in-process memo, then the disk store (promoting hits into
+    the memo).  Returns ``None`` on a miss.
+    """
+    cached = _STATS_CACHE.get((key, config))
     if cached is not None:
         return cached
-    spec = PAPER_SPECS[abbrev]
-    bench = Workbench(mode=mode, record=True, seed=seed)
-    workload = spec.build(bench)
-    workload.populate(spec.scaled_init_ops if init_ops is None else init_ops)
-    workload.run(spec.scaled_sim_ops if sim_ops is None else sim_ops)
-    trace = bench.trace
-    _TRACE_CACHE[key] = trace
-    return trace
+    stats = disk_cache.load_cached_stats(key, config)
+    if stats is not None:
+        _STATS_CACHE[(key, config)] = stats
+    return stats
+
+
+def seed_stats_cache(key: TraceKey, config: MachineConfig, stats: RunStats) -> None:
+    """Install an externally computed result (parallel workers) in the memo."""
+    _STATS_CACHE[(key, config)] = stats
 
 
 def run_variant(
@@ -66,15 +110,18 @@ def run_variant(
     mode: PersistMode,
     config: Optional[MachineConfig] = None,
     seed: int = 7,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
 ) -> RunStats:
-    """Simulate one benchmark variant on *config* (cached)."""
+    """Simulate one benchmark variant on *config* (cached at both layers)."""
     config = config or MachineConfig()
-    key = (TraceKey(abbrev, mode, seed), config)
-    cached = _STATS_CACHE.get(key)
+    key = TraceKey(abbrev, mode, seed, init_ops, sim_ops)
+    cached = peek_cached_stats(key, config)
     if cached is not None:
         return cached
-    stats = simulate(build_trace(abbrev, mode, seed=seed), config)
-    _STATS_CACHE[key] = stats
+    stats = simulate(trace_for_key(key), config)
+    _STATS_CACHE[(key, config)] = stats
+    disk_cache.store_stats(key, config, stats)
     return stats
 
 
@@ -89,13 +136,22 @@ def variant_stats(
     With ``sp=True`` the LOG_P_SF trace additionally runs on the
     speculative-persistence machine and is stored under the key
     ``"SP"`` in the returned mapping (alongside the enum keys).
+    Variants are scheduled through the parallel executor when a
+    multi-job default is configured.
     """
-    results: Dict = {}
+    from repro.harness.parallel import prefetch_variants
+
     base_cfg = MachineConfig()
+    pairs = [(abbrev, mode, base_cfg) for mode in PersistMode]
+    sp_cfg = base_cfg.with_sp(ssb_entries)
+    if sp:
+        pairs.append((abbrev, PersistMode.LOG_P_SF, sp_cfg))
+    prefetch_variants(pairs, seed=seed)
+
+    results: Dict = {}
     for mode in PersistMode:
         results[mode] = run_variant(abbrev, mode, base_cfg, seed)
     if sp:
-        sp_cfg = base_cfg.with_sp(ssb_entries)
         results["SP"] = run_variant(abbrev, PersistMode.LOG_P_SF, sp_cfg, seed)
     return results
 

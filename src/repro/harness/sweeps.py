@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Optional, Sequence
 
+from repro.harness.parallel import prefetch_variants
 from repro.harness.runner import all_benchmarks, geomean_overhead, run_variant
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
@@ -34,6 +35,15 @@ def checkpoint_sweep(
     """
     benchmarks = list(benchmarks or all_benchmarks())
     base_cfg = MachineConfig()
+    prefetch_variants(
+        [(ab, PersistMode.BASE, base_cfg) for ab in benchmarks]
+        + [
+            (ab, PersistMode.LOG_P_SF, base_cfg.with_sp(256, checkpoint_entries=count))
+            for count in counts
+            for ab in benchmarks
+        ],
+        seed=seed,
+    )
     result: Dict[int, Dict[str, float]] = {}
     for count in counts:
         sp_cfg = base_cfg.with_sp(256, checkpoint_entries=count)
@@ -65,6 +75,13 @@ def nvmm_latency_sweep(
     penalty SP removes}}``.
     """
     benchmarks = list(benchmarks or all_benchmarks())
+    pairs = []
+    for write_ns in write_latencies_ns:
+        cfg = replace(MachineConfig(), nvmm_write_cycles=int(315 * (write_ns / 150.0)))
+        pairs += [(ab, PersistMode.LOG_P, cfg) for ab in benchmarks]
+        pairs += [(ab, PersistMode.LOG_P_SF, cfg) for ab in benchmarks]
+        pairs += [(ab, PersistMode.LOG_P_SF, cfg.with_sp(256)) for ab in benchmarks]
+    prefetch_variants(pairs, seed=seed)
     result: Dict[int, Dict[str, float]] = {}
     for write_ns in write_latencies_ns:
         scale = write_ns / 150.0

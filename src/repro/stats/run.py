@@ -25,6 +25,7 @@ class RunStats:
     # PMEM instruction dynamics
     clwbs: int = 0
     clflushopts: int = 0
+    clflushes: int = 0
     pcommits: int = 0
     #: Figure 11: maximum concurrently outstanding pcommits.
     max_inflight_pcommits: int = 0
@@ -75,6 +76,19 @@ class RunStats:
         if baseline.cycles == 0:
             raise ValueError("baseline has zero cycles")
         return self.cycles / baseline.cycles - 1.0
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "RunStats":
+        """Rebuild a :class:`RunStats` from a mapping of raw counters.
+
+        Accepts the output of :meth:`as_dict` (derived metrics and unknown
+        keys are ignored) as well as the persistent cache's JSON records.
+        """
+        from dataclasses import fields
+
+        names = {field_.name for field_ in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in names}
+        return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat mapping of every counter plus the derived metrics — for

@@ -1,28 +1,14 @@
-"""Trace-driven out-of-order pipeline model with speculative persistence.
+"""Reference (unoptimised) pipeline model for equivalence validation.
 
-The model is a *sliding-window* timing simulation: instructions are
-processed in program order, and each instruction's fetch, dispatch, and
-retirement times are computed from a small set of running constraints —
-fetch/dispatch/retire bandwidth (4 wide), fetch-queue occupancy (48), ROB
-occupancy (128), in-order retirement, and the persistency rules for
-``sfence``.  This is O(1) state per instruction and reproduces exactly the
-stall phenomenon the paper measures: a fence waiting on a pcommit stops
-retirement, the ROB fills, dispatch stops, the fetch queue fills, and the
-front end stalls (Figure 10's fetch-queue stall cycles).
-
-With ``config.sp_enabled`` the model implements Section 4 of the paper:
-
-* an ``sfence-pcommit-sfence`` sequence that would stall instead takes a
-  checkpoint and retires speculatively (the sequence is recognised as one
-  *barrier* macro-op, the paper's single-checkpoint optimisation);
-* speculative stores go to the SSB; loads probe the bloom filter and pay
-  the SSB CAM latency on (possibly false) hits;
-* PMEM instructions in the shadow of speculation are buffered in the SSB
-  and replay at epoch commit;
-* later barriers end the current epoch and open a child epoch, stalling
-  only when the 4-entry checkpoint buffer or the SSB is exhausted;
-* epochs commit strictly in order as their gating pcommits complete.
+This is the seed's sliding-window timing model, kept verbatim apart from
+class/function names and the ``clflushes`` counter fix.  The optimised
+model in :mod:`repro.uarch.pipeline` batches ALU/BRANCH runs and binds
+hot attributes to locals; the test suite asserts both produce identical
+:class:`~repro.stats.run.RunStats` cycle-for-cycle on every benchmark,
+so any timing change to the fast model must be replicated here (and vice
+versa) deliberately.
 """
+
 
 from __future__ import annotations
 
@@ -45,7 +31,7 @@ from repro.uarch.memctrl import MemoryController, MemoryControllerArray
 _BLOCK_MASK = ~63
 
 
-class PipelineModel:
+class ReferencePipelineModel:
     """One simulated core; construct it, then call :meth:`run` on a trace."""
 
     def __init__(self, config: MachineConfig = MachineConfig()):
@@ -112,18 +98,7 @@ class PipelineModel:
     def run(self, trace: Trace) -> RunStats:
         """Simulate *trace* to completion and return the statistics."""
         instrs = list(trace)
-        # one attribute fetch per instruction up front: the dispatch loop
-        # below then branches on precomputed ops instead of touching the
-        # Instr objects for the (dominant) compute fraction of the trace
-        ops = [instr.op for instr in instrs]
         n = len(instrs)
-        coalesce = self.config.coalesce_barrier_checkpoints
-        alu = Op.ALU
-        branch = Op.BRANCH
-        sfence = Op.SFENCE
-        pcommit = Op.PCOMMIT
-        epochs = self.epochs
-        step = self._step
         i = 0
         while i < n:
             if self._probes:
@@ -131,32 +106,15 @@ class PipelineModel:
                 if resume is not None:
                     i = resume
                     continue
-            op = ops[i]
-            if (op is alu or op is branch) and not (
-                epochs.speculating or self._probes
-            ):
-                # run-length fast path: consecutive ALU/BRANCH ops touch
-                # only the front-end/retire sliding windows, and outside
-                # speculation no per-op polling is needed, so the whole
-                # run advances in one tight loop (timing-identical to
-                # _step; asserted against pipeline_ref)
-                j = i + 1
-                while j < n:
-                    op = ops[j]
-                    if op is alu or op is branch:
-                        j += 1
-                    else:
-                        break
-                self._compute_batch(j - i)
-                i = j
-                continue
             self._instr_index = i
+            instr = instrs[i]
+            op = instr.op
             if (
-                coalesce
-                and op is sfence
+                self.config.coalesce_barrier_checkpoints
+                and op is Op.SFENCE
                 and i + 2 < n
-                and ops[i + 1] is pcommit
-                and ops[i + 2] is sfence
+                and instrs[i + 1].op is Op.PCOMMIT
+                and instrs[i + 2].op is Op.SFENCE
             ):
                 # the sfence-pcommit-sfence sequence as one barrier macro-op
                 # (paper §4.2.2's single-checkpoint optimisation); with the
@@ -165,7 +123,7 @@ class PipelineModel:
                 self._barrier(instrs[i + 1])
                 i += 3
                 continue
-            step(instrs[i])
+            self._step(instr)
             i += 1
         self._finish()
         return self.stats
@@ -196,80 +154,6 @@ class PipelineModel:
         self._dispatch_group.append(dispatch_t)
         self._fetchq.append(dispatch_t)
         return dispatch_t
-
-    def _compute_batch(self, count: int) -> None:
-        """Fetch, dispatch, and retire *count* consecutive 1-cycle compute
-        ops (ALU/BRANCH) in one loop.
-
-        Semantically identical to ``_front_end`` + ``_retire(dispatch + 1)``
-        per op, with the sliding-window deques and running maxima bound to
-        locals; only valid outside speculation (callers guarantee it).
-        """
-        config = self.config
-        fetchq_entries = config.fetchq_entries
-        rob_entries = config.rob_entries
-        depth = config.fetch_to_dispatch
-        fetch_group = self._fetch_group
-        dispatch_group = self._dispatch_group
-        retire_group = self._retire_group
-        fetchq = self._fetchq
-        rob = self._rob
-        fetch_append = fetch_group.append
-        dispatch_append = dispatch_group.append
-        retire_append = retire_group.append
-        fetchq_append = fetchq.append
-        rob_append = rob.append
-        last_fetch = self._last_fetch
-        last_retire = self._last_retire
-        fetch_stalls = 0
-        fq_full = len(fetchq) == fetchq_entries
-        rob_full = len(rob) == rob_entries
-        for _ in range(count):
-            # fetch: bandwidth + fetch-queue-full constraint
-            bw_ready = fetch_group[0] + 1
-            if fq_full:
-                fq_ready = fetchq[0]
-                if fq_ready > bw_ready:
-                    fetch_t = fq_ready
-                    if fq_ready > last_fetch:
-                        floor = bw_ready if bw_ready > last_fetch else last_fetch
-                        fetch_stalls += fq_ready - floor
-                else:
-                    fetch_t = bw_ready
-            else:
-                fetch_t = bw_ready
-            if fetch_t > last_fetch:
-                last_fetch = fetch_t
-            fetch_append(fetch_t)
-            # dispatch: front-end depth + bandwidth + ROB-full constraint
-            dispatch_t = fetch_t + depth
-            bound = dispatch_group[0] + 1
-            if bound > dispatch_t:
-                dispatch_t = bound
-            if rob_full:
-                bound = rob[0]
-                if bound > dispatch_t:
-                    dispatch_t = bound
-            dispatch_append(dispatch_t)
-            fetchq_append(dispatch_t)
-            if not fq_full:
-                fq_full = len(fetchq) == fetchq_entries
-            # in-order, width-limited retirement one cycle after dispatch
-            retire_t = dispatch_t + 1
-            if last_retire > retire_t:
-                retire_t = last_retire
-            bound = retire_group[0] + 1
-            if bound > retire_t:
-                retire_t = bound
-            retire_append(retire_t)
-            rob_append(retire_t)
-            if not rob_full:
-                rob_full = len(rob) == rob_entries
-            last_retire = retire_t
-        self._last_fetch = last_fetch
-        self._last_retire = last_retire
-        self.stats.fetch_stall_cycles += fetch_stalls
-        self.stats.instructions += count
 
     def _retire(self, complete_t: int) -> int:
         """In-order, width-limited retirement; returns the retire time."""
@@ -770,6 +654,6 @@ class PipelineModel:
         )
 
 
-def simulate(trace: Trace, config: MachineConfig = MachineConfig()) -> RunStats:
+def simulate_reference(trace: Trace, config: MachineConfig = MachineConfig()) -> RunStats:
     """Convenience wrapper: simulate *trace* on a fresh machine."""
-    return PipelineModel(config).run(trace)
+    return ReferencePipelineModel(config).run(trace)

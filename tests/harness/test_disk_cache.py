@@ -1,0 +1,147 @@
+"""Persistent on-disk cache (repro.harness.cache): cold/warm equivalence,
+keying, invalidation, and env overrides."""
+
+import json
+
+import pytest
+
+from repro.harness import cache
+from repro.harness import runner
+from repro.harness.runner import TraceKey, build_trace, clear_trace_cache, run_variant
+from repro.stats.run import RunStats
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+
+SMALL = dict(init_ops=40, sim_ops=4)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "cache"))
+    monkeypatch.delenv(cache.ENV_NO_CACHE, raising=False)
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def _no_generation(monkeypatch):
+    def boom(key):
+        raise AssertionError(f"unexpected trace generation for {key}")
+
+    monkeypatch.setattr(runner, "generate_trace", boom)
+
+
+class TestColdWarmEquivalence:
+    def test_stats_survive_process_cache_clear(self):
+        cold = run_variant("LL", PersistMode.BASE, **SMALL)
+        clear_trace_cache()
+        warm = run_variant("LL", PersistMode.BASE, **SMALL)
+        assert warm == cold
+        assert warm is not cold
+
+    def test_warm_run_reads_disk_only(self, monkeypatch):
+        run_variant("LL", PersistMode.LOG_P_SF, **SMALL)
+        clear_trace_cache()
+        _no_generation(monkeypatch)
+        # both the stats and (for a new config) the trace come from disk
+        run_variant("LL", PersistMode.LOG_P_SF, **SMALL)
+        run_variant(
+            "LL", PersistMode.LOG_P_SF, MachineConfig().with_sp(256), **SMALL
+        )
+
+    def test_trace_loaded_from_disk(self, monkeypatch):
+        cold = build_trace("LL", PersistMode.BASE, **SMALL)
+        clear_trace_cache()
+        _no_generation(monkeypatch)
+        warm = build_trace("LL", PersistMode.BASE, **SMALL)
+        assert warm is not cold
+        assert list(warm) == list(cold)
+
+
+class TestKeying:
+    def test_config_change_invalidates(self):
+        key = TraceKey("LL", PersistMode.BASE, 7, 40, 4)
+        base = MachineConfig()
+        other = MachineConfig(rob_entries=64)
+        assert cache.stats_digest(key, base) != cache.stats_digest(key, other)
+        run_variant("LL", PersistMode.BASE, base, **SMALL)
+        clear_trace_cache()
+        assert cache.load_cached_stats(key, base) is not None
+        assert cache.load_cached_stats(key, other) is None
+
+    def test_schema_bump_invalidates(self, monkeypatch):
+        key = TraceKey("LL", PersistMode.BASE, 7, 40, 4)
+        config = MachineConfig()
+        run_variant("LL", PersistMode.BASE, config, **SMALL)
+        assert cache.load_cached_stats(key, config) is not None
+        assert cache.load_cached_trace(key) is not None
+        monkeypatch.setattr(cache, "CACHE_SCHEMA_VERSION", cache.CACHE_SCHEMA_VERSION + 1)
+        assert cache.load_cached_stats(key, config) is None
+        assert cache.load_cached_trace(key) is None
+
+    def test_seed_and_op_counts_key_traces(self):
+        a = TraceKey("LL", PersistMode.BASE, 7, 40, 4)
+        b = TraceKey("LL", PersistMode.BASE, 8, 40, 4)
+        c = TraceKey("LL", PersistMode.BASE, 7, 41, 4)
+        digests = {cache.trace_digest(k) for k in (a, b, c)}
+        assert len(digests) == 3
+
+
+class TestEnvOverrides:
+    def test_no_cache_disables_everything(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(cache.ENV_NO_CACHE, "1")
+        key = TraceKey("LL", PersistMode.BASE, 7, 40, 4)
+        assert cache.cache_root() is None
+        assert cache.store_trace(key, build_trace("LL", PersistMode.BASE, **SMALL)) is None
+        assert cache.load_cached_trace(key) is None
+        assert not (tmp_path / "cache").exists()
+
+    def test_cache_dir_honoured(self, tmp_path):
+        run_variant("LL", PersistMode.BASE, **SMALL)
+        root = tmp_path / "cache"
+        assert any((root / "traces").iterdir())
+        assert any((root / "stats").iterdir())
+
+
+class TestRobustness:
+    def test_corrupt_trace_is_a_miss(self):
+        key = TraceKey("LL", PersistMode.BASE, 7, 40, 4)
+        build_trace("LL", PersistMode.BASE, **SMALL)
+        path = cache.trace_path(key)
+        path.write_bytes(b"not a trace")
+        assert cache.load_cached_trace(key) is None
+        assert not path.exists()  # corrupt entries are dropped
+
+    def test_corrupt_stats_is_a_miss(self):
+        key = TraceKey("LL", PersistMode.BASE, 7, 40, 4)
+        config = MachineConfig()
+        run_variant("LL", PersistMode.BASE, config, **SMALL)
+        path = cache.stats_path(key, config)
+        path.write_text("{broken")
+        assert cache.load_cached_stats(key, config) is None
+
+    def test_clear_cache_counts_files(self):
+        run_variant("LL", PersistMode.BASE, **SMALL)
+        info = cache.cache_info()
+        assert info["traces"] == 1 and info["stats"] == 1
+        assert cache.clear_cache() == 2
+        assert cache.cache_info()["bytes"] == 0
+
+
+class TestRunStatsRoundTrip:
+    def test_from_dict_ignores_derived_keys(self):
+        stats = RunStats(cycles=100, instructions=250, clflushes=3)
+        rebuilt = RunStats.from_dict(stats.as_dict())
+        assert rebuilt == stats
+
+    def test_disk_round_trip_preserves_every_counter(self):
+        stats = run_variant("LL", PersistMode.LOG_P_SF, **SMALL)
+        key = TraceKey("LL", PersistMode.LOG_P_SF, 7, 40, 4)
+        clear_trace_cache()
+        loaded = cache.load_cached_stats(key, MachineConfig())
+        assert loaded == stats
+        # the JSON record holds raw counters only (derived metrics are
+        # recomputed by RunStats properties)
+        record = json.loads(cache.stats_path(key, MachineConfig()).read_text())
+        assert "ipc" not in record
+        assert record["cycles"] == stats.cycles

@@ -1,0 +1,125 @@
+"""Parallel variant scheduler (repro.harness.parallel): serial-vs-parallel
+determinism, cache sharing, and job-count resolution."""
+
+import os
+
+import pytest
+
+from repro.harness import cache
+from repro.harness import parallel
+from repro.harness.parallel import (
+    VariantJob,
+    default_jobs,
+    prefetch_variants,
+    run_variants,
+    set_default_jobs,
+)
+from repro.harness.runner import clear_trace_cache, run_variant
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.workloads.registry import WORKLOADS
+
+SMALL = dict(init_ops=40, sim_ops=4)
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "cache"))
+    monkeypatch.delenv(cache.ENV_NO_CACHE, raising=False)
+    clear_trace_cache()
+    set_default_jobs(None)
+    yield
+    clear_trace_cache()
+    set_default_jobs(None)
+
+
+def _fig8_jobs():
+    """Every Figure-8 variant of every benchmark, at reduced op counts."""
+    base_cfg = MachineConfig()
+    sp_cfg = base_cfg.with_sp(256)
+    series = [
+        (PersistMode.BASE, base_cfg),
+        (PersistMode.LOG, base_cfg),
+        (PersistMode.LOG_P, base_cfg),
+        (PersistMode.LOG_P_SF, base_cfg),
+        (PersistMode.LOG_P_SF, sp_cfg),
+    ]
+    return [
+        VariantJob(ab, mode, config, **SMALL)
+        for mode, config in series
+        for ab in WORKLOADS
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_for_every_fig8_variant(self, monkeypatch):
+        jobs = _fig8_jobs()
+        parallel_results = run_variants(jobs, jobs=3)
+        # recompute from scratch: fresh memo, no disk cache
+        clear_trace_cache()
+        monkeypatch.setenv(cache.ENV_NO_CACHE, "1")
+        serial_results = run_variants(jobs, jobs=1)
+        assert len(parallel_results) == len(jobs)
+        for job, par, ser in zip(jobs, parallel_results, serial_results):
+            assert par == ser, job
+
+    def test_parallel_without_persistent_cache(self, monkeypatch):
+        # the scheduler falls back to a scratch store shared by workers
+        monkeypatch.setenv(cache.ENV_NO_CACHE, "1")
+        jobs = [
+            VariantJob("LL", PersistMode.BASE, MachineConfig(), **SMALL),
+            VariantJob("LL", PersistMode.LOG_P_SF, MachineConfig(), **SMALL),
+            VariantJob("LL", PersistMode.LOG_P_SF, MachineConfig().with_sp(256), **SMALL),
+        ]
+        par = run_variants(jobs, jobs=2)
+        clear_trace_cache()
+        ser = run_variants(jobs, jobs=1)
+        assert par == ser
+
+
+class TestCacheSharing:
+    def test_workers_populate_the_shared_store(self, tmp_path):
+        jobs = [
+            VariantJob("LL", PersistMode.LOG_P_SF, MachineConfig(), **SMALL),
+            VariantJob("LL", PersistMode.LOG_P_SF, MachineConfig().with_sp(256), **SMALL),
+        ]
+        run_variants(jobs, jobs=2)
+        root = tmp_path / "cache"
+        # one shared trace (both variants replay the same LOG_P_SF trace),
+        # one stats record per machine configuration
+        assert len(list((root / "traces").iterdir())) == 1
+        assert len(list((root / "stats").iterdir())) == 2
+
+    def test_results_land_in_process_memo(self):
+        jobs = [VariantJob("LL", PersistMode.BASE, MachineConfig(), **SMALL)]
+        (result,) = run_variants(jobs, jobs=2)
+        memo = run_variant("LL", PersistMode.BASE, MachineConfig(), **SMALL)
+        assert memo is result
+
+    def test_prefetch_dedups_and_warms(self):
+        base_cfg = MachineConfig()
+        pairs = [("LL", PersistMode.BASE, base_cfg)] * 3
+        results = prefetch_variants(pairs, jobs=1)
+        assert len(results) == 1
+        again = run_variant("LL", PersistMode.BASE, base_cfg)
+        assert again is results[0]
+
+
+class TestJobResolution:
+    def test_default_tracks_cpu_count(self):
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_cli_override(self):
+        set_default_jobs(3)
+        assert default_jobs() == 3
+        set_default_jobs(0)  # clamped
+        assert default_jobs() == 1
+
+    def test_single_job_never_spawns_workers(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor should not be used")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", no_pool)
+        jobs = [VariantJob("LL", PersistMode.BASE, MachineConfig(), **SMALL)]
+        (result,) = run_variants(jobs, jobs=1)
+        assert result.cycles > 0

@@ -1,0 +1,96 @@
+"""The optimised pipeline (ALU/BRANCH run-length batching, locals-bound
+hot loop) must be cycle-for-cycle identical to the reference model
+(repro.uarch.pipeline_ref) on every benchmark and variant."""
+
+import pytest
+
+from repro.harness.runner import build_trace, clear_trace_cache
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel, simulate
+from repro.uarch.pipeline_ref import ReferencePipelineModel, simulate_reference
+from repro.workloads.registry import WORKLOADS
+
+SMALL = dict(init_ops=100, sim_ops=6)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+@pytest.mark.parametrize("abbrev", WORKLOADS)
+class TestEquivalenceOnBenchmarks:
+    def test_baseline_trace(self, abbrev):
+        trace = build_trace(abbrev, PersistMode.BASE, **SMALL)
+        config = MachineConfig()
+        assert simulate(trace, config).as_dict() == simulate_reference(
+            trace, config
+        ).as_dict()
+
+    def test_fenced_trace(self, abbrev):
+        trace = build_trace(abbrev, PersistMode.LOG_P_SF, **SMALL)
+        config = MachineConfig()
+        assert simulate(trace, config).as_dict() == simulate_reference(
+            trace, config
+        ).as_dict()
+
+    def test_speculative_machine(self, abbrev):
+        trace = build_trace(abbrev, PersistMode.LOG_P_SF, **SMALL)
+        config = MachineConfig().with_sp(256)
+        assert simulate(trace, config).as_dict() == simulate_reference(
+            trace, config
+        ).as_dict()
+
+
+class TestEquivalenceEdges:
+    def test_pure_compute_run_exercises_batching(self):
+        # long ALU/BRANCH run: fills the fetch queue and the ROB, so the
+        # batch path must reproduce the bandwidth and stall accounting
+        trace = Trace(
+            [Instr(Op.ALU if i % 3 else Op.BRANCH) for i in range(2000)]
+        )
+        config = MachineConfig()
+        assert simulate(trace, config).as_dict() == simulate_reference(
+            trace, config
+        ).as_dict()
+
+    def test_rollback_replays_identically(self):
+        instrs = [Instr(Op.ALU) for _ in range(40)]
+        instrs += [Instr(Op.STORE, 0x1000), Instr(Op.CLWB, 0x1000)]
+        instrs += [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+        instrs += [Instr(Op.STORE, 0x3000)]  # speculative: lands in the SSB
+        instrs += [Instr(Op.ALU) for _ in range(40)]
+        instrs += [Instr(Op.LOAD, 0x2000)]
+        trace = Trace(instrs)
+        config = MachineConfig().with_sp(256)
+        fast = PipelineModel(config)
+        fast.schedule_probe(60, 0x3000)
+        ref = ReferencePipelineModel(config)
+        ref.schedule_probe(60, 0x3000)
+        fast_stats = fast.run(trace)
+        ref_stats = ref.run(trace)
+        assert fast_stats.rollbacks == 1
+        assert fast_stats.as_dict() == ref_stats.as_dict()
+
+
+class TestClflushCounter:
+    def test_clflush_counted_separately(self):
+        trace = Trace([
+            Instr(Op.STORE, 0x40),
+            Instr(Op.CLFLUSH, 0x40),
+            Instr(Op.STORE, 0x80),
+            Instr(Op.CLFLUSHOPT, 0x80),
+            Instr(Op.CLWB, 0x80),
+        ])
+        stats = simulate(trace, MachineConfig())
+        assert stats.clflushes == 1
+        assert stats.clflushopts == 1
+        assert stats.clwbs == 1
+        assert stats.as_dict()["clflushes"] == 1
