@@ -19,6 +19,10 @@ Commands
     (writes ``BENCH_harness.json``).
 ``cache {info,clear}``
     Inspect or empty the persistent ``.repro-cache`` store.
+``validate``
+    Run the differential validation subsystem (conformance oracle,
+    crash-consistency fuzzer, trace property fuzzer) and write a JSON
+    report; exits non-zero on any failed check.  See docs/VALIDATION.md.
 
 ``figure``, ``report``, ``run``, and ``bench`` accept ``--jobs N`` to fan
 variant simulation across N worker processes (default: all cores);
@@ -55,6 +59,7 @@ from repro.harness.runner import run_variant
 from repro.pmem.crash import CrashTester
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
+from repro import validate as validation
 from repro.workloads.registry import PAPER_SPECS, WORKLOADS, build_workload
 
 
@@ -231,6 +236,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
     cache.add_argument("action", choices=("info", "clear"))
+
+    validate = sub.add_parser(
+        "validate", help="run the differential validation subsystem"
+    )
+    validate.add_argument(
+        "--engine", action="append", choices=validation.ENGINES, default=None,
+        metavar="ENGINE", dest="engines",
+        help="run only this engine (repeatable; default: all three)",
+    )
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--quick", action="store_true",
+        help="reduced case counts and sizes (CI smoke variant)",
+    )
+    validate.add_argument(
+        "--benchmarks", nargs="*", choices=WORKLOADS, default=None,
+        help="restrict to a subset (default: all seven)",
+    )
+    validate.add_argument(
+        "--inject", choices=sorted(validation.MUTATIONS), default=None,
+        metavar="MUTATION",
+        help="deliberately inject a named fault (the run SHOULD fail; "
+             "used to demonstrate the validators catch real bugs)",
+    )
+    validate.add_argument(
+        "--report", default=validation.DEFAULT_REPORT, metavar="PATH",
+        help=f"where to write the JSON report "
+             f"(default: {validation.DEFAULT_REPORT}; '-' to skip)",
+    )
+    add_jobs(validate)
     return parser
 
 
@@ -272,6 +307,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             for key, value in harness_cache.cache_info().items():
                 print(f"{key:>15}: {value}")
+    elif args.command == "validate":
+        result = validation.run_validation(
+            seed=args.seed,
+            engines=args.engines,
+            benchmarks=args.benchmarks,
+            quick=args.quick,
+            injected=args.inject,
+        )
+        if args.report != "-":
+            path = result.write(args.report)
+            print(f"report written to {path}")
+        print(result.summary())
+        return 0 if result.ok else 1
     return 0
 
 

@@ -45,7 +45,7 @@ from repro.uarch.config import MachineConfig
 
 #: Bump whenever trace generation or the timing model changes observable
 #: behaviour — every previously cached entry becomes unreachable.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

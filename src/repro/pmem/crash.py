@@ -39,6 +39,9 @@ class CrashOutcome:
     crashed: bool
     invariants_ok: bool
     detail: str = ""
+    #: index of the operation the crash was injected into (multi-operation
+    #: campaigns; -1 for the classic single-operation sweeps).
+    op_index: int = -1
 
 
 class CrashTester:
@@ -74,6 +77,9 @@ class CrashTester:
         self.recover = recover
         self.check_invariants = check_invariants
         self.adversarial_evictions = adversarial_evictions
+        #: the seed every randomised decision derives from, recorded so a
+        #: reported failure can be replayed exactly.
+        self.seed = seed
         self._rng = random.Random(seed)
         self._countdown = -1
         self._counting = False
@@ -118,7 +124,10 @@ class CrashTester:
         return self._events
 
     def sweep(
-        self, points: Optional[List[int]] = None, max_points: int = 64
+        self,
+        points: Optional[List[int]] = None,
+        max_points: int = 64,
+        stop_on_failure: bool = False,
     ) -> List[CrashOutcome]:
         """Inject crashes at a set of store-event indices.
 
@@ -127,6 +136,12 @@ class CrashTester:
         spaced, always including the boundaries — the edges of the four WAL
         steps are where bugs live), plus one point past the last store
         (crash after a fully-persisted operation).
+
+        With *stop_on_failure* the sweep aborts at the first inconsistent
+        recovery: once recovery has failed, the structure is corrupted and
+        further operations on it are undefined (they may not even
+        terminate).  Validation engines use this so a broken recovery path
+        is reported instead of wedging the run.
         """
         if points is None:
             total = self.count_events()
@@ -137,7 +152,49 @@ class CrashTester:
                 candidates |= {0, 1, max(0, total - 1), total}
             points = sorted(candidates)
         for point in points:
-            self.outcomes.append(self._inject(point))
+            outcome = self._inject(point)
+            self.outcomes.append(outcome)
+            if stop_on_failure and not outcome.invariants_ok:
+                break
+        return self.outcomes
+
+    def campaign(
+        self,
+        n_crashes: int,
+        max_ops_between: int = 3,
+        max_point: int = 96,
+        stop_on_failure: bool = False,
+    ) -> List[CrashOutcome]:
+        """Multi-operation randomised crash campaign.
+
+        The classic :meth:`sweep` enumerates crash points within a *single*
+        re-run operation.  A campaign instead interleaves crash-free
+        operations with injected crashes over a long run: between
+        consecutive injections it executes 0..*max_ops_between* complete
+        operations (advancing the structure, the reference model, and the
+        durable state), then crashes the next operation at a random store
+        event in ``[0, max_point)`` and recovers.  A crash point beyond the
+        operation's store count simply lets that operation complete — the
+        "crash after a fully-persisted operation" case arises naturally.
+
+        Every random choice comes from the tester's seeded RNG, so a
+        campaign is exactly reproducible from ``(workload seed, tester
+        seed)``.  Outcomes are appended to :attr:`outcomes` and returned.
+        *stop_on_failure* aborts at the first inconsistent recovery (see
+        :meth:`sweep`): running more operations on a structure whose
+        recovery failed is undefined.
+        """
+        op_index = 0
+        for _ in range(n_crashes):
+            for _ in range(self._rng.randint(0, max_ops_between)):
+                self.run_operation()
+                op_index += 1
+            outcome = self._inject(self._rng.randrange(max_point))
+            outcome.op_index = op_index
+            op_index += 1
+            self.outcomes.append(outcome)
+            if stop_on_failure and not outcome.invariants_ok:
+                break
         return self.outcomes
 
     def _inject(self, point: int) -> CrashOutcome:

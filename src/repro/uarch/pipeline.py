@@ -109,8 +109,15 @@ class PipelineModel:
         **re-executes** from there (paper §4.2.2)."""
         self._probes.setdefault(instr_index, []).append(block & _BLOCK_MASK)
 
-    def run(self, trace: Trace) -> RunStats:
-        """Simulate *trace* to completion and return the statistics."""
+    def run(self, trace: Trace, finish: bool = True) -> RunStats:
+        """Simulate *trace* and return the statistics.
+
+        With ``finish=False`` the machine is left exactly as the last
+        instruction left it — speculative epochs stay open, the SSB keeps
+        its entries, and no wind-down drain happens.  The validation
+        subsystem uses this to probe mid-speculation machine state
+        (crash-point invariants); normal callers always finish.
+        """
         instrs = list(trace)
         # one attribute fetch per instruction up front: the dispatch loop
         # below then branches on precomputed ops instead of touching the
@@ -167,7 +174,10 @@ class PipelineModel:
                 continue
             step(instrs[i])
             i += 1
-        self._finish()
+        if finish:
+            self._finish()
+        else:
+            self.stats.cycles = self._last_retire
         return self.stats
 
     # ==================================================================
@@ -508,7 +518,7 @@ class PipelineModel:
             self._child_epoch(ready, barrier=False)
             return
         if horizon > ready and self.config.sp_enabled:
-            self._enter_speculation(ready, horizon)
+            self._enter_speculation(ready, horizon, n_fence_instrs=1)
             return
         if horizon > ready:
             self.stats.sfence_stall_cycles += horizon - ready
@@ -556,16 +566,23 @@ class PipelineModel:
     # ------------------------------------------------------------------
     # speculation control
     # ------------------------------------------------------------------
-    def _enter_speculation(self, ready: int, barrier_done: int) -> None:
-        """Begin the first speculative epoch instead of stalling."""
+    def _enter_speculation(
+        self, ready: int, barrier_done: int, n_fence_instrs: int = 3
+    ) -> None:
+        """Begin the first speculative epoch instead of stalling.
+
+        ``n_fence_instrs`` is how many instructions the entering fence
+        comprises: 3 for the ``sfence; pcommit; sfence`` barrier triple,
+        1 for a lone sfence.
+        """
         self.stats.sp_entries += 1
         checkpoint_t = ready + self.config.checkpoint_cycles
         self.epochs.begin_epoch(barrier_done, checkpoint_t, self._instr_index)
         self.stats.epochs_created += 1
         # the fence(s) retire speculatively, almost for free
         self._retire(checkpoint_t)
-        self._retire(checkpoint_t + 1)
-        self._retire(checkpoint_t + 1)
+        for _ in range(n_fence_instrs - 1):
+            self._retire(checkpoint_t + 1)
         self._track_epoch_peak()
 
     def _child_epoch(self, ready: int, barrier: bool) -> None:
@@ -711,6 +728,16 @@ class PipelineModel:
         self._chain_issue = restart
         self._chain_block = -1
         return resume_index
+
+    def abort_speculation(self) -> Optional[int]:
+        """Abort all uncommitted speculation (a power failure or coherence
+        conflict at the current point).  Returns the trace index execution
+        would resume from — the oldest uncommitted checkpoint, i.e. the
+        last committed epoch's end — or ``None`` when the machine was not
+        speculating.  Used by the crash-consistency fuzzer."""
+        if not self.epochs.speculating:
+            return None
+        return self._do_rollback()
 
     def external_probe(self, block: int) -> bool:
         """An external coherence request for *block*.  Returns True if it

@@ -392,7 +392,7 @@ class ReferencePipelineModel:
             self._child_epoch(ready, barrier=False)
             return
         if horizon > ready and self.config.sp_enabled:
-            self._enter_speculation(ready, horizon)
+            self._enter_speculation(ready, horizon, n_fence_instrs=1)
             return
         if horizon > ready:
             self.stats.sfence_stall_cycles += horizon - ready
@@ -440,16 +440,23 @@ class ReferencePipelineModel:
     # ------------------------------------------------------------------
     # speculation control
     # ------------------------------------------------------------------
-    def _enter_speculation(self, ready: int, barrier_done: int) -> None:
-        """Begin the first speculative epoch instead of stalling."""
+    def _enter_speculation(
+        self, ready: int, barrier_done: int, n_fence_instrs: int = 3
+    ) -> None:
+        """Begin the first speculative epoch instead of stalling.
+
+        ``n_fence_instrs`` is how many instructions the entering fence
+        comprises: 3 for the ``sfence; pcommit; sfence`` barrier triple,
+        1 for a lone sfence.
+        """
         self.stats.sp_entries += 1
         checkpoint_t = ready + self.config.checkpoint_cycles
         self.epochs.begin_epoch(barrier_done, checkpoint_t, self._instr_index)
         self.stats.epochs_created += 1
         # the fence(s) retire speculatively, almost for free
         self._retire(checkpoint_t)
-        self._retire(checkpoint_t + 1)
-        self._retire(checkpoint_t + 1)
+        for _ in range(n_fence_instrs - 1):
+            self._retire(checkpoint_t + 1)
         self._track_epoch_peak()
 
     def _child_epoch(self, ready: int, barrier: bool) -> None:

@@ -1,0 +1,275 @@
+"""Crash-consistency fuzzer (validation engine 2).
+
+Extends the per-operation crash sweeps of
+:class:`~repro.pmem.crash.CrashTester` in two directions:
+
+**Multi-operation campaigns (functional).**  For every workload, a
+seeded campaign interleaves crash-free operations with randomly placed
+crash injections (:meth:`CrashTester.campaign`), with adversarial cache
+evictions varying which un-flushed blocks happen to be durable.  Under
+the fully fenced protocol (``LOG_P_SF``) every recovery must restore a
+structure consistent with the reference model — across *sequences* of
+operations, not just one.  The unfenced ``LOG_P`` variant runs as an
+informational negative control: the paper predicts (and the seed's
+single-op sweeps already show) that completed operations can evaporate
+without fences.
+
+**Mid-speculation machine probes (timing).**  Real SP hardware must
+guarantee that *no speculative store becomes durable before its epoch
+commits* (§4.2.1).  The fuzzer runs benchmark traces on the SP machine
+and stops at randomly chosen instruction boundaries — biased toward the
+shadow of persist barriers, where speculation lives — then asserts the
+machine-state invariants of :mod:`repro.validate.invariants` (SSB/epoch
+accounting, checkpoint accounting, bloom/BLT no-false-negatives) and
+simulates a power failure via
+:meth:`~repro.uarch.pipeline.PipelineModel.abort_speculation`: recovery
+must resume from the oldest uncommitted checkpoint (the last committed
+epoch's boundary) with the SSB discarded and every checkpoint freed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from repro.harness.runner import build_trace
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.pmem.crash import CrashTester
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel
+from repro.validate.conformance import build_small_workload
+from repro.validate.invariants import speculative_state_errors
+from repro.validate.report import EngineReport
+from repro.workloads.registry import WORKLOADS
+
+
+# ----------------------------------------------------------------------
+# functional campaigns
+# ----------------------------------------------------------------------
+def run_campaign(
+    abbrev: str,
+    mode: PersistMode,
+    seed: int,
+    populate_ops: int = 40,
+    n_crashes: int = 6,
+    max_point: int = 64,
+):
+    """One multi-operation crash campaign; returns the tester."""
+    workload = build_small_workload(abbrev, mode, seed)
+    workload.populate(populate_ops)
+    tester = CrashTester(
+        workload.bench.domain,
+        workload.random_operation,
+        workload.recover,
+        workload.check_invariants,
+        seed=seed,
+    )
+    tester.campaign(n_crashes, max_point=max_point, stop_on_failure=True)
+    return tester
+
+
+# ----------------------------------------------------------------------
+# mid-speculation machine probes
+# ----------------------------------------------------------------------
+def speculation_probe_points(
+    trace: Trace, rng: random.Random, n_points: int
+) -> List[int]:
+    """Prefix lengths to probe: half uniform, half just after a fence
+    (where speculative epochs are live)."""
+    instrs = list(trace)
+    n = len(instrs)
+    if n < 2:
+        return []
+    fence_indices = [i for i, instr in enumerate(instrs) if instr.op is Op.SFENCE]
+    points = set()
+    for k in range(n_points):
+        if fence_indices and k % 2 == 0:
+            fence = rng.choice(fence_indices)
+            points.add(min(n - 1, fence + 1 + rng.randrange(32)))
+        else:
+            points.add(rng.randrange(1, n))
+    return sorted(points)
+
+
+def probe_speculative_crash(
+    trace: Trace, point: int, config: MachineConfig
+) -> Tuple[List[str], bool]:
+    """Run *trace* up to *point*, check invariants, then crash the machine.
+
+    Returns ``(violations, was_speculating)``.
+    """
+    instrs = list(trace)
+    model = PipelineModel(config)
+    model.run(Trace(instrs[:point]), finish=False)
+    errors = speculative_state_errors(model)
+    was_speculating = model.epochs.speculating
+    if was_speculating:
+        oldest = model.epochs.oldest
+        expected_resume = oldest.start_index
+        committed_before = oldest.epoch_id
+        resume = model.abort_speculation()
+        if resume != expected_resume:
+            errors.append(
+                f"crash recovery resumed at {resume}, expected the oldest "
+                f"uncommitted checkpoint {expected_resume} (epoch {committed_before})"
+            )
+        if len(model.ssb):
+            errors.append(
+                f"{len(model.ssb)} speculative SSB entries survived the crash "
+                "(speculative stores must never become durable)"
+            )
+        if model.checkpoints.in_use:
+            errors.append(
+                f"{model.checkpoints.in_use} checkpoints still held after crash"
+            )
+        if model.epochs.speculating:
+            errors.append("machine still speculating after crash rollback")
+    return errors, was_speculating
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def run_crashfuzz(
+    seed: int = 0,
+    benchmarks: Iterable[str] = WORKLOADS,
+    quick: bool = False,
+    n_crashes: Optional[int] = None,
+    n_probe_points: Optional[int] = None,
+) -> EngineReport:
+    """Run the full crash-consistency fuzzing engine."""
+    benchmarks = list(benchmarks)
+    n_crashes = n_crashes if n_crashes is not None else (4 if quick else 10)
+    n_probe_points = (
+        n_probe_points if n_probe_points is not None else (6 if quick else 12)
+    )
+    populate_ops = 40 if quick else 80
+    report = EngineReport(
+        engine="crash",
+        seed=seed,
+        params=dict(
+            benchmarks=benchmarks,
+            n_crashes=n_crashes,
+            n_probe_points=n_probe_points,
+            populate_ops=populate_ops,
+        ),
+    )
+
+    # ---- exhaustive single-op sweeps --------------------------------
+    # The deterministic complement to the random campaigns: one operation
+    # per workload, a crash at EVERY store-event boundary.  Campaigns
+    # sample sequences broadly; the sweep guarantees the narrow windows
+    # (e.g. structure durable but logged-bit not yet cleared, where a
+    # truncated undo log leaves a torn update) are always covered.
+    for abbrev in benchmarks:
+        workload = build_small_workload(abbrev, PersistMode.LOG_P_SF, seed)
+        workload.populate(populate_ops)
+        tester = CrashTester(
+            workload.bench.domain,
+            workload.random_operation,
+            workload.recover,
+            workload.check_invariants,
+            seed=seed,
+        )
+        outcomes = tester.sweep(
+            max_points=max(96, n_crashes * 16), stop_on_failure=True
+        )
+        bad = [o for o in outcomes if not o.invariants_ok]
+        report.add(
+            f"sweep/{abbrev}/log+p+sf",
+            not bad,
+            detail=(
+                ""
+                if not bad
+                else "; ".join(
+                    f"point {o.crash_point}: {o.detail}" for o in bad[:3]
+                )
+            ),
+            abbrev=abbrev,
+            mode=PersistMode.LOG_P_SF.value,
+            points=len(outcomes),
+        )
+
+    # ---- functional campaigns ---------------------------------------
+    for abbrev in benchmarks:
+        tester = run_campaign(
+            abbrev, PersistMode.LOG_P_SF, seed,
+            populate_ops=populate_ops, n_crashes=n_crashes,
+        )
+        bad = [o for o in tester.outcomes if not o.invariants_ok]
+        report.add(
+            f"campaign/{abbrev}/log+p+sf",
+            not bad,
+            detail=(
+                ""
+                if not bad
+                else "; ".join(
+                    f"op {o.op_index} point {o.crash_point}: {o.detail}"
+                    for o in bad[:3]
+                )
+            ),
+            abbrev=abbrev,
+            mode=PersistMode.LOG_P_SF.value,
+            crashes=len(tester.outcomes),
+            mid_operation=sum(o.crashed for o in tester.outcomes),
+            tester_seed=tester.seed,
+        )
+
+    # negative control: the unfenced variant is NOT failure safe; record
+    # what the fuzzer observes without failing the run (small campaigns
+    # may or may not trip over the missing fences)
+    for abbrev in benchmarks[:2]:
+        tester = run_campaign(
+            abbrev, PersistMode.LOG_P, seed,
+            populate_ops=populate_ops, n_crashes=n_crashes,
+        )
+        bad = [o for o in tester.outcomes if not o.invariants_ok]
+        report.add(
+            f"negative-control/{abbrev}/log+p",
+            True,
+            detail=f"{len(bad)}/{len(tester.outcomes)} crashes inconsistent "
+            "(expected: unfenced variant gives no durability guarantee)",
+            abbrev=abbrev,
+            mode=PersistMode.LOG_P.value,
+            inconsistent=len(bad),
+        )
+
+    # ---- mid-speculation machine probes -----------------------------
+    rng = random.Random(seed ^ 0x5BD1E995)
+    config = MachineConfig().with_sp(256)
+    trace_init, trace_sim = (100, 6) if quick else (200, 10)
+    for abbrev in benchmarks:
+        trace = build_trace(
+            abbrev, PersistMode.LOG_P_SF, seed=seed,
+            init_ops=trace_init, sim_ops=trace_sim,
+        )
+        points = speculation_probe_points(trace, rng, n_probe_points)
+        speculative_hits = 0
+        for point in points:
+            errors, was_speculating = probe_speculative_crash(trace, point, config)
+            speculative_hits += was_speculating
+            report.add(
+                f"sp-crash/{abbrev}/@{point}",
+                not errors,
+                detail="; ".join(errors[:3]),
+                abbrev=abbrev,
+                point=point,
+                speculating=was_speculating,
+            )
+        report.add(
+            f"sp-coverage/{abbrev}",
+            speculative_hits > 0,
+            detail=(
+                f"{speculative_hits}/{len(points)} probe points landed "
+                "mid-speculation"
+                if speculative_hits
+                else "no probe point observed live speculation — the "
+                "SSB/checkpoint invariants were never exercised"
+            ),
+            abbrev=abbrev,
+            probes=len(points),
+            speculative=speculative_hits,
+        )
+    return report

@@ -1,0 +1,133 @@
+"""Machine-model invariants shared by the crash and trace fuzzers.
+
+These are the §4 properties the paper's hardware must uphold at *every*
+point of execution, phrased as checks over a (possibly mid-speculation)
+:class:`~repro.uarch.pipeline.PipelineModel`:
+
+* **SSB/epoch accounting** — SSB entries appear in epoch order, belong
+  only to active epochs, and per-epoch entry counts match the epoch
+  bookkeeping; occupancy never exceeds capacity.
+* **Checkpoint accounting** — exactly one checkpoint is held per active
+  epoch; none are held outside speculation.
+* **Bloom no-false-negatives** — every block with a store currently in
+  the SSB must hit in the bloom filter, otherwise a speculative load
+  could miss its own forwarding data (a correctness bug, not a
+  performance one).
+* **Speculative non-durability** — while an epoch is uncommitted its
+  stores live *only* in the SSB; commit is the sole path to the cache /
+  memory controller.  Structurally this is the accounting invariant
+  above; the functional half is asserted by the crash fuzzer through the
+  persistence domain.
+* **Quiescence** — outside speculation the SSB is empty and all
+  checkpoints are free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.ssb import SSBOp
+
+
+def speculative_state_errors(model) -> List[str]:
+    """Invariant violations in *model*'s speculative machine state.
+
+    Valid at any point — mid-speculation (after ``run(..., finish=False)``)
+    or after a completed run.  Returns human-readable violation strings;
+    an empty list means every invariant holds.
+    """
+    errors: List[str] = []
+    epochs = model.epochs
+    ssb = model.ssb
+    checkpoints = model.checkpoints
+
+    if len(ssb) > ssb.capacity:
+        errors.append(f"SSB over capacity: {len(ssb)} > {ssb.capacity}")
+
+    active = list(epochs.active)
+    active_ids = [epoch.epoch_id for epoch in active]
+    if active_ids != sorted(active_ids):
+        errors.append(f"active epochs out of order: {active_ids}")
+    if checkpoints.in_use != len(active):
+        errors.append(
+            f"checkpoint accounting: {checkpoints.in_use} in use "
+            f"for {len(active)} active epochs"
+        )
+
+    entries = ssb.entries()
+    if not epochs.speculating:
+        if entries:
+            errors.append(f"SSB holds {len(entries)} entries outside speculation")
+        return errors
+
+    # entries must be grouped by epoch in commit (FIFO) order, and belong
+    # only to active epochs
+    entry_ids = [entry.epoch_id for entry in entries]
+    if entry_ids != sorted(entry_ids):
+        errors.append(f"SSB entries out of epoch order: {entry_ids[:16]}")
+    stray = set(entry_ids) - set(active_ids)
+    if stray:
+        errors.append(f"SSB entries for non-active epochs: {sorted(stray)}")
+
+    # per-epoch counts must match the epoch bookkeeping
+    for epoch in active:
+        stores = sum(
+            1
+            for entry in entries
+            if entry.epoch_id == epoch.epoch_id and entry.op is SSBOp.STORE
+        )
+        flushes = sum(
+            1
+            for entry in entries
+            if entry.epoch_id == epoch.epoch_id
+            and entry.op in (SSBOp.CLWB, SSBOp.CLFLUSHOPT)
+        )
+        if stores != epoch.n_stores:
+            errors.append(
+                f"epoch {epoch.epoch_id}: {stores} SSB stores "
+                f"vs n_stores={epoch.n_stores}"
+            )
+        if flushes != epoch.n_flushes:
+            errors.append(
+                f"epoch {epoch.epoch_id}: {flushes} SSB flushes "
+                f"vs n_flushes={epoch.n_flushes}"
+            )
+
+    # bloom filter must never produce a false negative for a buffered store
+    if model.config.bloom_enabled:
+        store_blocks = {
+            entry.block for entry in entries if entry.op is SSBOp.STORE
+        }
+        for block in sorted(store_blocks):
+            if not model.bloom.maybe_contains(block):
+                errors.append(
+                    f"bloom false negative: SSB holds a store to block "
+                    f"{block:#x} but the filter misses it"
+                )
+
+    # the BLT must cover every speculatively stored block (coherence
+    # conflict detection soundness: a probe for a buffered block MUST hit)
+    for entry in entries:
+        if entry.op is SSBOp.STORE and not model.blt.probe(entry.block):
+            errors.append(
+                f"BLT unsound: speculative store block {entry.block:#x} "
+                f"not covered (external probe would miss the conflict)"
+            )
+    return errors
+
+
+def post_run_errors(model) -> List[str]:
+    """Invariants for a machine that finished a trace (wind-down done)."""
+    errors = speculative_state_errors(model)
+    if model.epochs.speculating:
+        errors.append(
+            f"machine still speculating after wind-down "
+            f"({len(model.epochs.active)} active epochs)"
+        )
+    if len(model.ssb):
+        errors.append(f"SSB not empty after wind-down: {len(model.ssb)} entries")
+    if model.checkpoints.in_use:
+        errors.append(
+            f"{model.checkpoints.in_use} checkpoints still held after wind-down"
+        )
+    return errors

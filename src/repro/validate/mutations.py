@@ -1,0 +1,146 @@
+"""Named fault injections that the validators must catch.
+
+A validation subsystem is only trustworthy if it can *fail*: each
+mutation here deliberately breaks one invariant the paper relies on, by
+monkey-patching the target component for the duration of a ``with``
+block.  The test suite (and ``repro validate --inject NAME``) runs the
+engines under each mutation and asserts the corresponding checks go red:
+
+* ``bloom-drop-bits`` — the SSB bloom filter silently drops every third
+  insert, creating false negatives: a speculative load would miss its
+  own store's forwarding data.  Caught by the no-false-negative
+  invariant (crash and trace fuzzers).
+* ``undo-skip-tail`` — WAL recovery skips the newest undo entry,
+  leaving a torn update in place after a crash.  Caught by the crash
+  fuzzer's post-recovery invariant checks.
+* ``fence-no-order`` — ``sfence`` discards pending flushes instead of
+  completing them, so "flushed" data never becomes durable.  Caught by
+  the crash fuzzer (and the recovery-equivalence oracle check).
+* ``pipeline-skew`` — the optimised pipeline's batched compute path
+  drifts one cycle per batch from the reference model.  Caught by the
+  conformance oracle's pipeline-vs-reference differential (and the
+  trace fuzzer's divergence property).
+
+All patches are process-local and restored on exit; the engines consult
+:func:`active_mutation` to bypass result caches while a fault is live.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, Optional
+
+_active: Optional[str] = None
+
+
+def active_mutation() -> Optional[str]:
+    """Name of the currently injected mutation, or ``None``."""
+    return _active
+
+
+@contextlib.contextmanager
+def _activate(name: str) -> Iterator[None]:
+    global _active
+    previous = _active
+    _active = name
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+@contextlib.contextmanager
+def _bloom_drop_bits() -> Iterator[None]:
+    from repro.core.bloom import BloomFilter
+
+    original = BloomFilter.insert
+    state = {"count": 0}
+
+    def broken_insert(self, block: int) -> None:
+        state["count"] += 1
+        if state["count"] % 3 == 0:
+            self.inserts += 1  # counted but the bits never land
+            return
+        original(self, block)
+
+    BloomFilter.insert = broken_insert
+    try:
+        with _activate("bloom-drop-bits"):
+            yield
+    finally:
+        BloomFilter.insert = original
+
+
+@contextlib.contextmanager
+def _undo_skip_tail() -> Iterator[None]:
+    from repro.txn.undolog import UndoLog
+
+    original = UndoLog.entries
+
+    def broken_entries(self):
+        entries = original(self)
+        # dropping the newest entry leaves the most recent pre-image
+        # unrestored — exactly a torn, partially-undone transaction
+        return entries[:-1] if entries else entries
+
+    UndoLog.entries = broken_entries
+    try:
+        with _activate("undo-skip-tail"):
+            yield
+    finally:
+        UndoLog.entries = original
+
+
+@contextlib.contextmanager
+def _fence_no_order() -> Iterator[None]:
+    from repro.pmem.domain import PersistenceDomain
+
+    original = PersistenceDomain.sfence
+
+    def broken_sfence(self, meta=None) -> None:
+        # the fence "completes" the flushes by forgetting them
+        self._pending_flushes.clear()
+        self.n_sfences += 1
+
+    PersistenceDomain.sfence = broken_sfence
+    try:
+        with _activate("fence-no-order"):
+            yield
+    finally:
+        PersistenceDomain.sfence = original
+
+
+@contextlib.contextmanager
+def _pipeline_skew() -> Iterator[None]:
+    from repro.uarch.pipeline import PipelineModel
+
+    original = PipelineModel._compute_batch
+
+    def skewed_batch(self, count: int) -> None:
+        original(self, count)
+        self._last_retire += 1  # one-cycle drift per batch vs the reference
+
+    PipelineModel._compute_batch = skewed_batch
+    try:
+        with _activate("pipeline-skew"):
+            yield
+    finally:
+        PipelineModel._compute_batch = original
+
+
+MUTATIONS: Dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
+    "bloom-drop-bits": _bloom_drop_bits,
+    "undo-skip-tail": _undo_skip_tail,
+    "fence-no-order": _fence_no_order,
+    "pipeline-skew": _pipeline_skew,
+}
+
+
+def inject(name: str) -> "contextlib.AbstractContextManager":
+    """Context manager applying the named mutation (see :data:`MUTATIONS`)."""
+    try:
+        return MUTATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        ) from None

@@ -1,0 +1,363 @@
+"""Trace-level property fuzzer (validation engine 3).
+
+The benchmark traces exercise the machine models along the paths real
+transactional workloads take; this engine attacks the models from the
+other side, with *random* instruction traces drawn from a weighted
+grammar (stores and flushes over a small hot block set, barrier triples,
+lone fences, strong-ordering ops) — sequences no benchmark would emit
+but the hardware must still handle.  For every generated trace it checks:
+
+* **Differential equality** — the optimised :mod:`repro.uarch.pipeline`
+  and the preserved reference model :mod:`repro.uarch.pipeline_ref` must
+  produce identical :class:`~repro.stats.run.RunStats`, counter for
+  counter, on every machine configuration of the conformance ablation
+  matrix.  If one model raises, the other must raise the same error.
+* **Architectural invariance** — retired instructions equal the trace
+  length (when no rollback replayed work), on every configuration.
+* **Post-run machine invariants** — the SSB/epoch/checkpoint/bloom/BLT
+  invariants of :mod:`repro.validate.invariants` after wind-down.
+
+Failures are shrunk to a minimal reproducer with a bounded ddmin-style
+pass, and the reproducer (opcode list + generator seed) is embedded in
+the report so any finding can be replayed directly.
+
+Separately, the component-level property fuzzes hammer the bloom filter
+(no false negative over random insert/query mixes) and the checkpoint
+buffer (acquire/release accounting under random interleavings) in
+isolation, where millions of operations are cheap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel
+from repro.uarch.pipeline_ref import ReferencePipelineModel
+from repro.validate.conformance import ablation_matrix
+from repro.validate.invariants import post_run_errors
+from repro.validate.report import EngineReport
+
+#: Weighted grammar of trace "atoms".  Each entry emits a short burst of
+#: instructions; weights skew toward the store/flush/barrier mix that
+#: keeps SP machinery (SSB, epochs, bloom, BLT) busy.
+_ATOM_WEIGHTS: List[Tuple[str, int]] = [
+    ("alu", 20),
+    ("branch", 6),
+    ("load", 12),
+    ("store", 22),
+    ("clwb", 10),
+    ("clflushopt", 4),
+    ("clflush", 2),
+    ("barrier", 12),
+    ("lone_sfence", 5),
+    ("lone_mfence", 2),
+    ("lone_pcommit", 2),
+    ("xchg", 2),
+    ("lock_rmw", 1),
+]
+
+#: A small hot set of cache blocks so stores collide, flushes hit dirty
+#: lines, and the bloom filter / BLT see repeated blocks.
+_N_HOT_BLOCKS = 24
+_BLOCK = 64
+
+
+def _random_addr(rng: random.Random) -> int:
+    block = rng.randrange(_N_HOT_BLOCKS) * _BLOCK
+    return 0x10000 + block + 8 * rng.randrange(8)
+
+
+def generate_trace(seed: int, length: int = 120) -> Trace:
+    """A random trace of roughly *length* instructions from the grammar."""
+    rng = random.Random(seed)
+    atoms, weights = zip(*_ATOM_WEIGHTS)
+    instrs: List[Instr] = []
+    while len(instrs) < length:
+        atom = rng.choices(atoms, weights=weights)[0]
+        if atom == "alu":
+            instrs.extend(Instr(Op.ALU) for _ in range(rng.randint(1, 6)))
+        elif atom == "branch":
+            instrs.append(Instr(Op.BRANCH))
+        elif atom == "load":
+            instrs.append(Instr(Op.LOAD, _random_addr(rng)))
+        elif atom == "store":
+            instrs.extend(
+                Instr(Op.STORE, _random_addr(rng))
+                for _ in range(rng.randint(1, 4))
+            )
+        elif atom == "clwb":
+            instrs.append(Instr(Op.CLWB, _random_addr(rng)))
+        elif atom == "clflushopt":
+            instrs.append(Instr(Op.CLFLUSHOPT, _random_addr(rng)))
+        elif atom == "clflush":
+            instrs.append(Instr(Op.CLFLUSH, _random_addr(rng)))
+        elif atom == "barrier":
+            instrs.extend(
+                [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+            )
+        elif atom == "lone_sfence":
+            instrs.append(Instr(Op.SFENCE))
+        elif atom == "lone_mfence":
+            instrs.append(Instr(Op.MFENCE))
+        elif atom == "lone_pcommit":
+            instrs.append(Instr(Op.PCOMMIT))
+        elif atom == "xchg":
+            instrs.append(Instr(Op.XCHG, _random_addr(rng)))
+        elif atom == "lock_rmw":
+            instrs.append(Instr(Op.LOCK_RMW, _random_addr(rng)))
+    return Trace(instrs)
+
+
+# ----------------------------------------------------------------------
+# the differential property
+# ----------------------------------------------------------------------
+def _run_model(model_cls, trace: Trace, config: MachineConfig):
+    """Run one model; returns ``(stats_dict, model, error_repr)``."""
+    model = model_cls(config)
+    try:
+        stats = model.run(trace)
+    except Exception as exc:  # noqa: BLE001 - the property is "same error"
+        return None, model, f"{type(exc).__name__}: {exc}"
+    return stats.as_dict(), model, None
+
+
+def trace_property_violations(
+    trace: Trace, config: MachineConfig
+) -> List[str]:
+    """All property violations of *trace* on *config* (empty = holds)."""
+    fast, fast_model, fast_err = _run_model(PipelineModel, trace, config)
+    ref, _, ref_err = _run_model(ReferencePipelineModel, trace, config)
+
+    violations: List[str] = []
+    if fast_err or ref_err:
+        if fast_err != ref_err:
+            violations.append(
+                f"models disagree on failure: fast={fast_err!r} ref={ref_err!r}"
+            )
+        return violations  # matching exceptions: models agree, trace is just illegal
+
+    diverged = {
+        key: (fast[key], ref[key]) for key in fast if fast[key] != ref.get(key)
+    }
+    if diverged:
+        violations.append(f"fast vs reference diverged: {diverged}")
+    if not fast["rollbacks"] and fast["instructions"] != len(trace):
+        violations.append(
+            f"retired {fast['instructions']} instructions for a "
+            f"{len(trace)}-instruction trace (no rollbacks)"
+        )
+    violations.extend(post_run_errors(fast_model))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def shrink_trace(
+    trace: Trace,
+    failing: Callable[[Trace], bool],
+    max_evals: int = 200,
+) -> Trace:
+    """ddmin-style reduction of *trace* to a smaller failing reproducer.
+
+    Greedily removes chunks (halving the chunk size as removals stop
+    helping) while *failing* stays true, within a *max_evals* budget.
+    Returns the smallest failing trace found (possibly the input).
+    """
+    instrs = list(trace)
+    evals = 0
+    chunk = max(1, len(instrs) // 2)
+    while chunk >= 1 and evals < max_evals:
+        removed_any = False
+        start = 0
+        while start < len(instrs) and evals < max_evals:
+            candidate = instrs[:start] + instrs[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            evals += 1
+            if failing(Trace(candidate)):
+                instrs = candidate
+                removed_any = True
+                # retry at the same offset: the next chunk shifted down
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+    return Trace(instrs)
+
+
+def _format_repro(trace: Trace) -> List[str]:
+    """Compact replayable encoding of a (shrunk) trace."""
+    out = []
+    for instr in trace:
+        if instr.is_memory():
+            out.append(f"{instr.op.name}@{instr.addr:#x}")
+        else:
+            out.append(instr.op.name)
+    return out
+
+
+# ----------------------------------------------------------------------
+# component-level property fuzzes
+# ----------------------------------------------------------------------
+def fuzz_bloom(seed: int, n_ops: int = 4000) -> Optional[str]:
+    """Random insert/query mix; any false negative is a violation."""
+    from repro.core.bloom import BloomFilter
+
+    rng = random.Random(seed)
+    bloom = BloomFilter()
+    inserted: set = set()
+    for _ in range(n_ops):
+        block = rng.randrange(1 << 20) * _BLOCK
+        if rng.random() < 0.5:
+            bloom.insert(block)
+            inserted.add(block)
+        elif inserted and rng.random() < 0.8:
+            member = rng.choice(tuple(inserted))
+            if not bloom.maybe_contains(member):
+                return (
+                    f"false negative after {bloom.inserts} inserts: "
+                    f"block {member:#x} was inserted but the filter misses it"
+                )
+        else:
+            bloom.maybe_contains(block)  # non-members may hit (false positive)
+    return None
+
+
+def fuzz_checkpoints(seed: int, n_ops: int = 4000) -> Optional[str]:
+    """Random acquire/release interleavings; accounting must balance."""
+    from repro.core.checkpoints import CheckpointBuffer
+
+    rng = random.Random(seed)
+    capacity = rng.randint(1, 6)
+    buffer = CheckpointBuffer(capacity)
+    held: List[int] = []
+    for step in range(n_ops):
+        if buffer.in_use != len(held):
+            return (
+                f"step {step}: buffer reports {buffer.in_use} in use, "
+                f"harness holds {len(held)}"
+            )
+        if buffer.available != (len(held) < capacity):
+            return (
+                f"step {step}: available={buffer.available} with "
+                f"{len(held)}/{capacity} held"
+            )
+        if held and (rng.random() < 0.5 or len(held) == capacity):
+            buffer.release(held.pop(rng.randrange(len(held))))
+        elif len(held) < capacity:
+            checkpoint = buffer.acquire(now=step)
+            if checkpoint in held:
+                return f"step {step}: acquire returned held slot {checkpoint}"
+            held.append(checkpoint)
+    return None
+
+
+def fuzz_blt(seed: int, n_ops: int = 4000) -> Optional[str]:
+    """Recorded blocks must always probe positive (conflict soundness)."""
+    from repro.core.blt import BlockLookupTable
+
+    rng = random.Random(seed)
+    blt = BlockLookupTable()
+    recorded: set = set()
+    for step in range(n_ops):
+        roll = rng.random()
+        if roll < 0.45:
+            block = rng.randrange(1 << 16) * _BLOCK
+            blt.record(block)
+            recorded.add(block)
+        elif roll < 0.55:
+            blt.clear()
+            recorded.clear()
+        elif recorded:
+            member = rng.choice(tuple(recorded))
+            if not blt.probe(member):
+                return (
+                    f"step {step}: recorded block {member:#x} not found "
+                    "(an external probe would miss a real conflict)"
+                )
+    return None
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def run_tracefuzz(
+    seed: int = 0,
+    quick: bool = False,
+    n_traces: Optional[int] = None,
+    trace_length: Optional[int] = None,
+    configs: Optional[Sequence[Tuple[str, MachineConfig]]] = None,
+) -> EngineReport:
+    """Run the full trace-level property fuzzing engine."""
+    n_traces = n_traces if n_traces is not None else (24 if quick else 120)
+    trace_length = trace_length if trace_length is not None else (80 if quick else 160)
+    matrix = list(configs) if configs is not None else ablation_matrix()
+    report = EngineReport(
+        engine="tracefuzz",
+        seed=seed,
+        params=dict(
+            n_traces=n_traces,
+            trace_length=trace_length,
+            configs=[label for label, _ in matrix],
+        ),
+    )
+
+    checked = 0
+    failures: Dict[str, int] = {}
+    for index in range(n_traces):
+        trace_seed = seed * 1_000_003 + index
+        trace = generate_trace(trace_seed, trace_length)
+        for label, config in matrix:
+            checked += 1
+            violations = trace_property_violations(trace, config)
+            if not violations:
+                continue
+            failures[label] = failures.get(label, 0) + 1
+            # shrink against the first observed violation class
+            shrunk = shrink_trace(
+                trace, lambda t: bool(trace_property_violations(t, config))
+            )
+            report.add(
+                f"trace/{index}/{label}",
+                False,
+                detail="; ".join(violations[:3]),
+                seed=trace_seed,
+                config=label,
+                trace_length=len(trace),
+                shrunk_length=len(shrunk),
+                shrunk_trace=_format_repro(shrunk),
+            )
+    report.add(
+        "trace-properties",
+        not failures,
+        detail=(
+            f"{checked} (trace, config) pairs checked"
+            if not failures
+            else f"failures by config: {failures}"
+        ),
+        traces=n_traces,
+        pairs=checked,
+    )
+
+    # component-level property fuzzes
+    component_ops = 2000 if quick else 8000
+    for name, fuzz in (
+        ("bloom-no-false-negative", fuzz_bloom),
+        ("checkpoint-accounting", fuzz_checkpoints),
+        ("blt-soundness", fuzz_blt),
+    ):
+        error = fuzz(seed, n_ops=component_ops)
+        report.add(
+            f"component/{name}",
+            error is None,
+            detail=error or f"{component_ops} randomized operations",
+            ops=component_ops,
+        )
+    return report

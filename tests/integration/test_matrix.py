@@ -1,0 +1,109 @@
+"""Benchmark x persistency-mode smoke matrix and pinned end-state digests.
+
+Every registered workload runs under every persistency mode at small
+sizes, routed through the persistent trace/result cache exactly the way
+figure generation does.  The second half pins the cross-mode end-state
+digests for all seven benchmarks at a fixed seed: persistency machinery
+may only change *when* data is durable, never the bytes a run produces,
+so these digests are identical for all modes — and stable across
+refactors unless trace/workload semantics deliberately change (in which
+case update the table alongside the CACHE_SCHEMA_VERSION bump).
+"""
+
+import pytest
+
+from repro.harness.runner import TraceKey, build_trace, run_variant
+from repro.harness import cache as harness_cache
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.validate.conformance import end_state_digests
+from repro.workloads.registry import WORKLOADS
+
+SMALL = dict(init_ops=60, sim_ops=4)
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("matrix-cache"))
+
+
+@pytest.fixture(autouse=True)
+def persistent_cache(cache_dir, monkeypatch):
+    """Route the whole matrix through one shared persistent cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+
+class TestSmokeMatrix:
+    @pytest.mark.parametrize("abbrev", WORKLOADS)
+    @pytest.mark.parametrize("mode", list(PersistMode))
+    def test_variant_runs_clean(self, abbrev, mode):
+        stats = run_variant(abbrev, mode, MachineConfig(), SEED, **SMALL)
+        assert stats.instructions > 0
+        assert stats.cycles >= stats.instructions // 4  # 4-wide front end
+
+    @pytest.mark.parametrize("abbrev", WORKLOADS)
+    def test_trace_cached_and_replayable(self, abbrev):
+        key = TraceKey(abbrev, PersistMode.LOG_P_SF, SEED, **SMALL)
+        first = build_trace(abbrev, PersistMode.LOG_P_SF, SEED, **SMALL)
+        assert harness_cache.trace_path(key).exists()
+        second = build_trace(abbrev, PersistMode.LOG_P_SF, SEED, **SMALL)
+        assert [(i.op, i.addr) for i in first] == [
+            (i.op, i.addr) for i in second
+        ]
+
+    def test_mode_ordering_holds_across_matrix(self):
+        # more fencing can never make a benchmark faster
+        for abbrev in WORKLOADS:
+            cycles = {
+                mode: run_variant(abbrev, mode, MachineConfig(), SEED, **SMALL).cycles
+                for mode in PersistMode
+            }
+            assert cycles[PersistMode.BASE] <= cycles[PersistMode.LOG_P_SF], abbrev
+            assert cycles[PersistMode.LOG_P] <= cycles[PersistMode.LOG_P_SF], abbrev
+
+
+#: (masked heap digest, model digest) per benchmark: LOG_P_SF, seed 0,
+#: init_ops=40, sim_ops=8 — matches the conformance oracle's quick sizes.
+PINNED_DIGESTS = {
+    "GH": ("4b4f8e08ef4b753a38643a4212569c3555de0a1c5bfcaa5dae09327d147496be",
+           "0c9bb9ab63766fedc88728cd6284647baa1b7902da1c9de4b7a465b2106a7128"),
+    "HM": ("6cf572c1332a07270539eec22e2a749a71160a231588a193bcd53ca7d3aedea7",
+           "470dd15849739a1477dabab0a4156ec5bf73c569bc2c12d1e73caabdb1580c53"),
+    "LL": ("bfef1e6220b19153ab68c6ad3b699c02c0172bba1703fbf8f6b7ddd23156bc6b",
+           "d2513bb7bc416a8281a528c7a592846dda14082a881f8ceaea67bf049949eba1"),
+    "SS": ("13d565fb39974e56c9b3c5a905465d8a304cb93dfaef04f3d0f9e62e542583d6",
+           "d74d3a167763520760c5f1bb7fd71a693acc256174df4042db154c989c8dbc5f"),
+    "AT": ("4d12852eee3d8601a5f0a41301e5814894bffd73a33e34f06e2434135a835a0c",
+           "8901cebaba7b50df4691b10ca4721d230d8a28f910b786d342651f5ae8dac6d7"),
+    "BT": ("545beea5107f105d126984cf264998b7149dadb9ba3308b06f3f938336bf8c3e",
+           "dc69033d15e2275458e8b7faeb8497a00d0ab3a3fbfa1458793a36093e2837c9"),
+    "RT": ("ff804264c70c6953f6d43942c302aabc80a4e900e8e6149a5623ff5d2cb9c0f8",
+           "9090dbede33837fe1d74605e022d646df197a890ae7cc19665e343c0cf6461cc"),
+}
+
+
+class TestPinnedEndStateDigests:
+    def test_table_covers_all_benchmarks(self):
+        assert set(PINNED_DIGESTS) == set(WORKLOADS)
+
+    @pytest.mark.parametrize("abbrev", WORKLOADS)
+    def test_baseline_digest_pinned(self, abbrev):
+        heap_dig, model_dig, error = end_state_digests(
+            abbrev, PersistMode.LOG_P_SF, SEED, init_ops=40, sim_ops=8
+        )
+        assert error is None
+        assert (heap_dig, model_dig) == PINNED_DIGESTS[abbrev], (
+            f"{abbrev}: end state drifted — if workload or trace semantics "
+            "changed on purpose, regenerate PINNED_DIGESTS"
+        )
+
+    @pytest.mark.parametrize("abbrev", ["HM", "BT"])
+    @pytest.mark.parametrize("mode", list(PersistMode))
+    def test_every_mode_matches_pin(self, abbrev, mode):
+        heap_dig, _, error = end_state_digests(
+            abbrev, mode, SEED, init_ops=40, sim_ops=8
+        )
+        assert error is None
+        assert heap_dig == PINNED_DIGESTS[abbrev][0], (abbrev, mode)

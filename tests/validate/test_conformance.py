@@ -1,0 +1,104 @@
+"""The differential conformance oracle (engine 1)."""
+
+import pytest
+
+from repro.txn.modes import PersistMode
+from repro.validate.conformance import (
+    ablation_matrix,
+    build_small_workload,
+    end_state_digests,
+    masked_heap_digest,
+    model_digest,
+    run_conformance,
+)
+from repro.validate.mutations import inject
+
+SUBSET = ["HM", "LL"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Each test gets a private persistent cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+
+class TestDigests:
+    def test_masked_digest_ignores_log_contents(self):
+        base = build_small_workload("HM", PersistMode.BASE, seed=3)
+        logged = build_small_workload("HM", PersistMode.LOG, seed=3)
+        for workload in (base, logged):
+            workload.populate(20)
+        # identical ops, different log traffic: masked digests agree
+        assert masked_heap_digest(base) == masked_heap_digest(logged)
+
+    def test_heap_digest_sees_structure_changes(self):
+        one = build_small_workload("HM", PersistMode.LOG_P_SF, seed=3)
+        two = build_small_workload("HM", PersistMode.LOG_P_SF, seed=3)
+        one.populate(20)
+        two.populate(21)
+        assert masked_heap_digest(one) != masked_heap_digest(two)
+
+    def test_model_digest_canonical_for_sets(self):
+        # the graph model is a set: digest must not depend on iteration order
+        a = build_small_workload("GH", PersistMode.LOG_P_SF, seed=5)
+        b = build_small_workload("GH", PersistMode.LOG_P_SF, seed=5)
+        a.populate(30)
+        b.populate(30)
+        assert model_digest(a) == model_digest(b)
+
+    def test_end_state_digests_deterministic(self):
+        first = end_state_digests("LL", PersistMode.LOG_P_SF, 9, 20, 4)
+        second = end_state_digests("LL", PersistMode.LOG_P_SF, 9, 20, 4)
+        assert first == second
+        assert first[2] is None  # invariants hold
+
+
+class TestAblationMatrix:
+    def test_covers_baseline_and_sp_knobs(self):
+        labels = dict(ablation_matrix())
+        assert not labels["eager"].sp_enabled
+        assert labels["sp256"].sp_enabled
+        assert not labels["sp256-no-bloom"].bloom_enabled
+        assert not labels["sp256-no-coalesce"].coalesce_barrier_checkpoints
+        assert labels["sp32"].ssb_entries == 32
+        assert labels["sp256-ckpt2"].checkpoint_entries == 2
+
+
+class TestHonestRun:
+    def test_quick_subset_is_green(self):
+        report = run_conformance(seed=0, benchmarks=SUBSET, quick=True)
+        assert report.ok, [f.as_dict() for f in report.failures[:3]]
+        names = [c.name for c in report.checks]
+        # every layer produced checks
+        assert any(n.startswith("end-state/") for n in names)
+        assert any(n.startswith("recovery/") for n in names)
+        assert any(n.startswith("pipeline-vs-ref/") for n in names)
+        assert any(n.startswith("instruction-invariance/") for n in names)
+
+    def test_same_seed_reports_identical(self):
+        first = run_conformance(seed=11, benchmarks=["HM"], quick=True)
+        second = run_conformance(seed=11, benchmarks=["HM"], quick=True)
+        assert first.as_dict() == second.as_dict()
+
+    def test_seed_recorded_on_every_check(self):
+        report = run_conformance(seed=17, benchmarks=["HM"], quick=True)
+        assert all(c.seed == 17 for c in report.checks)
+
+
+class TestMutationsCaught:
+    """The oracle must flag a deliberately broken machine."""
+
+    def test_pipeline_skew_flagged(self):
+        with inject("pipeline-skew"):
+            report = run_conformance(seed=0, benchmarks=["HM"], quick=True)
+        assert not report.ok
+        assert any(
+            f.name.startswith("pipeline-vs-ref/") for f in report.failures
+        )
+
+    def test_fence_no_order_flagged_by_recovery(self):
+        with inject("fence-no-order"):
+            report = run_conformance(seed=0, benchmarks=["HM"], quick=True)
+        assert not report.ok
+        assert any(f.name.startswith("recovery/") for f in report.failures)

@@ -1,0 +1,112 @@
+"""The crash-consistency fuzzer (engine 2)."""
+
+import random
+
+import pytest
+
+from repro.harness.runner import build_trace
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.validate.crashfuzz import (
+    probe_speculative_crash,
+    run_campaign,
+    run_crashfuzz,
+    speculation_probe_points,
+)
+from repro.validate.mutations import inject
+
+SP = MachineConfig().with_sp(256)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+class TestCampaigns:
+    def test_failure_safe_campaign_consistent(self):
+        tester = run_campaign("HM", PersistMode.LOG_P_SF, seed=0, n_crashes=4)
+        assert tester.outcomes
+        assert all(o.invariants_ok for o in tester.outcomes)
+
+    def test_campaign_reproducible_from_seed(self):
+        first = run_campaign("LL", PersistMode.LOG_P_SF, seed=3, n_crashes=4)
+        second = run_campaign("LL", PersistMode.LOG_P_SF, seed=3, n_crashes=4)
+        assert [
+            (o.crash_point, o.op_index, o.crashed, o.invariants_ok)
+            for o in first.outcomes
+        ] == [
+            (o.crash_point, o.op_index, o.crashed, o.invariants_ok)
+            for o in second.outcomes
+        ]
+
+    def test_outcomes_carry_op_index(self):
+        tester = run_campaign("HM", PersistMode.LOG_P_SF, seed=1, n_crashes=3)
+        indices = [o.op_index for o in tester.outcomes]
+        assert all(i >= 0 for i in indices)
+        assert indices == sorted(indices)
+
+
+class TestSpeculationProbes:
+    def _trace(self):
+        return build_trace(
+            "HM", PersistMode.LOG_P_SF, seed=0, init_ops=100, sim_ops=6
+        )
+
+    def test_probe_points_bounded_and_seeded(self):
+        trace = self._trace()
+        first = speculation_probe_points(trace, random.Random(5), 8)
+        second = speculation_probe_points(trace, random.Random(5), 8)
+        assert first == second
+        assert all(0 < p < len(trace) for p in first)
+
+    def test_probe_clean_machine_state(self):
+        trace = self._trace()
+        hits = 0
+        for point in speculation_probe_points(trace, random.Random(0), 8):
+            errors, speculating = probe_speculative_crash(trace, point, SP)
+            assert errors == []
+            hits += speculating
+        assert hits > 0  # probes actually observed live speculation
+
+    def test_probe_detects_lossy_bloom(self):
+        # BT's store pattern reliably leaves a dropped-bit store in the
+        # SSB at one of the seeded probe points
+        trace = build_trace(
+            "BT", PersistMode.LOG_P_SF, seed=0, init_ops=100, sim_ops=6
+        )
+        caught = False
+        with inject("bloom-drop-bits"):
+            for point in speculation_probe_points(trace, random.Random(0), 12):
+                errors, _ = probe_speculative_crash(trace, point, SP)
+                if any("bloom false negative" in e for e in errors):
+                    caught = True
+                    break
+        assert caught
+
+
+class TestEngine:
+    def test_quick_subset_green(self):
+        report = run_crashfuzz(seed=0, benchmarks=["HM", "LL"], quick=True)
+        assert report.ok, [f.as_dict() for f in report.failures[:3]]
+        names = [c.name for c in report.checks]
+        assert any(n.startswith("sweep/") for n in names)
+        assert any(n.startswith("campaign/") for n in names)
+        assert any(n.startswith("sp-crash/") for n in names)
+        assert any(n.startswith("sp-coverage/") for n in names)
+
+    def test_same_seed_reports_identical(self):
+        first = run_crashfuzz(seed=21, benchmarks=["HM"], quick=True)
+        second = run_crashfuzz(seed=21, benchmarks=["HM"], quick=True)
+        assert first.as_dict() == second.as_dict()
+
+    def test_undo_truncation_flagged(self):
+        with inject("undo-skip-tail"):
+            report = run_crashfuzz(seed=0, benchmarks=["HM"], quick=True)
+        assert not report.ok
+        assert any(f.name.startswith("sweep/") for f in report.failures)
+
+    def test_broken_fence_flagged(self):
+        with inject("fence-no-order"):
+            report = run_crashfuzz(seed=0, benchmarks=["HM"], quick=True)
+        assert not report.ok

@@ -1,0 +1,99 @@
+"""Machine-state invariant checks and the mid-run probing API."""
+
+import pytest
+
+from repro.harness.runner import build_trace
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel
+from repro.validate.invariants import post_run_errors, speculative_state_errors
+
+SP = MachineConfig().with_sp(256)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+def _barrier():
+    return [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+
+
+def _speculating_model() -> PipelineModel:
+    instrs = (
+        [Instr(Op.STORE, 0x1000)] * 4
+        + [Instr(Op.CLWB, 0x1000)]
+        + _barrier()
+        + [Instr(Op.STORE, 0x2000), Instr(Op.STORE, 0x2040)]
+    )
+    model = PipelineModel(SP)
+    model.run(Trace(instrs), finish=False)
+    assert model.epochs.speculating
+    return model
+
+
+class TestUnfinishedRun:
+    def test_finish_false_leaves_speculation_live(self):
+        model = _speculating_model()
+        assert len(model.ssb) > 0
+        assert model.checkpoints.in_use > 0
+
+    def test_mid_speculation_state_is_clean(self):
+        assert speculative_state_errors(_speculating_model()) == []
+
+    def test_quiescent_machine_has_no_errors(self):
+        model = PipelineModel(SP)
+        model.run(Trace([Instr(Op.ALU), Instr(Op.STORE, 0x100)]))
+        assert post_run_errors(model) == []
+
+    def test_benchmark_trace_end_state_clean(self):
+        trace = build_trace(
+            "LL", PersistMode.LOG_P_SF, seed=0, init_ops=100, sim_ops=4
+        )
+        model = PipelineModel(SP)
+        model.run(trace)
+        assert post_run_errors(model) == []
+
+
+class TestAbortSpeculation:
+    def test_abort_outside_speculation_is_none(self):
+        model = PipelineModel(SP)
+        model.run(Trace([Instr(Op.ALU)]))
+        assert model.abort_speculation() is None
+
+    def test_abort_discards_speculative_state(self):
+        model = _speculating_model()
+        resume = model.abort_speculation()
+        assert resume is not None
+        assert not model.epochs.speculating
+        assert len(model.ssb) == 0
+        assert model.checkpoints.in_use == 0
+
+    def test_abort_resumes_at_oldest_checkpoint(self):
+        model = _speculating_model()
+        expected = model.epochs.oldest.start_index
+        assert model.abort_speculation() == expected
+
+
+class TestViolationDetection:
+    def test_forged_bloom_false_negative_detected(self):
+        model = _speculating_model()
+        model.bloom.reset()  # drop every recorded bit
+        errors = speculative_state_errors(model)
+        assert any("bloom false negative" in e for e in errors)
+
+    def test_forged_checkpoint_leak_detected(self):
+        model = _speculating_model()
+        model.checkpoints.acquire(now=0)  # one more than active epochs
+        errors = speculative_state_errors(model)
+        assert any("checkpoint accounting" in e for e in errors)
+
+    def test_forged_epoch_count_detected(self):
+        model = _speculating_model()
+        model.epochs.current.n_stores += 1
+        errors = speculative_state_errors(model)
+        assert any("SSB stores" in e for e in errors)

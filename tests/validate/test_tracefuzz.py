@@ -1,0 +1,112 @@
+"""The trace-level property fuzzer (engine 3)."""
+
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.validate.mutations import inject
+from repro.validate.tracefuzz import (
+    fuzz_blt,
+    fuzz_bloom,
+    fuzz_checkpoints,
+    generate_trace,
+    run_tracefuzz,
+    shrink_trace,
+    trace_property_violations,
+)
+
+SP = MachineConfig().with_sp(256)
+
+
+class TestGenerator:
+    def test_same_seed_same_trace(self):
+        first = [(i.op, i.addr) for i in generate_trace(7, 100)]
+        second = [(i.op, i.addr) for i in generate_trace(7, 100)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = [(i.op, i.addr) for i in generate_trace(1, 100)]
+        second = [(i.op, i.addr) for i in generate_trace(2, 100)]
+        assert first != second
+
+    def test_grammar_produces_persistence_ops(self):
+        ops = {i.op for i in generate_trace(0, 600)}
+        assert Op.STORE in ops
+        assert Op.SFENCE in ops
+        assert Op.PCOMMIT in ops
+
+
+class TestProperties:
+    def test_random_traces_hold_on_sp(self):
+        for seed in range(6):
+            trace = generate_trace(seed, 80)
+            assert trace_property_violations(trace, SP) == []
+
+    def test_skewed_pipeline_violates(self):
+        trace = generate_trace(0, 80)
+        with inject("pipeline-skew"):
+            violations = trace_property_violations(trace, MachineConfig())
+        assert any("diverged" in v for v in violations)
+
+
+class TestShrinking:
+    def test_shrinks_to_minimal_failing_input(self):
+        # property: trace contains a STORE — minimal reproducer is 1 instr
+        trace = generate_trace(3, 120)
+        failing = lambda t: any(i.op is Op.STORE for i in t)
+        assert failing(trace)
+        shrunk = shrink_trace(trace, failing)
+        assert len(shrunk) == 1
+        assert shrunk[0].op is Op.STORE
+
+    def test_never_returns_passing_trace(self):
+        trace = Trace(list(generate_trace(4, 60)))
+        failing = lambda t: sum(i.op is Op.SFENCE for i in t) >= 2
+        if failing(trace):
+            shrunk = shrink_trace(trace, failing)
+            assert failing(shrunk)
+            assert len(shrunk) <= len(trace)
+
+    def test_respects_eval_budget(self):
+        calls = []
+
+        def failing(t):
+            calls.append(1)
+            return True
+
+        shrink_trace(generate_trace(5, 200), failing, max_evals=25)
+        assert len(calls) <= 25
+
+
+class TestComponentFuzzes:
+    def test_bloom_has_no_false_negatives(self):
+        assert fuzz_bloom(seed=0, n_ops=3000) is None
+
+    def test_bloom_fuzz_catches_lossy_filter(self):
+        with inject("bloom-drop-bits"):
+            assert fuzz_bloom(seed=0, n_ops=3000) is not None
+
+    def test_checkpoint_accounting(self):
+        assert fuzz_checkpoints(seed=0, n_ops=3000) is None
+
+    def test_blt_soundness(self):
+        assert fuzz_blt(seed=0, n_ops=3000) is None
+
+
+class TestEngine:
+    def test_quick_run_green(self):
+        report = run_tracefuzz(seed=0, quick=True)
+        assert report.ok, [f.as_dict() for f in report.failures[:3]]
+
+    def test_same_seed_reports_identical(self):
+        first = run_tracefuzz(seed=13, quick=True, n_traces=6)
+        second = run_tracefuzz(seed=13, quick=True, n_traces=6)
+        assert first.as_dict() == second.as_dict()
+
+    def test_failure_report_carries_shrunk_reproducer(self):
+        with inject("pipeline-skew"):
+            report = run_tracefuzz(seed=0, quick=True, n_traces=3)
+        assert not report.ok
+        failure = next(f for f in report.failures if f.name.startswith("trace/"))
+        assert failure.context["shrunk_length"] <= failure.context["trace_length"]
+        assert failure.context["shrunk_trace"]  # replayable opcode listing
+        assert failure.seed is not None
