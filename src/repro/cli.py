@@ -52,7 +52,13 @@ from repro.harness import (
 )
 from repro.harness import cache as harness_cache
 from repro.harness import parallel
-from repro.harness.bench import DEFAULT_OUTPUT, render_bench, run_bench
+from repro.harness.bench import (
+    DEFAULT_OUTPUT,
+    PIPELINE_IPS_FLOOR,
+    check_floor,
+    render_bench,
+    run_bench,
+)
 from repro.harness.figures import GEOMEAN, render_scalar_series
 from repro.harness.parallel import prefetch_variants
 from repro.harness.runner import run_variant
@@ -232,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=DEFAULT_OUTPUT, metavar="PATH",
         help=f"where to write the JSON record (default: {DEFAULT_OUTPUT})",
     )
+    bench.add_argument(
+        "--enforce-floor", action="store_true",
+        help="exit non-zero if pipeline_ips falls below the checked-in "
+             "regression floor (used by CI)",
+    )
     add_jobs(bench)
 
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
@@ -300,6 +311,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_bench(record))
         if args.output:
             print(f"record written to {args.output}")
+        if args.enforce_floor:
+            error = check_floor(record)
+            if error:
+                print(error)
+                return 1
+            print(f"pipeline_ips floor ok (>= {PIPELINE_IPS_FLOOR:,} instr/s)")
     elif args.command == "cache":
         if args.action == "clear":
             removed = harness_cache.clear_cache()

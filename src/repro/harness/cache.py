@@ -5,8 +5,10 @@ run, yet both are pure functions of ``(TraceKey, MachineConfig)``.  This
 module gives them a content-keyed store under ``.repro-cache/`` so warm
 re-runs skip the work entirely:
 
-* traces are stored in the compact RPTR1 binary format
-  (:mod:`repro.isa.serialize`) under ``traces/<digest>.rptr``;
+* traces are stored in the columnar RPTR2 binary format
+  (:mod:`repro.isa.serialize`) under ``traces/<digest>.rptr`` — warm
+  loads reconstruct the packed column arrays directly and materialise
+  zero ``Instr`` objects;
 * :class:`~repro.stats.run.RunStats` results are stored as JSON under
   ``stats/<digest>.json``.
 
@@ -43,9 +45,10 @@ from repro.isa.trace import Trace
 from repro.stats.run import RunStats
 from repro.uarch.config import MachineConfig
 
-#: Bump whenever trace generation or the timing model changes observable
-#: behaviour — every previously cached entry becomes unreachable.
-CACHE_SCHEMA_VERSION = 2
+#: Bump whenever trace generation, the timing model, or the on-disk
+#: payload format changes observable behaviour — every previously cached
+#: entry becomes unreachable.  3: columnar RPTR2 trace payloads.
+CACHE_SCHEMA_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

@@ -17,6 +17,10 @@ once fleet-wide:
 2. simulations fan out, each worker loading its trace from the store,
    simulating, and persisting the resulting stats.
 
+Workers exchange traces in the columnar RPTR2 format: a worker's load is
+four ``array.frombytes`` calls into a column-backed trace, so no
+``Instr`` objects are materialised anywhere on the warm path.
+
 When the persistent cache is disabled (``REPRO_NO_CACHE``) a temporary
 directory serves as the job-scoped shared store and is removed after the
 merge.

@@ -5,6 +5,14 @@ persistent on-disk store (:mod:`repro.harness.cache`), so repeated runs
 of figures, sweeps, and the test suites regenerate nothing that is
 already known.  The parallel scheduler (:mod:`repro.harness.parallel`)
 shares the same disk store across worker processes.
+
+Traces flow through here in their **columnar form**
+(:class:`~repro.isa.columns.TraceColumns`): disk hits deserialise the
+RPTR2 column sections straight into a column-backed
+:class:`~repro.isa.trace.Trace` without materialising a single
+``Instr``, the timing model consumes the packed columns and the memoized
+segment list directly, and freshly generated traces are columnarised
+once and reuse that form for both serialisation and simulation.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from repro.isa.ops import (
     is_pmem,
     is_speculation_boundary,
 )
+from repro.isa.columns import TraceColumns
 from repro.isa.instr import Instr
 from repro.isa.trace import Trace, TraceStats
 from repro.isa.recorder import TraceRecorder
@@ -31,6 +32,7 @@ __all__ = [
     "Op",
     "Instr",
     "Trace",
+    "TraceColumns",
     "TraceStats",
     "TraceRecorder",
     "FENCE_OPS",

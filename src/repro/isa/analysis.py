@@ -9,13 +9,22 @@ These helpers quantify that on any trace:
 * :func:`barrier_distances` — instruction distances between successive
   ``sfence-pcommit-sfence`` barriers (how far speculation must reach);
 * :func:`characterise` — the summary used by the characterisation bench.
+
+It also hosts the one-pass pre-analysis behind the timing model's fast
+path: :func:`segment_trace` folds a columnar trace into a flat list of
+``(compute_run, event, ...)`` entries (see :class:`TraceSegments`), so
+the simulator walks one entry per *event* instead of one object per
+instruction.  The segmentation is a pure function of the opcode column —
+independent of any machine configuration — and is memoized on the trace
+alongside its columns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
+from repro.isa.columns import TraceColumns
 from repro.isa.ops import Op, FENCE_OPS, PMEM_OPS
 from repro.isa.trace import Trace
 
@@ -62,6 +71,73 @@ def persist_clusters(trace: Trace, gap: int = 16) -> List[PersistCluster]:
         if instr.op is Op.PCOMMIT:
             current.pcommits += 1
     return clusters
+
+
+# ----------------------------------------------------------------------
+# fast-path segmentation
+# ----------------------------------------------------------------------
+#: Segment kind for a recognised ``sfence; pcommit; sfence`` barrier
+#: triple (a value no :class:`Op` uses).
+K_BARRIER = 64
+#: Segment kind for the trailing compute run with no event after it.
+K_TAIL = -1
+
+_BLOCK_MASK = ~63
+_SFENCE = int(Op.SFENCE)
+_PCOMMIT = int(Op.PCOMMIT)
+
+
+@dataclass(frozen=True)
+class TraceSegments:
+    """Flat event/compute-run segmentation of one trace.
+
+    ``entries`` is a list of 5-tuples ``(run, kind, block, meta_idx,
+    index)``: *run* ALU/BRANCH instructions followed by one event of
+    *kind* (an :data:`~repro.isa.ops.Op` value, :data:`K_BARRIER` for a
+    barrier triple, or :data:`K_TAIL` for the final run with no event).
+    *block* is the event's cache-block address (0 for non-memory events),
+    *meta_idx* its index into the columns' meta table, and *index* its
+    position in the trace (for :data:`K_BARRIER`, the first sfence; for
+    :data:`K_TAIL`, the trace length).
+
+    Barrier triples are recognised greedily left-to-right, mirroring the
+    dispatch loop's ``i + 2 < n`` pattern check, so the segmentation is
+    valid for every machine configuration; a model running with
+    ``coalesce_barrier_checkpoints=False`` simply expands a
+    :data:`K_BARRIER` entry back into its three constituent ops.
+    """
+
+    entries: List[Tuple[int, int, int, int, int]]
+    n: int
+
+
+def segment_trace(columns: TraceColumns) -> TraceSegments:
+    """One-pass segmentation of a columnar trace (see :class:`TraceSegments`)."""
+    ops = columns.ops
+    addrs = columns.addrs
+    meta_idx = columns.meta_idx
+    n = len(ops)
+    entries: List[Tuple[int, int, int, int, int]] = []
+    append = entries.append
+    run = 0
+    i = 0
+    while i < n:
+        op = ops[i]
+        if op <= 1:  # ALU / BRANCH
+            run += 1
+            i += 1
+            continue
+        if op == _SFENCE and i + 2 < n and ops[i + 1] == _PCOMMIT and ops[i + 2] == _SFENCE:
+            # sfence; pcommit; sfence
+            append((run, K_BARRIER, 0, 0, i))
+            run = 0
+            i += 3
+            continue
+        append((run, op, addrs[i] & _BLOCK_MASK, meta_idx[i], i))
+        run = 0
+        i += 1
+    append((run, K_TAIL, 0, 0, n))
+    return TraceSegments(entries, n)
 
 
 def barrier_distances(trace: Trace) -> List[int]:

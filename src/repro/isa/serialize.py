@@ -2,16 +2,28 @@
 
 Trace generation (running the functional workload) usually dominates the
 cost of an experiment, and the same trace is replayed on many machine
-configurations.  The format is a small JSON header plus a compact
-fixed-width binary body, so traces from the million-instruction range load
-in milliseconds and remain portable (no pickling).
+configurations.  The format is a small JSON header plus a compact binary
+body, so traces from the million-instruction range load in milliseconds
+and remain portable (no pickling).
 
-Format (little endian)::
+The current format, **RPTR2**, stores the trace's columnar form
+(:class:`~repro.isa.columns.TraceColumns`) as four contiguous sections —
+one ``array.tobytes`` blob per column — so loading is four
+``frombytes`` calls and zero per-instruction Python work::
 
-    magic   b"RPTR1\\n"
+    magic   b"RPTR2\\n"
     u32     header length
     bytes   JSON header {"count": N, "metas": [...]}   (meta string table)
-    N x     record: u8 op | u8 size | u16 meta-index (0 = None) | u64 addr
+    N x u8  opcode column
+    N x u16 size column          (little endian)
+    N x u16 meta-index column    (little endian; 0 = None)
+    N x i64 address column       (little endian)
+
+The original row-at-a-time **RPTR1** format (``N`` interleaved
+``u8 op | u8 size | u16 meta-index | u64 addr`` records) is still read
+transparently and can be written via :func:`dump_trace_legacy`; loads of
+either format produce a column-backed :class:`~repro.isa.trace.Trace`
+without materialising ``Instr`` objects.
 """
 
 from __future__ import annotations
@@ -19,69 +31,167 @@ from __future__ import annotations
 import io
 import json
 import struct
+import sys
+from array import array
 from pathlib import Path
 from typing import BinaryIO, Union
 
-from repro.isa.instr import Instr
-from repro.isa.ops import Op
+from repro.isa.columns import MAX_METAS, TraceColumns
 from repro.isa.trace import Trace
 
-_MAGIC = b"RPTR1\n"
-_RECORD = struct.Struct("<BBHQ")
+_MAGIC_V1 = b"RPTR1\n"
+_MAGIC_V2 = b"RPTR2\n"
+_RECORD_V1 = struct.Struct("<BBHQ")
+
+#: (attribute, array typecode) for each RPTR2 section, in file order.
+_SECTIONS = (("ops", "B"), ("sizes", "H"), ("meta_idx", "H"), ("addrs", "q"))
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+_MAX_OP = 11  # highest Op value; validated on load
 
 
 class TraceFormatError(ValueError):
     """The bytes are not a serialised trace (or a newer/older version)."""
 
 
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
 def dump_trace(trace: Trace, target: Union[str, Path, BinaryIO]) -> int:
-    """Write *trace* to a path or binary file object; returns bytes written."""
+    """Write *trace* (RPTR2) to a path or binary file object; returns
+    bytes written."""
     if isinstance(target, (str, Path)):
         with open(target, "wb") as handle:
             return dump_trace(trace, handle)
-    metas = [None]
-    meta_index = {None: 0}
+    columns = trace.columns()
+    header = json.dumps(
+        {"count": len(columns), "metas": columns.metas[1:]}
+    ).encode()
+    written = target.write(_MAGIC_V2)
+    written += target.write(struct.pack("<I", len(header)))
+    written += target.write(header)
+    for attr, _typecode in _SECTIONS:
+        column: array = getattr(columns, attr)
+        if _BIG_ENDIAN:  # pragma: no cover - canonical format is LE
+            column = array(column.typecode, column)
+            column.byteswap()
+        written += target.write(column.tobytes())
+    return written
+
+
+def dump_trace_legacy(trace: Trace, target: Union[str, Path, BinaryIO]) -> int:
+    """Write *trace* in the original row-at-a-time RPTR1 format."""
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as handle:
+            return dump_trace_legacy(trace, handle)
+    columns = trace.columns()
     records = io.BytesIO()
-    for instr in trace:
-        meta = instr.meta
-        if meta not in meta_index:
-            meta_index[meta] = len(metas)
-            metas.append(meta)
-        records.write(
-            _RECORD.pack(int(instr.op), instr.size & 0xFF, meta_index[meta], instr.addr)
-        )
-    header = json.dumps({"count": len(trace), "metas": metas[1:]}).encode()
-    written = target.write(_MAGIC)
+    pack = _RECORD_V1.pack
+    write = records.write
+    for op, addr, size, meta_idx in zip(
+        columns.ops, columns.addrs, columns.sizes, columns.meta_idx
+    ):
+        write(pack(op, size & 0xFF, meta_idx, addr))
+    header = json.dumps(
+        {"count": len(columns), "metas": columns.metas[1:]}
+    ).encode()
+    written = target.write(_MAGIC_V1)
     written += target.write(struct.pack("<I", len(header)))
     written += target.write(header)
     written += target.write(records.getvalue())
     return written
 
 
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def _read_header(source: BinaryIO) -> tuple:
+    length_bytes = source.read(4)
+    if len(length_bytes) != 4:
+        raise TraceFormatError("truncated header length")
+    (header_len,) = struct.unpack("<I", length_bytes)
+    header_bytes = source.read(header_len)
+    if len(header_bytes) != header_len:
+        raise TraceFormatError("truncated header")
+    try:
+        header = json.loads(header_bytes)
+        count = int(header["count"])
+        metas = [None] + list(header["metas"])
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise TraceFormatError(f"bad header: {exc}") from None
+    if count < 0 or len(metas) - 1 > MAX_METAS:
+        raise TraceFormatError("bad header counts")
+    return count, metas
+
+
+def _validate(columns: TraceColumns) -> TraceColumns:
+    if len(columns) and max(columns.ops) > _MAX_OP:
+        raise TraceFormatError(f"op value out of range (max {_MAX_OP})")
+    if len(columns) and max(columns.meta_idx) >= len(columns.metas):
+        raise TraceFormatError("meta index out of range")
+    return columns
+
+
+def _load_v2(source: BinaryIO) -> Trace:
+    count, metas = _read_header(source)
+    loaded = {}
+    for attr, typecode in _SECTIONS:
+        column = array(typecode)
+        expected = count * column.itemsize
+        blob = source.read(expected)
+        if len(blob) != expected:
+            raise TraceFormatError(
+                f"truncated body: {attr} column has {len(blob)} of "
+                f"{expected} bytes"
+            )
+        column.frombytes(blob)
+        if _BIG_ENDIAN:  # pragma: no cover - canonical format is LE
+            column.byteswap()
+        loaded[attr] = column
+    columns = TraceColumns(
+        loaded["ops"], loaded["addrs"], loaded["sizes"], loaded["meta_idx"], metas
+    )
+    return Trace.from_columns(_validate(columns))
+
+
+def _load_v1(source: BinaryIO) -> Trace:
+    count, metas = _read_header(source)
+    body = source.read(count * _RECORD_V1.size)
+    if len(body) != count * _RECORD_V1.size:
+        raise TraceFormatError(
+            f"truncated body: expected {count} records, "
+            f"got {len(body) // _RECORD_V1.size}"
+        )
+    ops = array("B")
+    addrs = array("q")
+    sizes = array("H")
+    meta_idx = array("H")
+    ops_append = ops.append
+    addrs_append = addrs.append
+    sizes_append = sizes.append
+    meta_append = meta_idx.append
+    try:
+        for op, size, midx, addr in _RECORD_V1.iter_unpack(body):
+            ops_append(op)
+            addrs_append(addr)
+            sizes_append(size)
+            meta_append(midx)
+    except OverflowError:
+        raise TraceFormatError("address out of signed 64-bit range") from None
+    columns = TraceColumns(ops, addrs, sizes, meta_idx, metas)
+    return Trace.from_columns(_validate(columns))
+
+
 def load_trace(source: Union[str, Path, BinaryIO]) -> Trace:
-    """Read a trace previously written by :func:`dump_trace`."""
+    """Read a trace previously written by :func:`dump_trace` (either
+    format); the result is column-backed, materialising no ``Instr``."""
     if isinstance(source, (str, Path)):
         with open(source, "rb") as handle:
             return load_trace(handle)
-    magic = source.read(len(_MAGIC))
-    if magic != _MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r}")
-    (header_len,) = struct.unpack("<I", source.read(4))
-    header = json.loads(source.read(header_len))
-    metas = [None] + list(header["metas"])
-    count = header["count"]
-    body = source.read(count * _RECORD.size)
-    if len(body) != count * _RECORD.size:
-        raise TraceFormatError(
-            f"truncated body: expected {count} records, "
-            f"got {len(body) // _RECORD.size}"
-        )
-    trace = Trace()
-    append = trace.append
-    for op_value, size, meta_idx, addr in _RECORD.iter_unpack(body):
-        try:
-            meta = metas[meta_idx]
-        except IndexError:
-            raise TraceFormatError(f"meta index {meta_idx} out of range") from None
-        append(Instr(Op(op_value), addr, size, meta))
-    return trace
+    magic = source.read(len(_MAGIC_V2))
+    if magic == _MAGIC_V2:
+        return _load_v2(source)
+    if magic == _MAGIC_V1:
+        return _load_v1(source)
+    raise TraceFormatError(f"bad magic {magic!r}")

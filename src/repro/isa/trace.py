@@ -1,10 +1,26 @@
-"""Trace container and static trace statistics."""
+"""Trace container and static trace statistics.
+
+A :class:`Trace` holds the same micro-op sequence in up to two forms:
+
+* **rows** — a plain list of :class:`~repro.isa.instr.Instr` objects,
+  the form traces are recorded in (append-only while recording);
+* **columns** — a packed :class:`~repro.isa.columns.TraceColumns`
+  structure-of-arrays view, built once on demand and memoized, which the
+  timing model's fast path and the serialisation layer consume.
+
+Either form can be the source of truth: traces loaded from the
+persistent cache start column-only and materialise ``Instr`` rows lazily,
+only if an object-at-a-time consumer (the reference model, analysis
+helpers, tests) iterates them.  Mutating the trace (``append``/``extend``)
+invalidates the memoized columns and the derived segment list.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.isa.columns import OPS_BY_VALUE, TraceColumns
 from repro.isa.instr import Instr
 from repro.isa.ops import Op, PMEM_OPS, FENCE_OPS
 
@@ -43,26 +59,83 @@ class Trace:
     """
 
     def __init__(self, instrs: Iterable[Instr] = ()):  # noqa: D401
-        self._instrs: List[Instr] = list(instrs)
+        self._instrs: Optional[List[Instr]] = list(instrs)
+        self._columns: Optional[TraceColumns] = None
+        self._segments = None
 
+    @classmethod
+    def from_columns(cls, columns: TraceColumns) -> "Trace":
+        """A trace backed by *columns*; rows materialise only on demand."""
+        trace = cls.__new__(cls)
+        trace._instrs = None
+        trace._columns = columns
+        trace._segments = None
+        return trace
+
+    # ------------------------------------------------------------------
+    # the two representations
+    # ------------------------------------------------------------------
+    def _rows(self) -> List[Instr]:
+        rows = self._instrs
+        if rows is None:
+            rows = self._instrs = self._columns.instrs()
+        return rows
+
+    def columns(self) -> TraceColumns:
+        """The packed columnar view, built once and memoized."""
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = TraceColumns.from_instrs(self._instrs)
+        return columns
+
+    def segments(self):
+        """The event/compute-run segmentation, built once and memoized.
+
+        Returns :class:`repro.isa.analysis.TraceSegments` (imported lazily
+        to avoid a module cycle).
+        """
+        segments = self._segments
+        if segments is None:
+            from repro.isa.analysis import segment_trace
+
+            segments = self._segments = segment_trace(self.columns())
+        return segments
+
+    # ------------------------------------------------------------------
+    # recording API (invalidates the derived forms)
+    # ------------------------------------------------------------------
     def append(self, instr: Instr) -> None:
-        self._instrs.append(instr)
+        self._rows().append(instr)
+        self._columns = None
+        self._segments = None
 
     def extend(self, instrs: Iterable[Instr]) -> None:
-        self._instrs.extend(instrs)
+        self._rows().extend(instrs)
+        self._columns = None
+        self._segments = None
 
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._instrs)
+        if self._instrs is not None:
+            return len(self._instrs)
+        return len(self._columns)
 
     def __iter__(self) -> Iterator[Instr]:
-        return iter(self._instrs)
+        return iter(self._rows())
 
     def __getitem__(self, idx: int) -> Instr:
-        return self._instrs[idx]
+        return self._rows()[idx]
 
     def stats(self) -> TraceStats:
         """Compute the static instruction mix."""
         by_op: Dict[Op, int] = {}
+        if self._instrs is None:
+            # count straight off the opcode column; no row materialisation
+            counts: Dict[int, int] = {}
+            for value in self._columns.ops:
+                counts[value] = counts.get(value, 0) + 1
+            by_op = {OPS_BY_VALUE[value]: n for value, n in counts.items()}
+            return TraceStats(total=len(self._columns), by_op=by_op)
         for instr in self._instrs:
             by_op[instr.op] = by_op.get(instr.op, 0) + 1
         return TraceStats(total=len(self._instrs), by_op=by_op)
@@ -75,7 +148,7 @@ class Trace:
         """
         pieces: List[Trace] = []
         current: List[Instr] = []
-        for instr in self._instrs:
+        for instr in self._rows():
             if instr.meta == marker:
                 pieces.append(Trace(current))
                 current = []

@@ -22,27 +22,55 @@ With ``config.sp_enabled`` the model implements Section 4 of the paper:
 * later barriers end the current epoch and open a child epoch, stalling
   only when the 4-entry checkpoint buffer or the SSB is exhausted;
 * epochs commit strictly in order as their gating pcommits complete.
+
+Execution is **event driven**: :meth:`PipelineModel.run` walks the
+trace's pre-computed segment list (:func:`repro.isa.analysis.segment_trace`
+over its columnar form) instead of one ``Instr`` object per micro-op.
+Outside speculation the walker handles compute runs, loads, stores, and
+flush ops in fully inlined loops with the sliding-window state bound to
+locals, and fast-forwards long compute runs with a closed-form
+steady-state advance; fences, pcommits, barriers, and everything under
+speculation delegate to the exact per-op machinery (:meth:`_step`).  The
+walker is cycle-for-cycle identical to the preserved reference model
+(:mod:`repro.uarch.pipeline_ref`) — asserted by the conformance oracle —
+and any monkey-patched or overridden internal routes the run back to the
+exact loop so fault injections and subclasses keep working.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional
 
 from repro.core.blt import BlockLookupTable
 from repro.core.bloom import BloomFilter
 from repro.core.checkpoints import CheckpointBuffer
 from repro.core.epochs import EpochManager
 from repro.core.ssb import SpeculativeStoreBuffer
-from repro.isa.instr import Instr
+from repro.isa.analysis import K_BARRIER, K_TAIL
+from repro.isa.columns import TraceColumns
 from repro.isa.ops import Op
 from repro.isa.trace import Trace
 from repro.stats.run import RunStats
-from repro.uarch.caches import CacheHierarchy
+from repro.uarch.caches import CacheHierarchy, CacheLevel
 from repro.uarch.config import MachineConfig
 from repro.uarch.memctrl import MemoryController, MemoryControllerArray
 
 _BLOCK_MASK = ~63
+
+# raw opcode values: the columnar walker and _step compare plain ints
+_ALU = int(Op.ALU)
+_BRANCH = int(Op.BRANCH)
+_LOAD = int(Op.LOAD)
+_STORE = int(Op.STORE)
+_CLWB = int(Op.CLWB)
+_CLFLUSHOPT = int(Op.CLFLUSHOPT)
+_CLFLUSH = int(Op.CLFLUSH)
+_PCOMMIT = int(Op.PCOMMIT)
+_SFENCE = int(Op.SFENCE)
+_MFENCE = int(Op.MFENCE)
+_XCHG = int(Op.XCHG)
+_LOCK_RMW = int(Op.LOCK_RMW)
 
 
 class PipelineModel:
@@ -117,18 +145,42 @@ class PipelineModel:
         its entries, and no wind-down drain happens.  The validation
         subsystem uses this to probe mid-speculation machine state
         (crash-point invariants); normal callers always finish.
+
+        The run consumes the trace's columnar form.  With coherence
+        probes scheduled, or with any inlined internal monkey-patched or
+        overridden (see :func:`_deoptimized`), the exact per-op loop is
+        used; otherwise the segment walker fast path runs — both are
+        cycle-identical.
         """
-        instrs = list(trace)
-        # one attribute fetch per instruction up front: the dispatch loop
-        # below then branches on precomputed ops instead of touching the
-        # Instr objects for the (dominant) compute fraction of the trace
-        ops = [instr.op for instr in instrs]
-        n = len(instrs)
+        columns = trace.columns()
+        if self._probes or _deoptimized(self):
+            self._run_exact(columns)
+        else:
+            self._run_segments(columns, trace.segments())
+        if finish:
+            self._finish()
+        else:
+            self.stats.cycles = self._last_retire
+        return self.stats
+
+    # ==================================================================
+    # exact per-op dispatch loop (probes, fault injections, subclasses)
+    # ==================================================================
+    def _run_exact(self, columns: TraceColumns) -> None:
+        """The reference dispatch loop over the opcode column.
+
+        Semantically the seed model's ``run`` body: probes are delivered
+        at their scheduled indices (with rollback re-execution), barrier
+        triples are recognised in-line, and compute runs go through
+        ``self._compute_batch`` — so monkey-patches of any per-op method
+        (e.g. ``validate.mutations``'s ``pipeline-skew``) take effect.
+        """
+        ops = columns.ops
+        addrs = columns.addrs
+        meta_idx = columns.meta_idx
+        metas = columns.metas
+        n = len(ops)
         coalesce = self.config.coalesce_barrier_checkpoints
-        alu = Op.ALU
-        branch = Op.BRANCH
-        sfence = Op.SFENCE
-        pcommit = Op.PCOMMIT
         epochs = self.epochs
         step = self._step
         i = 0
@@ -139,46 +191,739 @@ class PipelineModel:
                     i = resume
                     continue
             op = ops[i]
-            if (op is alu or op is branch) and not (
-                epochs.speculating or self._probes
-            ):
-                # run-length fast path: consecutive ALU/BRANCH ops touch
+            if op <= _BRANCH and not (epochs.speculating or self._probes):
+                # run-length batching: consecutive ALU/BRANCH ops touch
                 # only the front-end/retire sliding windows, and outside
-                # speculation no per-op polling is needed, so the whole
-                # run advances in one tight loop (timing-identical to
-                # _step; asserted against pipeline_ref)
+                # speculation no per-op polling is needed
                 j = i + 1
-                while j < n:
-                    op = ops[j]
-                    if op is alu or op is branch:
-                        j += 1
-                    else:
-                        break
+                while j < n and ops[j] <= _BRANCH:
+                    j += 1
                 self._compute_batch(j - i)
                 i = j
                 continue
             self._instr_index = i
             if (
                 coalesce
-                and op is sfence
+                and op == _SFENCE
                 and i + 2 < n
-                and ops[i + 1] is pcommit
-                and ops[i + 2] is sfence
+                and ops[i + 1] == _PCOMMIT
+                and ops[i + 2] == _SFENCE
             ):
                 # the sfence-pcommit-sfence sequence as one barrier macro-op
                 # (paper §4.2.2's single-checkpoint optimisation); with the
                 # optimisation disabled each fence is handled individually
                 # and consumes its own checkpoint during speculation.
-                self._barrier(instrs[i + 1])
+                self._barrier()
                 i += 3
                 continue
-            step(instrs[i])
+            step(op, addrs[i], metas[meta_idx[i]])
             i += 1
-        if finish:
-            self._finish()
-        else:
-            self.stats.cycles = self._last_retire
-        return self.stats
+
+    # ==================================================================
+    # segment-walker fast path
+    # ==================================================================
+    def _run_segments(self, columns: TraceColumns, segments) -> None:
+        """Walk the pre-computed segment list (see
+        :class:`repro.isa.analysis.TraceSegments`).
+
+        Outside speculation, compute runs and load/store/flush events are
+        handled in-line with the sliding-window state held in locals;
+        fences, pcommits, clflush, barrier triples, and all execution
+        under speculation delegate to :meth:`_step`/:meth:`_barrier`.
+
+        Three further specialisations keep the per-op work minimal:
+
+        * **merged windows** — every instruction's dispatch time is
+          appended to the fetch queue and its retire time to the ROB, so
+          the width-wide dispatch/retire bandwidth groups are always the
+          youngest ``width`` entries of those deques (whenever they hold
+          at least ``width`` entries, which the fast phase requires).
+          The walker therefore maintains only the fetch-group, fetch
+          queue, and ROB deques, and rebuilds the group deques from the
+          tails when it spills back to the machine;
+        * **saturated bodies** — once the fetch queue and ROB are both
+          full they stay full (the deques are bounded), so the walker
+          switches to bodies with the occupancy checks compiled out;
+        * **closed-form advance** — long compute runs fast-forward once
+          the window is width-periodic (every new fetch/dispatch/retire
+          time equals the value ``width`` instructions earlier plus one,
+          with both queues full and no stalls): the max/+ recurrences are
+          translation invariant, so ``k`` further periods add exactly
+          ``k`` cycles to every window entry and accrue zero stalls.
+        """
+        entries = segments.entries
+        n_entries = len(entries)
+        config = self.config
+        coalesce = config.coalesce_barrier_checkpoints
+        width = config.width
+        neg_w = -width
+        fetchq_entries = config.fetchq_entries
+        rob_entries = config.rob_entries
+        lsq_entries = config.lsq_entries
+        depth = config.fetch_to_dispatch
+        steady_window = max(fetchq_entries, rob_entries)
+        steady_min = steady_window + 2 * width + 2
+        caches = self.caches
+        caches_access = caches.access
+        l1 = caches.l1
+        l1_sets = l1._sets
+        l1_mask = l1.n_sets - 1
+        l1_shift = l1.block_bits
+        l1_latency = config.l1.latency
+        stats = self.stats
+        epochs = self.epochs
+        visible_flush = self._visible_flush
+        step = self._step
+        addrs = columns.addrs
+        meta_idx = columns.meta_idx
+        metas = columns.metas
+        ei = 0
+        while ei < n_entries:
+            prefix_done = False
+            if (
+                not epochs.speculating
+                and len(self._fetchq) >= width
+                and len(self._rob) >= width
+            ):
+                # ---------- fast phase ----------
+                fg = self._fetch_group
+                fetchq = self._fetchq
+                rob = self._rob
+                lsq = self._lsq
+                fg_app = fg.append
+                fq_app = fetchq.append
+                rob_app = rob.append
+                lsq_app = lsq.append
+                last_fetch = self._last_fetch
+                last_retire = self._last_retire
+                sb_free = self._sb_free
+                stores_visible = self._stores_visible
+                chain_ready = self._chain_ready
+                chain_issue = self._chain_issue
+                chain_block = self._chain_block
+                inflight = self._inflight_pcommits
+                # occupancy as plain counters (len() is a call; += isn't)
+                n_fq = len(fetchq)
+                n_rob = len(rob)
+                n_lsq = len(lsq)
+                fq_full = n_fq == fetchq_entries
+                rob_full = n_rob == rob_entries
+                lsq_full = n_lsq == lsq_entries
+                # retire-slot counter: retire times are monotone, so the
+                # retire-bandwidth bound rob[-width] + 1 binds exactly
+                # when the last `width` retires share one cycle.  r_slot
+                # counts the tail entries equal to last_retire (capped at
+                # width), replacing a deque read per op with int branches.
+                r_slot = 1 if rob[-1] == last_retire else 0
+                _i = 2
+                while r_slot and _i <= width and rob[-_i] == last_retire:
+                    r_slot += 1
+                    _i += 1
+                instr_d = 0
+                loads_d = 0
+                stores_d = 0
+                clwbs_d = 0
+                clfo_d = 0
+                stall_d = 0
+                sdp_d = 0
+                hits_d = 0
+                acc_d = 0
+                while ei < n_entries:
+                    run_len, kind, block, mi, idx = entries[ei]
+                    instr_d += run_len
+                    if run_len >= steady_min:
+                        # instrumented loop with the closed-form advance
+                        streak = 0
+                        while run_len:
+                            if streak >= steady_window and run_len > width:
+                                k = run_len // width
+                                fg = deque([t + k for t in fg], width)
+                                fetchq = deque(
+                                    [t + k for t in fetchq], fetchq_entries
+                                )
+                                rob = deque([t + k for t in rob], rob_entries)
+                                self._fetch_group = fg
+                                self._fetchq = fetchq
+                                self._rob = rob
+                                fg_app = fg.append
+                                fq_app = fetchq.append
+                                rob_app = rob.append
+                                last_fetch += k
+                                last_retire += k
+                                run_len -= k * width
+                                break
+                            run_len -= 1
+                            bw_ready = fg[0] + 1
+                            fetch_t = bw_ready
+                            if fq_full:
+                                fq_ready = fetchq[0]
+                                if fq_ready > fetch_t:
+                                    if fq_ready > last_fetch:
+                                        stall_d += fq_ready - (
+                                            bw_ready
+                                            if bw_ready > last_fetch
+                                            else last_fetch
+                                        )
+                                    fetch_t = fq_ready
+                            if fetch_t > last_fetch:
+                                last_fetch = fetch_t
+                            fg_app(fetch_t)
+                            dispatch_bw = fetchq[neg_w] + 1
+                            dispatch_t = fetch_t + depth
+                            if dispatch_bw > dispatch_t:
+                                dispatch_t = dispatch_bw
+                            if rob_full:
+                                bound = rob[0]
+                                if bound > dispatch_t:
+                                    dispatch_t = bound
+                            fq_app(dispatch_t)
+                            if not fq_full and len(fetchq) == fetchq_entries:
+                                fq_full = True
+                            retire_bw = rob[neg_w] + 1
+                            retire_t = dispatch_t + 1
+                            if last_retire > retire_t:
+                                retire_t = last_retire
+                            if retire_bw > retire_t:
+                                retire_t = retire_bw
+                            rob_app(retire_t)
+                            if not rob_full and len(rob) == rob_entries:
+                                rob_full = True
+                            last_retire = retire_t
+                            if (
+                                fq_full
+                                and rob_full
+                                and fetch_t == bw_ready
+                                and dispatch_t == dispatch_bw
+                                and retire_t == retire_bw
+                            ):
+                                streak += 1
+                            else:
+                                streak = 0
+                        # the instrumented loop appended directly; refresh
+                        # the occupancy and retire-slot counters it bypassed
+                        n_fq = len(fetchq)
+                        n_rob = len(rob)
+                        r_slot = 1 if rob[-1] == last_retire else 0
+                        _i = 2
+                        while r_slot and _i <= width and rob[-_i] == last_retire:
+                            r_slot += 1
+                            _i += 1
+
+                    if fq_full and rob_full:
+                        # ==== saturated: occupancy checks compiled out ====
+                        for _ in range(run_len):
+                            fetch_t = fg[0] + 1
+                            fq_ready = fetchq[0]
+                            if fq_ready > fetch_t:
+                                if fq_ready > last_fetch:
+                                    stall_d += fq_ready - (
+                                        fetch_t
+                                        if fetch_t > last_fetch
+                                        else last_fetch
+                                    )
+                                fetch_t = fq_ready
+                            if fetch_t > last_fetch:
+                                last_fetch = fetch_t
+                            fg_app(fetch_t)
+                            dispatch_t = fetch_t + depth
+                            bound = fetchq[neg_w] + 1
+                            if bound > dispatch_t:
+                                dispatch_t = bound
+                            bound = rob[0]
+                            if bound > dispatch_t:
+                                dispatch_t = bound
+                            fq_app(dispatch_t)
+                            retire_t = dispatch_t + 1
+                            if retire_t > last_retire:
+                                last_retire = retire_t
+                                r_slot = 1
+                            elif r_slot < width:
+                                retire_t = last_retire
+                                r_slot += 1
+                            else:
+                                retire_t = last_retire + 1
+                                last_retire = retire_t
+                                r_slot = 1
+                            rob_app(retire_t)
+
+                        if 2 <= kind <= 5 or kind == _XCHG or kind == _LOCK_RMW:
+                            # ---- inlined front end ----
+                            fetch_t = fg[0] + 1
+                            fq_ready = fetchq[0]
+                            if fq_ready > fetch_t:
+                                if fq_ready > last_fetch:
+                                    stall_d += fq_ready - (
+                                        fetch_t
+                                        if fetch_t > last_fetch
+                                        else last_fetch
+                                    )
+                                fetch_t = fq_ready
+                            if fetch_t > last_fetch:
+                                last_fetch = fetch_t
+                            fg_app(fetch_t)
+                            dispatch_t = fetch_t + depth
+                            bound = fetchq[neg_w] + 1
+                            if bound > dispatch_t:
+                                dispatch_t = bound
+                            bound = rob[0]
+                            if bound > dispatch_t:
+                                dispatch_t = bound
+                            fq_app(dispatch_t)
+
+                            if kind == _LOAD:
+                                loads_d += 1
+                                if lsq_full:
+                                    bound = lsq[0]
+                                    if bound > dispatch_t:
+                                        dispatch_t = bound
+                                tag = block >> l1_shift
+                                if mi:
+                                    # tagged load: streams independently
+                                    ways = l1_sets[tag & l1_mask]
+                                    if tag in ways:
+                                        ways[tag] = ways.pop(tag)
+                                        hits_d += 1
+                                        acc_d += 1
+                                        complete = dispatch_t + l1_latency
+                                    else:
+                                        complete = dispatch_t + caches_access(
+                                            block, False, dispatch_t
+                                        )
+                                elif block == chain_block:
+                                    # another field of the in-flight node
+                                    issue_t = (
+                                        dispatch_t
+                                        if dispatch_t > chain_issue
+                                        else chain_issue
+                                    )
+                                    ways = l1_sets[tag & l1_mask]
+                                    if tag in ways:
+                                        ways[tag] = ways.pop(tag)
+                                        hits_d += 1
+                                        acc_d += 1
+                                        complete = issue_t + l1_latency
+                                    else:
+                                        complete = issue_t + caches_access(
+                                            block, False, issue_t
+                                        )
+                                    if chain_ready > complete:
+                                        complete = chain_ready
+                                else:
+                                    # next chase node: issues after the chain
+                                    issue_t = (
+                                        dispatch_t
+                                        if dispatch_t > chain_ready
+                                        else chain_ready
+                                    )
+                                    ways = l1_sets[tag & l1_mask]
+                                    if tag in ways:
+                                        ways[tag] = ways.pop(tag)
+                                        hits_d += 1
+                                        acc_d += 1
+                                        complete = issue_t + l1_latency
+                                    else:
+                                        complete = issue_t + caches_access(
+                                            block, False, issue_t
+                                        )
+                                    chain_block = block
+                                    chain_issue = issue_t
+                                    chain_ready = complete
+                                retire_t = complete
+                                if retire_t > last_retire:
+                                    last_retire = retire_t
+                                    r_slot = 1
+                                elif r_slot < width:
+                                    retire_t = last_retire
+                                    r_slot += 1
+                                else:
+                                    retire_t = last_retire + 1
+                                    last_retire = retire_t
+                                    r_slot = 1
+                                rob_app(retire_t)
+                                instr_d += 1
+                                lsq_app(retire_t)
+                                if not lsq_full:
+                                    n_lsq += 1
+                                    if n_lsq == lsq_entries:
+                                        lsq_full = True
+
+                            elif kind == _CLWB or kind == _CLFLUSHOPT:
+                                if kind == _CLWB:
+                                    clwbs_d += 1
+                                else:
+                                    clfo_d += 1
+                                retire_t = dispatch_t + 1
+                                if retire_t > last_retire:
+                                    last_retire = retire_t
+                                    r_slot = 1
+                                elif r_slot < width:
+                                    retire_t = last_retire
+                                    r_slot += 1
+                                else:
+                                    retire_t = last_retire + 1
+                                    last_retire = retire_t
+                                    r_slot = 1
+                                rob_app(retire_t)
+                                instr_d += 1
+                                if inflight:
+                                    inflight = [
+                                        t for t in inflight if t > retire_t
+                                    ]
+                                    if inflight:
+                                        sdp_d += 1
+                                visible_flush(block, retire_t, kind == _CLFLUSHOPT)
+
+                            else:  # STORE / XCHG / LOCK_RMW
+                                stores_d += 1
+                                if lsq_full:
+                                    bound = lsq[0]
+                                    if bound > dispatch_t:
+                                        dispatch_t = bound
+                                retire_t = dispatch_t + 1
+                                if retire_t > last_retire:
+                                    last_retire = retire_t
+                                    r_slot = 1
+                                elif r_slot < width:
+                                    retire_t = last_retire
+                                    r_slot += 1
+                                else:
+                                    retire_t = last_retire + 1
+                                    last_retire = retire_t
+                                    r_slot = 1
+                                rob_app(retire_t)
+                                instr_d += 1
+                                lsq_app(retire_t)
+                                if not lsq_full:
+                                    n_lsq += 1
+                                    if n_lsq == lsq_entries:
+                                        lsq_full = True
+                                if inflight:
+                                    inflight = [
+                                        t for t in inflight if t > retire_t
+                                    ]
+                                    if inflight:
+                                        sdp_d += 1
+                                start = retire_t if retire_t > sb_free else sb_free
+                                sb_free = start + 1
+                                tag = block >> l1_shift
+                                ways = l1_sets[tag & l1_mask]
+                                if tag in ways:
+                                    ways.pop(tag)
+                                    ways[tag] = True
+                                    hits_d += 1
+                                    acc_d += 1
+                                    visible = start + l1_latency
+                                else:
+                                    visible = start + caches_access(
+                                        block, True, start
+                                    )
+                                if visible > stores_visible:
+                                    stores_visible = visible
+                            ei += 1
+                            continue
+                        if kind == K_TAIL:
+                            ei += 1
+                            continue
+                        break  # fence / pcommit / clflush / barrier
+
+                    # ==== general bodies (queues still filling) ====
+                    for _ in range(run_len):
+                        fetch_t = fg[0] + 1
+                        if fq_full:
+                            fq_ready = fetchq[0]
+                            if fq_ready > fetch_t:
+                                if fq_ready > last_fetch:
+                                    stall_d += fq_ready - (
+                                        fetch_t
+                                        if fetch_t > last_fetch
+                                        else last_fetch
+                                    )
+                                fetch_t = fq_ready
+                        if fetch_t > last_fetch:
+                            last_fetch = fetch_t
+                        fg_app(fetch_t)
+                        dispatch_t = fetch_t + depth
+                        bound = fetchq[neg_w] + 1
+                        if bound > dispatch_t:
+                            dispatch_t = bound
+                        if rob_full:
+                            bound = rob[0]
+                            if bound > dispatch_t:
+                                dispatch_t = bound
+                        fq_app(dispatch_t)
+                        if not fq_full:
+                            n_fq += 1
+                            if n_fq == fetchq_entries:
+                                fq_full = True
+                        retire_t = dispatch_t + 1
+                        if retire_t > last_retire:
+                            last_retire = retire_t
+                            r_slot = 1
+                        elif r_slot < width:
+                            retire_t = last_retire
+                            r_slot += 1
+                        else:
+                            retire_t = last_retire + 1
+                            last_retire = retire_t
+                            r_slot = 1
+                        rob_app(retire_t)
+                        if not rob_full:
+                            n_rob += 1
+                            if n_rob == rob_entries:
+                                rob_full = True
+
+                    if 2 <= kind <= 5 or kind == _XCHG or kind == _LOCK_RMW:
+                        # ---- inlined front end (== _front_end) ----
+                        fetch_t = fg[0] + 1
+                        if fq_full:
+                            fq_ready = fetchq[0]
+                            if fq_ready > fetch_t:
+                                if fq_ready > last_fetch:
+                                    stall_d += fq_ready - (
+                                        fetch_t
+                                        if fetch_t > last_fetch
+                                        else last_fetch
+                                    )
+                                fetch_t = fq_ready
+                        if fetch_t > last_fetch:
+                            last_fetch = fetch_t
+                        fg_app(fetch_t)
+                        dispatch_t = fetch_t + depth
+                        bound = fetchq[neg_w] + 1
+                        if bound > dispatch_t:
+                            dispatch_t = bound
+                        if rob_full:
+                            bound = rob[0]
+                            if bound > dispatch_t:
+                                dispatch_t = bound
+                        fq_app(dispatch_t)
+                        if not fq_full:
+                            n_fq += 1
+                            if n_fq == fetchq_entries:
+                                fq_full = True
+
+                        if kind == _LOAD:
+                            loads_d += 1
+                            if lsq_full:
+                                bound = lsq[0]
+                                if bound > dispatch_t:
+                                    dispatch_t = bound
+                            tag = block >> l1_shift
+                            if mi:
+                                ways = l1_sets[tag & l1_mask]
+                                if tag in ways:
+                                    ways[tag] = ways.pop(tag)
+                                    hits_d += 1
+                                    acc_d += 1
+                                    complete = dispatch_t + l1_latency
+                                else:
+                                    complete = dispatch_t + caches_access(
+                                        block, False, dispatch_t
+                                    )
+                            elif block == chain_block:
+                                issue_t = (
+                                    dispatch_t
+                                    if dispatch_t > chain_issue
+                                    else chain_issue
+                                )
+                                ways = l1_sets[tag & l1_mask]
+                                if tag in ways:
+                                    ways[tag] = ways.pop(tag)
+                                    hits_d += 1
+                                    acc_d += 1
+                                    complete = issue_t + l1_latency
+                                else:
+                                    complete = issue_t + caches_access(
+                                        block, False, issue_t
+                                    )
+                                if chain_ready > complete:
+                                    complete = chain_ready
+                            else:
+                                issue_t = (
+                                    dispatch_t
+                                    if dispatch_t > chain_ready
+                                    else chain_ready
+                                )
+                                ways = l1_sets[tag & l1_mask]
+                                if tag in ways:
+                                    ways[tag] = ways.pop(tag)
+                                    hits_d += 1
+                                    acc_d += 1
+                                    complete = issue_t + l1_latency
+                                else:
+                                    complete = issue_t + caches_access(
+                                        block, False, issue_t
+                                    )
+                                chain_block = block
+                                chain_issue = issue_t
+                                chain_ready = complete
+                            retire_t = complete
+                            if retire_t > last_retire:
+                                last_retire = retire_t
+                                r_slot = 1
+                            elif r_slot < width:
+                                retire_t = last_retire
+                                r_slot += 1
+                            else:
+                                retire_t = last_retire + 1
+                                last_retire = retire_t
+                                r_slot = 1
+                            rob_app(retire_t)
+                            if not rob_full:
+                                n_rob += 1
+                                if n_rob == rob_entries:
+                                    rob_full = True
+                            instr_d += 1
+                            lsq_app(retire_t)
+                            if not lsq_full:
+                                n_lsq += 1
+                                if n_lsq == lsq_entries:
+                                    lsq_full = True
+
+                        elif kind == _CLWB or kind == _CLFLUSHOPT:
+                            if kind == _CLWB:
+                                clwbs_d += 1
+                            else:
+                                clfo_d += 1
+                            retire_t = dispatch_t + 1
+                            if retire_t > last_retire:
+                                last_retire = retire_t
+                                r_slot = 1
+                            elif r_slot < width:
+                                retire_t = last_retire
+                                r_slot += 1
+                            else:
+                                retire_t = last_retire + 1
+                                last_retire = retire_t
+                                r_slot = 1
+                            rob_app(retire_t)
+                            if not rob_full:
+                                n_rob += 1
+                                if n_rob == rob_entries:
+                                    rob_full = True
+                            instr_d += 1
+                            if inflight:
+                                inflight = [t for t in inflight if t > retire_t]
+                                if inflight:
+                                    sdp_d += 1
+                            visible_flush(block, retire_t, kind == _CLFLUSHOPT)
+
+                        else:  # STORE / XCHG / LOCK_RMW
+                            stores_d += 1
+                            if lsq_full:
+                                bound = lsq[0]
+                                if bound > dispatch_t:
+                                    dispatch_t = bound
+                            retire_t = dispatch_t + 1
+                            if retire_t > last_retire:
+                                last_retire = retire_t
+                                r_slot = 1
+                            elif r_slot < width:
+                                retire_t = last_retire
+                                r_slot += 1
+                            else:
+                                retire_t = last_retire + 1
+                                last_retire = retire_t
+                                r_slot = 1
+                            rob_app(retire_t)
+                            if not rob_full:
+                                n_rob += 1
+                                if n_rob == rob_entries:
+                                    rob_full = True
+                            instr_d += 1
+                            lsq_app(retire_t)
+                            if not lsq_full:
+                                n_lsq += 1
+                                if n_lsq == lsq_entries:
+                                    lsq_full = True
+                            if inflight:
+                                inflight = [t for t in inflight if t > retire_t]
+                                if inflight:
+                                    sdp_d += 1
+                            start = retire_t if retire_t > sb_free else sb_free
+                            sb_free = start + 1
+                            tag = block >> l1_shift
+                            ways = l1_sets[tag & l1_mask]
+                            if tag in ways:
+                                ways.pop(tag)
+                                ways[tag] = True
+                                hits_d += 1
+                                acc_d += 1
+                                visible = start + l1_latency
+                            else:
+                                visible = start + caches_access(block, True, start)
+                            if visible > stores_visible:
+                                stores_visible = visible
+                        ei += 1
+                        continue
+                    if kind == K_TAIL:
+                        ei += 1
+                        continue
+                    break  # fence / pcommit / clflush / barrier: delegate
+
+                # ---------- spill locals back to the machine ----------
+                self._last_fetch = last_fetch
+                self._last_retire = last_retire
+                self._sb_free = sb_free
+                self._stores_visible = stores_visible
+                self._chain_ready = chain_ready
+                self._chain_issue = chain_issue
+                self._chain_block = chain_block
+                self._inflight_pcommits = inflight
+                # the bandwidth groups are the deque tails (merged windows)
+                self._dispatch_group = deque(
+                    (fetchq[i] for i in range(neg_w, 0)), width
+                )
+                self._retire_group = deque((rob[i] for i in range(neg_w, 0)), width)
+                stats.instructions += instr_d
+                stats.loads += loads_d
+                stats.stores += stores_d
+                stats.clwbs += clwbs_d
+                stats.clflushopts += clfo_d
+                stats.fetch_stall_cycles += stall_d
+                stats.stores_during_pcommit += sdp_d
+                l1.hits += hits_d
+                caches.accesses += acc_d
+                if ei >= n_entries:
+                    return
+                prefix_done = True
+
+            # ---------- slow phase: exact per-op stepping ----------
+            # An entry that broke out of the fast loop has had its compute
+            # prefix consumed already (prefix_done); entries processed here
+            # (under speculation or on a cold machine) step their prefixes
+            # one op at a time.
+            while ei < n_entries:
+                entry = entries[ei]
+                if not prefix_done:
+                    for _ in range(entry[0]):
+                        step(_ALU, 0, None)
+                prefix_done = False
+                kind = entry[1]
+                idx = entry[4]
+                if kind == K_TAIL:
+                    ei += 1
+                    break
+                if kind == K_BARRIER:
+                    self._instr_index = idx
+                    if coalesce:
+                        self._barrier()
+                    else:
+                        step(_SFENCE, 0, None)
+                        self._instr_index = idx + 1
+                        step(_PCOMMIT, 0, None)
+                        self._instr_index = idx + 2
+                        step(_SFENCE, 0, None)
+                else:
+                    self._instr_index = idx
+                    step(kind, addrs[idx], metas[meta_idx[idx]])
+                ei += 1
+                if (
+                    not epochs.speculating
+                    and len(self._fetchq) >= width
+                    and len(self._rob) >= width
+                ):
+                    break  # re-enter the fast phase at entries[ei]
 
     # ==================================================================
     # per-instruction processing
@@ -214,6 +959,8 @@ class PipelineModel:
         Semantically identical to ``_front_end`` + ``_retire(dispatch + 1)``
         per op, with the sliding-window deques and running maxima bound to
         locals; only valid outside speculation (callers guarantee it).
+        Used by the exact dispatch loop (:meth:`_run_exact`) — the segment
+        walker inlines the same arithmetic.
         """
         config = self.config
         fetchq_entries = config.fetchq_entries
@@ -323,20 +1070,20 @@ class PipelineModel:
                 self._flushes_done = max(self._flushes_done, drain_done)
             self._commit_oldest()
 
-    def _step(self, instr: Instr) -> None:
-        op = instr.op
+    def _step(self, op: int, addr: int, meta: Optional[str]) -> None:
+        """Process one instruction exactly (*op* is a raw ``Op`` value)."""
         if self.epochs.speculating:
             self._poll_speculation(self._last_retire)
         dispatch_t = self._front_end()
         speculating = self.epochs.speculating
 
-        if op is Op.ALU or op is Op.BRANCH:
+        if op <= _BRANCH:  # ALU / BRANCH
             self._retire(dispatch_t + 1)
             return
 
-        if op is Op.LOAD:
+        if op == _LOAD:
             self.stats.loads += 1
-            block = instr.addr & _BLOCK_MASK
+            block = addr & _BLOCK_MASK
             dispatch_t = self._lsq_dispatch(dispatch_t)
             # Loads without a meta tag are pointer-chase loads: their
             # address depends on the previous chase load's data, so they
@@ -345,7 +1092,7 @@ class PipelineModel:
             # Tagged loads (undo-log copies and other bulk traffic) stream
             # independently.  This is what makes search-heavy baseline code
             # latency-bound while logging stays bandwidth-bound.
-            if instr.meta is None:
+            if meta is None:
                 if block == self._chain_block:
                     # Another field of the same node: it shares the node's
                     # in-flight fill, completing no earlier than the fill
@@ -365,10 +1112,10 @@ class PipelineModel:
                 self._retire_mem(dispatch_t + latency)
             return
 
-        if op is Op.STORE or op is Op.XCHG or op is Op.LOCK_RMW:
+        if op == _STORE or op == _XCHG or op == _LOCK_RMW:
             self.stats.stores += 1
-            block = instr.addr & _BLOCK_MASK
-            if op is not Op.STORE and speculating:
+            block = addr & _BLOCK_MASK
+            if op != _STORE and speculating:
                 # strongly-ordered RMW: ends speculation like a fence would;
                 # wait for every epoch to commit, then run non-speculatively.
                 self._stall_until_all_committed(dispatch_t)
@@ -387,36 +1134,36 @@ class PipelineModel:
                 self._visible_store(block, retire_t)
             return
 
-        if op is Op.CLWB or op is Op.CLFLUSHOPT:
-            if op is Op.CLWB:
+        if op == _CLWB or op == _CLFLUSHOPT:
+            if op == _CLWB:
                 self.stats.clwbs += 1
             else:
                 self.stats.clflushopts += 1
-            block = instr.addr & _BLOCK_MASK
+            block = addr & _BLOCK_MASK
             retire_t = self._retire(dispatch_t + 1)
             self._note_store_during_pcommit(retire_t)
             if speculating:
                 retire_t = self._wait_for_ssb_space(retire_t)
                 if self.epochs.speculating:
-                    self._buffered_flush(block, retire_t, invalidate=op is Op.CLFLUSHOPT)
+                    self._buffered_flush(block, retire_t, invalidate=op == _CLFLUSHOPT)
                 else:
-                    self._visible_flush(block, retire_t, invalidate=op is Op.CLFLUSHOPT)
+                    self._visible_flush(block, retire_t, invalidate=op == _CLFLUSHOPT)
             else:
-                self._visible_flush(block, retire_t, invalidate=op is Op.CLFLUSHOPT)
+                self._visible_flush(block, retire_t, invalidate=op == _CLFLUSHOPT)
             return
 
-        if op is Op.CLFLUSH:
+        if op == _CLFLUSH:
             # legacy serialising flush: ends speculation, then acts like a
             # clflushopt that retirement must wait for.
             self.stats.clflushes += 1
-            block = instr.addr & _BLOCK_MASK
+            block = addr & _BLOCK_MASK
             if speculating:
                 self._stall_until_all_committed(dispatch_t)
             ack = self._visible_flush(block, dispatch_t, invalidate=True)
             self._retire(max(dispatch_t + 1, ack))
             return
 
-        if op is Op.PCOMMIT:
+        if op == _PCOMMIT:
             # a lone pcommit (Log+P traces): issues at retirement, completes
             # in the background; retirement does not wait.
             retire_t = self._retire(dispatch_t + 1)
@@ -427,7 +1174,7 @@ class PipelineModel:
                 self._issue_pcommit(retire_t)
             return
 
-        if op is Op.SFENCE or op is Op.MFENCE:
+        if op == _SFENCE or op == _MFENCE:
             self._sfence(dispatch_t)
             return
 
@@ -527,7 +1274,7 @@ class PipelineModel:
     # ------------------------------------------------------------------
     # the sfence-pcommit-sfence barrier macro-op
     # ------------------------------------------------------------------
-    def _barrier(self, pcommit_instr: Instr) -> None:
+    def _barrier(self) -> None:
         """Handle a recognised ``sfence; pcommit; sfence`` sequence."""
         config = self.config
         if self.epochs.speculating:
@@ -795,6 +1542,52 @@ class PipelineModel:
         self.stats.ssb_max_occupancy = max(
             self.stats.ssb_max_occupancy, self.ssb.max_occupancy
         )
+
+
+#: Every method the segment walker inlines (or whose behaviour it bakes
+#: into inlined arithmetic).  If any of these is monkey-patched — e.g.
+#: ``repro.validate.mutations``'s ``pipeline-skew`` — or overridden in a
+#: subclass, :meth:`PipelineModel.run` routes through the exact per-op
+#: loop so the patch takes effect.
+_INLINED_METHODS = (
+    "_compute_batch",
+    "_step",
+    "_front_end",
+    "_retire",
+    "_retire_mem",
+    "_lsq_dispatch",
+    "_load_latency",
+    "_visible_store",
+    "_visible_flush",
+    "_note_store_during_pcommit",
+    "_barrier",
+    "_poll_speculation",
+)
+_PRISTINE = {name: PipelineModel.__dict__[name] for name in _INLINED_METHODS}
+_PRISTINE_ACCESS = CacheHierarchy.__dict__["access"]
+_PRISTINE_LOOKUP = CacheLevel.__dict__["lookup"]
+
+
+def _deoptimized(model: PipelineModel) -> bool:
+    """Whether *model* must take the exact per-op loop (patched methods,
+    a subclass, or per-instance overrides)."""
+    if type(model) is not PipelineModel:
+        return True
+    cls_dict = PipelineModel.__dict__
+    for name, func in _PRISTINE.items():
+        if cls_dict.get(name) is not func:
+            return True
+    if (
+        CacheHierarchy.__dict__.get("access") is not _PRISTINE_ACCESS
+        or CacheLevel.__dict__.get("lookup") is not _PRISTINE_LOOKUP
+    ):
+        return True
+    instance_dict = getattr(model, "__dict__", None)
+    if instance_dict:
+        for name in _INLINED_METHODS:
+            if name in instance_dict:
+                return True
+    return False
 
 
 def simulate(trace: Trace, config: MachineConfig = MachineConfig()) -> RunStats:

@@ -24,6 +24,12 @@ two implementations must agree counter-for-counter, and the retired
 instruction count must be invariant across configurations (timing knobs
 must never change the architectural work performed).
 
+Because the optimised pipeline consumes the trace's columnar form and
+segment list while the reference model iterates ``Instr`` rows, this
+matrix also pins down the dual-representation contract: a trace's
+columns, its lazily materialised rows, and its segmentation must all
+describe the same instruction stream, or the two models diverge.
+
 Traces come from the persistent content-keyed cache and, for honest
 (non-mutated) runs, fast-model results go through the parallel variant
 scheduler — the oracle reuses both PR-1 subsystems.  When a fault

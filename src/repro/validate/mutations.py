@@ -19,7 +19,12 @@ engines under each mutation and asserts the corresponding checks go red:
 * ``pipeline-skew`` — the optimised pipeline's batched compute path
   drifts one cycle per batch from the reference model.  Caught by the
   conformance oracle's pipeline-vs-reference differential (and the
-  trace fuzzer's divergence property).
+  trace fuzzer's divergence property).  Patching ``_compute_batch``
+  trips the pipeline's pristine-method deoptimisation guard
+  (:func:`repro.uarch.pipeline._deoptimized`), so the model abandons its
+  inlined segment walker and routes every run through the exact per-op
+  loop where the patched method is actually called — the mutation bites
+  even though the production fast path never calls ``_compute_batch``.
 
 All patches are process-local and restored on exit; the engines consult
 :func:`active_mutation` to bypass result caches while a fault is live.

@@ -1,0 +1,203 @@
+"""Segment-walker fast path vs the reference model at its seams.
+
+The walker switches regimes at fetch-queue/ROB occupancy boundaries,
+between its warm-up/saturated/closed-form compute loops, and between the
+fast phase and exact stepping around speculation.  These tests aim
+synthetic traces squarely at those seams and require cycle-for-cycle
+agreement with the reference model (repro.uarch.pipeline_ref).
+"""
+
+import pytest
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel, _deoptimized, simulate
+from repro.uarch.pipeline_ref import ReferencePipelineModel, simulate_reference
+
+
+def alu(n):
+    return [Instr(Op.ALU) for _ in range(n)]
+
+
+def chase_loads(n, base=0x10000, stride=4096):
+    """Pointer-chase loads on distinct blocks (cold misses, long latency)."""
+    return [Instr(Op.LOAD, base + i * stride) for i in range(n)]
+
+
+def barrier():
+    return [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+
+
+def assert_equivalent(trace, config=None):
+    config = config or MachineConfig()
+    fast = simulate(trace, config).as_dict()
+    ref = simulate_reference(trace, config).as_dict()
+    assert fast == ref
+
+
+class TestOccupancyBoundaries:
+    """Compute runs sized exactly at the fetchq/ROB capacity seams."""
+
+    @pytest.mark.parametrize("run", [1, 3, 4, 5, 46, 47, 48, 49, 50])
+    def test_fetchq_exactly_full(self, run):
+        # a cold chase miss blocks retirement; `run` compute ops then pile
+        # into the front end around the fetchq-full (48) boundary
+        instrs = []
+        for i in range(4):
+            instrs += [Instr(Op.LOAD, 0x40000 + i * 8192)] + alu(run)
+        instrs += [Instr(Op.STORE, 0x9000)]
+        assert_equivalent(Trace(instrs))
+
+    @pytest.mark.parametrize("run", [126, 127, 128, 129, 130])
+    def test_rob_exactly_full(self, run):
+        instrs = []
+        for i in range(3):
+            instrs += [Instr(Op.LOAD, 0x80000 + i * 8192)] + alu(run)
+        instrs += [Instr(Op.CLWB, 0x80000), Instr(Op.STORE, 0x9040)]
+        assert_equivalent(Trace(instrs))
+
+    @pytest.mark.parametrize("run", [136, 137, 138, 139, 200, 600])
+    def test_steady_state_threshold(self, run):
+        # runs straddling the closed-form advance's minimum length, after
+        # a saturating preamble so the jump precondition can arm
+        instrs = chase_loads(2) + alu(300)
+        instrs += [Instr(Op.STORE, 0x9000)] + alu(run)
+        instrs += [Instr(Op.LOAD, 0xA0000)] + alu(run)
+        assert_equivalent(Trace(instrs))
+
+    def test_long_pure_compute_uses_closed_form(self):
+        # the jump must engage (streak >= max(fetchq, rob)) and still be
+        # cycle-exact against the per-op reference
+        instrs = alu(4000) + [Instr(Op.STORE, 0x9000)] + barrier() + alu(500)
+        assert_equivalent(Trace(instrs))
+
+    def test_event_dense_no_compute(self):
+        # zero-length runs between events: the walker's per-entry overhead
+        # paths with no compute prefix at all
+        instrs = []
+        for i in range(40):
+            instrs += [
+                Instr(Op.STORE, 0x5000 + (i % 6) * 64, meta="log"),
+                Instr(Op.CLWB, 0x5000 + (i % 6) * 64, meta="log"),
+                Instr(Op.LOAD, 0x70000 + i * 128),
+            ]
+        instrs += barrier()
+        assert_equivalent(Trace(instrs))
+
+
+class TestSpeculationSeams:
+    """Fast-phase handoff to exact stepping around speculative epochs."""
+
+    def test_compute_run_spans_speculation_exit(self):
+        # the barrier enters speculation; the following long compute run
+        # starts under speculation (exact stepping) and finishes after the
+        # epoch commits — the walker must not re-enter the fast phase
+        # mid-entry with a stale prefix
+        config = MachineConfig().with_sp(256)
+        instrs = (
+            [Instr(Op.STORE, 0x2000, meta="log"), Instr(Op.CLWB, 0x2000)]
+            + barrier()
+            + alu(3000)
+            + [Instr(Op.STORE, 0x3000)]
+            + alu(50)
+        )
+        assert_equivalent(Trace(instrs), config)
+
+    def test_back_to_back_barriers_under_speculation(self):
+        config = MachineConfig().with_sp(256)
+        instrs = []
+        for i in range(6):
+            instrs += [
+                Instr(Op.STORE, 0x2000 + i * 64, meta="log"),
+                Instr(Op.CLWB, 0x2000 + i * 64),
+            ]
+            instrs += barrier()
+            instrs += alu(20)
+        instrs += alu(2500)
+        assert_equivalent(Trace(instrs), config)
+
+    def test_probe_splits_compute_run_mid_speculation(self):
+        # a coherence probe lands inside a compute run while the machine
+        # is speculating on a store the probe conflicts with: rollback and
+        # re-execution must match the reference exactly
+        config = MachineConfig().with_sp(256)
+        instrs = (
+            [Instr(Op.STORE, 0x3000, meta="log"), Instr(Op.CLWB, 0x3000)]
+            + barrier()
+            + alu(30)
+            + [Instr(Op.STORE, 0x3000)]
+            + alu(200)
+            + barrier()
+            + alu(10)
+        )
+        trace = Trace(instrs)
+        probe_index = 100  # inside the 200-op compute run
+        fast = PipelineModel(config)
+        fast.schedule_probe(probe_index, 0x3000)
+        ref = ReferencePipelineModel(config)
+        ref.schedule_probe(probe_index, 0x3000)
+        fast_stats = fast.run(trace).as_dict()
+        ref_stats = ref.run(trace).as_dict()
+        assert fast_stats["rollbacks"] == 1
+        assert fast_stats == ref_stats
+
+    def test_resumed_run_mid_speculation(self):
+        # run(finish=False) leaves an epoch open; a follow-up run() must
+        # step exactly until the epoch drains instead of entering the
+        # non-speculative fast phase with speculative state live
+        config = MachineConfig().with_sp(256)
+        part1 = (
+            [Instr(Op.STORE, 0x2000, meta="log"), Instr(Op.CLWB, 0x2000)]
+            + barrier()
+            + alu(10)
+        )
+        part2 = alu(400) + [Instr(Op.STORE, 0x4000)] + alu(40)
+        fast = PipelineModel(config)
+        fast.run(Trace(part1), finish=False)
+        fast_stats = fast.run(Trace(part2)).as_dict()
+        ref_stats = simulate_reference(Trace(part1 + part2), config).as_dict()
+        assert fast_stats == ref_stats
+
+
+class TestDeoptimisationGuard:
+    """Patched or subclassed models must abandon the inlined walker."""
+
+    def test_pristine_model_uses_fast_path(self):
+        assert not _deoptimized(PipelineModel(MachineConfig()))
+
+    def test_subclass_is_deoptimized(self):
+        class Tweaked(PipelineModel):
+            pass
+
+        assert _deoptimized(Tweaked(MachineConfig()))
+
+    def test_instance_override_is_deoptimized(self):
+        model = PipelineModel(MachineConfig())
+        model._compute_batch = lambda count: None
+        assert _deoptimized(model)
+
+    def test_class_patch_is_deoptimized_and_restored(self):
+        original = PipelineModel._compute_batch
+        try:
+            PipelineModel._compute_batch = original
+            assert not _deoptimized(PipelineModel(MachineConfig()))
+            PipelineModel._compute_batch = lambda self, count: original(
+                self, count
+            )
+            assert _deoptimized(PipelineModel(MachineConfig()))
+        finally:
+            PipelineModel._compute_batch = original
+        assert not _deoptimized(PipelineModel(MachineConfig()))
+
+    def test_deoptimized_subclass_still_exact(self):
+        class Tweaked(PipelineModel):
+            pass
+
+        trace = Trace(
+            chase_loads(3) + alu(100) + [Instr(Op.STORE, 0x9000)] + barrier()
+        )
+        config = MachineConfig()
+        tweaked = Tweaked(config).run(trace).as_dict()
+        assert tweaked == simulate_reference(trace, config).as_dict()
