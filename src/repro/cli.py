@@ -17,6 +17,10 @@ Commands
 ``bench``
     Time cold/warm harness runs and pipeline throughput
     (writes ``BENCH_harness.json``).
+``trace WORKLOAD``
+    Capture one cycle-resolved traced run and export it as Chrome
+    trace-event JSON (loadable in Perfetto / ``chrome://tracing``),
+    printing the stall-attribution breakdown.  See docs/OBSERVABILITY.md.
 ``cache {info,clear}``
     Inspect or empty the persistent ``.repro-cache`` store.
 ``validate``
@@ -27,7 +31,10 @@ Commands
 ``figure``, ``report``, ``run``, and ``bench`` accept ``--jobs N`` to fan
 variant simulation across N worker processes (default: all cores);
 results are merged deterministically, so the output is byte-identical
-for any job count.
+for any job count.  They also accept ``--metrics-out PATH`` to dump the
+harness's own metrics (cache hit/miss counters, per-variant wall time
+and worker attribution) as JSON, and print a one-line summary of the
+same after their regular output.
 """
 
 from __future__ import annotations
@@ -188,6 +195,66 @@ def _report_text() -> str:
     return "\n".join(sections)
 
 
+def _trace_command(args) -> int:
+    """Capture one traced run, print its attribution, export Perfetto JSON."""
+    from repro.obs import attribution_errors, consistency_errors
+    from repro.obs.attribution import attribute
+    from repro.obs.capture import traced_run
+    from repro.obs.perfetto import validate_chrome_trace, write_chrome_trace
+
+    try:
+        stats, tracer, info = traced_run(
+            args.workload,
+            mode=args.mode,
+            seed=args.seed,
+            init_ops=args.init_ops,
+            sim_ops=args.sim_ops,
+        )
+    except ValueError as exc:
+        print(exc)
+        return 2
+    path = write_chrome_trace(args.out, tracer, stats=stats, meta=info)
+    n_events = validate_chrome_trace(path)
+    print(
+        f"{info['workload_name']} ({info['workload']}) on {info['mode']}"
+        f" [{info['persist_mode']}], seed {info['seed']}:"
+        f" {info['trace_len']:,} trace ops, {stats.cycles:,} cycles"
+    )
+    print(attribute(stats, tracer).render())
+    print(
+        f"spans: {tracer.span_count('sfence_drain')} sfence drains,"
+        f" {tracer.span_count('pcommit')} pcommits,"
+        f" {tracer.span_count('epoch')} epochs,"
+        f" {len(tracer.instants('rollback'))} rollbacks"
+    )
+    problems = consistency_errors(stats, tracer) + attribution_errors(stats, tracer)
+    if problems:
+        print("OBSERVABILITY INVARIANT VIOLATIONS:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"wrote {n_events} trace events to {path} (open in ui.perfetto.dev)")
+    return 0
+
+
+def _print_metrics(args) -> None:
+    """The post-command harness-metrics hook (one line + optional JSON).
+
+    Goes to stderr: the command's stdout is the data product and must stay
+    byte-identical across serial/parallel and cold/warm runs, while the
+    accounting line carries wall-clock times and cache hit counts that
+    legitimately differ run to run.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    if getattr(args, "metrics_out", None):
+        path = obs_metrics.write_metrics(args.metrics_out)
+        print(f"metrics written to {path}", file=sys.stderr)
+    line = obs_metrics.render_metrics_line()
+    if line:
+        print(line, file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default: all cores; 1 = serial)",
         )
 
+    def add_metrics_out(sub_parser):
+        sub_parser.add_argument(
+            "--metrics-out", default=None, metavar="PATH", dest="metrics_out",
+            help="write harness metrics (cache counters, per-variant "
+                 "wall time/worker) as JSON to PATH",
+        )
+
     sub.add_parser("tables", help="print Tables 1-3")
 
     figure = sub.add_parser("figure", help="regenerate one figure")
@@ -211,12 +285,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to a subset (default: all seven)",
     )
     add_jobs(figure)
+    add_metrics_out(figure)
 
     sub.add_parser("headline", help="the abstract's claim")
 
     run = sub.add_parser("run", help="run one benchmark across variants")
     run.add_argument("abbrev", choices=WORKLOADS)
     add_jobs(run)
+    add_metrics_out(run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="capture a cycle-resolved traced run as Chrome trace-event "
+             "JSON (Perfetto)",
+    )
+    trace.add_argument(
+        "workload",
+        help="benchmark abbrev or name (BT, btree, hash-map, ...)",
+    )
+    trace.add_argument(
+        "--mode", default="sp256", metavar="MODE",
+        help="machine setup: base, log, log_p, log_p_sf, sp32, sp256, "
+             "sp1024, or sp_unlim (default: sp256)",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output JSON path (default: trace.json)",
+    )
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument(
+        "--init-ops", type=int, default=None, dest="init_ops",
+        help="override the workload's populate op count",
+    )
+    trace.add_argument(
+        "--sim-ops", type=int, default=None, dest="sim_ops",
+        help="override the workload's measured op count",
+    )
 
     crash = sub.add_parser("crashtest", help="sweep crash injection")
     crash.add_argument("abbrev", choices=WORKLOADS)
@@ -226,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="full markdown report")
     report.add_argument("path", nargs="?", default=None)
     add_jobs(report)
+    add_metrics_out(report)
 
     bench = sub.add_parser(
         "bench", help="time cold/warm harness runs and pipeline throughput"
@@ -244,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
              "regression floor (used by CI)",
     )
     add_jobs(bench)
+    add_metrics_out(bench)
 
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
     cache.add_argument("action", choices=("info", "clear"))
@@ -292,10 +398,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(table3_text())
     elif args.command == "figure":
         print(_figure_text(args.number, args.benchmarks))
+        _print_metrics(args)
     elif args.command == "headline":
         print(_headline_text())
     elif args.command == "run":
         print(_run_text(args.abbrev))
+        _print_metrics(args)
+    elif args.command == "trace":
+        return _trace_command(args)
     elif args.command == "crashtest":
         print(_crashtest_text(args.abbrev, args.points, args.seed))
     elif args.command == "report":
@@ -306,11 +416,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"report written to {args.path}")
         else:
             print(text)
+        _print_metrics(args)
     elif args.command == "bench":
         record = run_bench(quick=args.quick, output=args.output)
         print(render_bench(record))
         if args.output:
             print(f"record written to {args.output}")
+        _print_metrics(args)
         if args.enforce_floor:
             error = check_floor(record)
             if error:
@@ -323,7 +435,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"removed {removed} cached entries")
         else:
             for key, value in harness_cache.cache_info().items():
-                print(f"{key:>15}: {value}")
+                if isinstance(value, dict):
+                    print(f"{key:>17}:")
+                    for sub_key, sub_value in value.items():
+                        print(f"{sub_key:>27}: {sub_value}")
+                else:
+                    print(f"{key:>17}: {value}")
     elif args.command == "validate":
         result = validation.run_validation(
             seed=args.seed,
@@ -336,7 +453,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = result.write(args.report)
             print(f"report written to {path}")
         print(result.summary())
+        harness_cache.persist_cache_counters()
         return 0 if result.ok else 1
+    harness_cache.persist_cache_counters()
     return 0
 
 

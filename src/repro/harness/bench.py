@@ -45,8 +45,9 @@ DEFAULT_OUTPUT = "BENCH_harness.json"
 #: Version of the *bench record* layout itself — independent of
 #: :data:`repro.harness.cache.CACHE_SCHEMA_VERSION`, which keys the
 #: persistent trace/stats store.  2: added ``schema``/``cache_schema``
-#: split, ``git_rev``, and ``timestamp_utc`` fields.
-BENCH_SCHEMA_VERSION = 2
+#: split, ``git_rev``, and ``timestamp_utc`` fields.  3: added
+#: ``cold_cache``/``warm_cache`` hit/miss counter deltas per phase.
+BENCH_SCHEMA_VERSION = 3
 
 #: Regression floor for ``bench --enforce-floor`` (used by CI): the run
 #: fails if ``pipeline_ips`` lands below this.  Set to roughly half the
@@ -103,12 +104,19 @@ def run_bench(
         benchmarks or (QUICK_BENCHMARKS if quick else all_benchmarks())
     )
 
+    def _counter_delta(
+        after: Dict[str, int], before: Dict[str, int]
+    ) -> Dict[str, int]:
+        return {key: after[key] - before.get(key, 0) for key in after}
+
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         with _isolated_cache(tmp):
             clear_trace_cache()
+            counters_start = disk_cache.cache_counters().as_dict()
             t0 = time.perf_counter()
             fig8_overheads(names, seed=seed)
             cold = time.perf_counter() - t0
+            counters_cold = disk_cache.cache_counters().as_dict()
 
             # drop the in-process memo so the warm run exercises the disk
             # cache, exactly like a fresh process against .repro-cache
@@ -116,6 +124,7 @@ def run_bench(
             t0 = time.perf_counter()
             fig8_overheads(names, seed=seed)
             warm = time.perf_counter() - t0
+            counters_warm = disk_cache.cache_counters().as_dict()
 
             # pipeline throughput: re-simulate the recorded traces (cache
             # hits now) on the baseline machine and count committed
@@ -172,6 +181,8 @@ def run_bench(
         "cold_seconds": round(cold, 3),
         "warm_seconds": round(warm, 3),
         "warm_speedup": round(cold / warm, 1) if warm > 0 else None,
+        "cold_cache": _counter_delta(counters_cold, counters_start),
+        "warm_cache": _counter_delta(counters_warm, counters_cold),
         "pipeline_instructions": instructions,
         "pipeline_reps": reps,
         "pipeline_seconds": round(sim_seconds, 3),
@@ -214,6 +225,17 @@ def render_bench(record: Dict[str, object]) -> str:
         f" ({_fmt(record.get('pipeline_instructions'), ',')} instrs"
         f" in {_fmt(record.get('pipeline_seconds'))} s)",
     ]
+    for phase in ("cold", "warm"):
+        counters = record.get(f"{phase}_cache")
+        if isinstance(counters, dict):
+            hits = counters.get("trace_hits", 0) + counters.get("stats_hits", 0)
+            misses = (
+                counters.get("trace_misses", 0) + counters.get("stats_misses", 0)
+            )
+            lines.append(
+                f"  {phase} cache        : {hits} hits / {misses} misses"
+                f" (coordinator process)"
+            )
     if provenance:
         lines.append(f"  recorded at       : {' @ '.join(reversed(provenance))}")
     return "\n".join(lines)

@@ -40,7 +40,13 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.isa.serialize import TraceFormatError, dump_trace, load_trace
+from repro.isa.serialize import (
+    TraceFormatError,
+    _MAGIC_V1,
+    _MAGIC_V2,
+    dump_trace,
+    load_trace,
+)
 from repro.isa.trace import Trace
 from repro.stats.run import RunStats
 from repro.uarch.config import MachineConfig
@@ -55,6 +61,108 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
 
 PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# session counters (observability — see repro.obs.metrics)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CacheCounters:
+    """Hit/miss/store accounting for one process's cache traffic.
+
+    A *hit* is a successful disk load; a *miss* is a lookup that found
+    nothing (disabled cache lookups count as misses too — the caller did
+    the work either way); ``corrupt_dropped`` counts entries that existed
+    but failed to parse and were deleted.
+    """
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    stats_hits: int = 0
+    stats_misses: int = 0
+    trace_stores: int = 0
+    stats_stores: int = 0
+    corrupt_dropped: int = 0
+
+    def hits(self) -> int:
+        return self.trace_hits + self.stats_hits
+
+    def misses(self) -> int:
+        return self.trace_misses + self.stats_misses
+
+    def total(self) -> int:
+        return self.hits() + self.misses()
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+_COUNTERS = CacheCounters()
+
+#: Session counter totals already folded into ``metrics.json`` — so
+#: repeated :func:`persist_cache_counters` calls only add the delta.
+_PERSISTED = CacheCounters()
+
+
+def cache_counters() -> CacheCounters:
+    """This process's cache traffic so far (a live object — copy to keep)."""
+    return _COUNTERS
+
+
+def reset_cache_counters() -> None:
+    """Zero the session counters (tests and bench phases)."""
+    global _COUNTERS, _PERSISTED
+    _COUNTERS = CacheCounters()
+    _PERSISTED = CacheCounters()
+
+
+def _metrics_path(root: Optional[PathLike] = None) -> Optional[Path]:
+    resolved = _resolve_root(root)
+    if resolved is None:
+        return None
+    return resolved / "metrics.json"
+
+
+def lifetime_cache_counters(root: Optional[PathLike] = None) -> Optional[dict]:
+    """Lifetime counter totals persisted in the cache directory, or
+    ``None`` when the cache is disabled / never written.  ``clear_cache``
+    only removes entries, so these survive cache clears."""
+    path = _metrics_path(root)
+    if path is None or not path.exists():
+        return None
+    try:
+        with open(path, "r") as handle:
+            payload = json.load(handle)
+        lifetime = payload.get("lifetime")
+        return lifetime if isinstance(lifetime, dict) else None
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def persist_cache_counters(root: Optional[PathLike] = None) -> None:
+    """Fold this session's (not-yet-persisted) counters into the lifetime
+    totals at ``<root>/metrics.json``.  Best effort and atomic; concurrent
+    writers may lose each other's increments, which is acceptable for
+    advisory metrics."""
+    global _PERSISTED
+    path = _metrics_path(root)
+    if path is None:
+        return
+    session = _COUNTERS.as_dict()
+    delta = {
+        key: value - getattr(_PERSISTED, key) for key, value in session.items()
+    }
+    if not any(delta.values()):
+        return
+    lifetime = lifetime_cache_counters(root) or {}
+    for key, value in delta.items():
+        lifetime[key] = int(lifetime.get(key, 0)) + value
+    blob = json.dumps({"schema": 1, "lifetime": lifetime}, sort_keys=True).encode()
+    try:
+        _atomic_write(path, lambda handle: handle.write(blob))
+    except OSError:
+        return
+    _PERSISTED = CacheCounters(**session)
 
 
 def cache_enabled() -> bool:
@@ -163,12 +271,17 @@ def load_cached_trace(key, root: Optional[PathLike] = None) -> Optional[Trace]:
     """The cached trace for *key*, or ``None`` on a miss / disabled cache."""
     path = trace_path(key, root)
     if path is None or not path.exists():
+        _COUNTERS.trace_misses += 1
         return None
     try:
-        return load_trace(path)
+        trace = load_trace(path)
     except (TraceFormatError, OSError, ValueError):
         _drop_corrupt(path)
+        _COUNTERS.corrupt_dropped += 1
+        _COUNTERS.trace_misses += 1
         return None
+    _COUNTERS.trace_hits += 1
+    return trace
 
 
 def store_trace(key, trace: Trace, root: Optional[PathLike] = None) -> Optional[Path]:
@@ -177,6 +290,7 @@ def store_trace(key, trace: Trace, root: Optional[PathLike] = None) -> Optional[
     if path is None:
         return None
     _atomic_write(path, lambda handle: dump_trace(trace, handle))
+    _COUNTERS.trace_stores += 1
     return path
 
 
@@ -196,14 +310,19 @@ def load_cached_stats(
     """The cached :class:`RunStats` for *(key, config)*, or ``None``."""
     path = stats_path(key, config, root)
     if path is None or not path.exists():
+        _COUNTERS.stats_misses += 1
         return None
     try:
         with open(path, "r") as handle:
             data = json.load(handle)
-        return RunStats.from_dict(data)
+        stats = RunStats.from_dict(data)
     except (json.JSONDecodeError, TypeError, OSError):
         _drop_corrupt(path)
+        _COUNTERS.corrupt_dropped += 1
+        _COUNTERS.stats_misses += 1
         return None
+    _COUNTERS.stats_hits += 1
+    return stats
 
 
 def store_stats(
@@ -215,6 +334,7 @@ def store_stats(
         return None
     blob = json.dumps(_stats_record(stats), sort_keys=True).encode()
     _atomic_write(path, lambda handle: handle.write(blob))
+    _COUNTERS.stats_stores += 1
     return path
 
 
@@ -240,8 +360,28 @@ def clear_cache(root: Optional[PathLike] = None) -> int:
     return removed
 
 
+def _sniff_trace_format(path: Path) -> Optional[str]:
+    """Which RPTR container version a trace file uses (by magic)."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(_MAGIC_V2))
+    except OSError:
+        return None
+    if magic == _MAGIC_V2:
+        return "rptr2"
+    if magic == _MAGIC_V1:
+        return "rptr1"
+    return None
+
+
 def cache_info(root: Optional[PathLike] = None) -> dict:
-    """Entry counts and total size of the cache (for ``repro cache info``)."""
+    """Entry counts and sizes of the cache (for ``repro cache info``).
+
+    Beyond the totals, breaks entries down by kind — trace containers by
+    RPTR format version (a non-zero ``traces_rptr1`` after a schema bump
+    means stale pre-columnar files are still on disk) — and reports the
+    session's and, when persisted, the cache's lifetime hit/miss counters.
+    """
     resolved = _resolve_root(root)
     info = {
         "root": str(resolved) if resolved is not None else None,
@@ -250,15 +390,28 @@ def cache_info(root: Optional[PathLike] = None) -> dict:
         "traces": 0,
         "stats": 0,
         "bytes": 0,
+        "trace_bytes": 0,
+        "stats_bytes": 0,
+        "traces_rptr1": 0,
+        "traces_rptr2": 0,
+        "counters_session": _COUNTERS.as_dict(),
+        "counters_lifetime": lifetime_cache_counters(root),
     }
     if resolved is None or not resolved.exists():
         return info
-    for sub in ("traces", "stats"):
+    for sub, bytes_key in (("traces", "trace_bytes"), ("stats", "stats_bytes")):
         directory = resolved / sub
         if not directory.is_dir():
             continue
         for path in directory.iterdir():
-            if path.is_file():
-                info[sub] += 1
-                info["bytes"] += path.stat().st_size
+            if not path.is_file():
+                continue
+            info[sub] += 1
+            size = path.stat().st_size
+            info[bytes_key] += size
+            info["bytes"] += size
+            if sub == "traces":
+                fmt = _sniff_trace_format(path)
+                if fmt is not None:
+                    info[f"traces_{fmt}"] += 1
     return info

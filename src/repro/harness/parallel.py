@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,6 +39,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.harness import cache as disk_cache
 from repro.harness import runner
 from repro.harness.runner import TraceKey
+from repro.obs import metrics as obs_metrics
 from repro.stats.run import RunStats
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
@@ -79,20 +81,27 @@ def default_jobs() -> int:
 # ----------------------------------------------------------------------
 # worker entry points (top-level so they pickle)
 # ----------------------------------------------------------------------
-def _trace_worker(payload: Tuple[TraceKey, str]) -> int:
-    """Generate one trace into the shared store; returns its length."""
+def _trace_worker(payload: Tuple[TraceKey, str]) -> Tuple[int, float, int]:
+    """Generate one trace into the shared store; returns ``(length,
+    wall_seconds, worker_pid)`` so the coordinator can attribute work."""
     key, root = payload
+    started = time.perf_counter()
     path = disk_cache.trace_path(key, root=root)
     if path is not None and path.exists():
-        return 0
+        return 0, time.perf_counter() - started, os.getpid()
     trace = runner.generate_trace(key)
     disk_cache.store_trace(key, trace, root=root)
-    return len(trace)
+    return len(trace), time.perf_counter() - started, os.getpid()
 
 
-def _sim_worker(payload: Tuple[TraceKey, MachineConfig, str]) -> RunStats:
-    """Simulate one variant, reading its trace from the shared store."""
+def _sim_worker(
+    payload: Tuple[TraceKey, MachineConfig, str]
+) -> Tuple[RunStats, float, int]:
+    """Simulate one variant, reading its trace from the shared store.
+
+    Returns ``(stats, wall_seconds, worker_pid)``."""
     key, config, root = payload
+    started = time.perf_counter()
     trace = disk_cache.load_cached_trace(key, root=root)
     if trace is None:
         # phase 1 should have produced it; regenerate defensively
@@ -100,7 +109,7 @@ def _sim_worker(payload: Tuple[TraceKey, MachineConfig, str]) -> RunStats:
         disk_cache.store_trace(key, trace, root=root)
     stats = simulate(trace, config)
     disk_cache.store_stats(key, config, stats, root=root)
-    return stats
+    return stats, time.perf_counter() - started, os.getpid()
 
 
 # ----------------------------------------------------------------------
@@ -130,9 +139,20 @@ def run_variants(
     missing: List[Tuple[int, VariantJob, TraceKey]] = []
     for index, job in enumerate(jobs_list):
         key = job.trace_key
+        memo = runner._STATS_CACHE.get((key, job.config))
+        if memo is not None:
+            results[index] = memo
+            continue
+        started = time.perf_counter()
         cached = runner.peek_cached_stats(key, job.config)
         if cached is not None:
             results[index] = cached
+            obs_metrics.record_variant(
+                "sim",
+                f"{key.abbrev}/{key.mode.value}",
+                "disk",
+                time.perf_counter() - started,
+            )
         else:
             missing.append((index, job, key))
     if not missing:
@@ -164,17 +184,32 @@ def run_variants(
                 gen_keys.append(key)
         with ProcessPoolExecutor(max_workers=min(n_workers, len(missing))) as pool:
             if gen_keys:
-                for _ in pool.map(
-                    _trace_worker, [(key, root_str) for key in gen_keys]
+                for key, (length, wall_s, pid) in zip(
+                    gen_keys,
+                    pool.map(_trace_worker, [(key, root_str) for key in gen_keys]),
                 ):
-                    pass
+                    if length:
+                        obs_metrics.record_variant(
+                            "trace",
+                            f"{key.abbrev}/{key.mode.value}",
+                            "generated",
+                            wall_s,
+                            worker=f"pid:{pid}",
+                        )
             # phase 2: fan out the simulations
             payloads = [(key, job.config, root_str) for _, job, key in missing]
-            for (index, job, key), stats in zip(
+            for (index, job, key), (stats, wall_s, pid) in zip(
                 missing, pool.map(_sim_worker, payloads)
             ):
                 results[index] = stats
                 runner.seed_stats_cache(key, job.config, stats)
+                obs_metrics.record_variant(
+                    "sim",
+                    f"{key.abbrev}/{key.mode.value}",
+                    "simulated",
+                    wall_s,
+                    worker=f"pid:{pid}",
+                )
     finally:
         if scratch is not None:
             scratch.cleanup()

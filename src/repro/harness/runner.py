@@ -18,10 +18,12 @@ once and reuse that form for both serialisation and simulation.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.harness import cache as disk_cache
+from repro.obs import metrics as obs_metrics
 from repro.isa.trace import Trace
 from repro.stats.run import RunStats
 from repro.txn.modes import PersistMode
@@ -67,14 +69,26 @@ def generate_trace(key: TraceKey) -> Trace:
 
 
 def trace_for_key(key: TraceKey) -> Trace:
-    """The trace for *key*: in-process memo, then disk, then generation."""
+    """The trace for *key*: in-process memo, then disk, then generation.
+
+    Disk hits and fresh generations are recorded in
+    :mod:`repro.obs.metrics` (memo hits are not — they are dict lookups)."""
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         return cached
+    label = f"{key.abbrev}/{key.mode.value}"
+    started = time.perf_counter()
     trace = disk_cache.load_cached_trace(key)
     if trace is None:
         trace = generate_trace(key)
         disk_cache.store_trace(key, trace)
+        obs_metrics.record_variant(
+            "trace", label, "generated", time.perf_counter() - started
+        )
+    else:
+        obs_metrics.record_variant(
+            "trace", label, "disk", time.perf_counter() - started
+        )
     _TRACE_CACHE[key] = trace
     return trace
 
@@ -124,12 +138,26 @@ def run_variant(
     """Simulate one benchmark variant on *config* (cached at both layers)."""
     config = config or MachineConfig()
     key = TraceKey(abbrev, mode, seed, init_ops, sim_ops)
-    cached = peek_cached_stats(key, config)
+    cached = _STATS_CACHE.get((key, config))
     if cached is not None:
         return cached
-    stats = simulate(trace_for_key(key), config)
+    label = f"{key.abbrev}/{key.mode.value}"
+    started = time.perf_counter()
+    stats = disk_cache.load_cached_stats(key, config)
+    if stats is not None:
+        _STATS_CACHE[(key, config)] = stats
+        obs_metrics.record_variant(
+            "sim", label, "disk", time.perf_counter() - started
+        )
+        return stats
+    trace = trace_for_key(key)
+    started = time.perf_counter()
+    stats = simulate(trace, config)
     _STATS_CACHE[(key, config)] = stats
     disk_cache.store_stats(key, config, stats)
+    obs_metrics.record_variant(
+        "sim", label, "simulated", time.perf_counter() - started
+    )
     return stats
 
 

@@ -1,0 +1,49 @@
+"""Cycle-resolved observability layer (``repro.obs``).
+
+Opt-in instrumentation threaded through the pipeline, memory controller,
+and harness.  Three pieces:
+
+* :mod:`repro.obs.tracer` — the :class:`~repro.obs.tracer.Tracer`
+  protocol plus the collecting :class:`~repro.obs.tracer.SpanTracer`
+  and the inert :class:`~repro.obs.tracer.NullTracer`.  A pipeline is
+  traced by constructing it with ``PipelineModel(config, tracer=...)``;
+  with ``tracer=None`` (the default) the model stays byte-for-byte on
+  the segment-walker fast path — zero overhead when disabled.
+* :mod:`repro.obs.attribution` — decomposes ``stats.cycles`` into
+  compute / fetch-stall / sfence-drain / checkpoint / ssb-full buckets
+  from the traced stall spans, and cross-checks span counts against the
+  run's :class:`~repro.stats.run.RunStats` counters.
+* :mod:`repro.obs.perfetto` — Chrome trace-event JSON export (loadable
+  in Perfetto / ``chrome://tracing``) plus a dependency-free schema
+  validator used by CI.
+* :mod:`repro.obs.metrics` — harness self-observability: cache
+  hit/miss counters and per-variant wall-time/worker records, surfaced
+  by ``run``/``report``/``bench`` and ``--metrics-out``.
+
+:mod:`repro.obs.capture` (imported directly, not from this package
+root, because it pulls in the harness) glues the pieces together for
+the ``python -m repro trace`` CLI and the validation subsystem.
+
+See docs/OBSERVABILITY.md for the event taxonomy and a walkthrough.
+"""
+
+from repro.obs.attribution import (
+    ATTRIBUTION_BUCKETS,
+    AttributionReport,
+    attribute,
+    attribution_errors,
+    consistency_errors,
+)
+from repro.obs.tracer import NullTracer, SpanTracer, TraceEvent, Tracer
+
+__all__ = [
+    "ATTRIBUTION_BUCKETS",
+    "AttributionReport",
+    "NullTracer",
+    "SpanTracer",
+    "TraceEvent",
+    "Tracer",
+    "attribute",
+    "attribution_errors",
+    "consistency_errors",
+]

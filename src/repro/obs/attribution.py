@@ -1,0 +1,212 @@
+"""Stall attribution: decompose ``stats.cycles`` into disjoint buckets.
+
+The run's raw stall *counters* (``sfence_stall_cycles``,
+``fetch_stall_cycles``, ...) measure each mechanism in isolation and
+deliberately over-count wall-clock: a fence waiting out a WPQ drain
+backpressures the ROB and the fetch queue, so the same wall-clock cycle
+is often billed to both the sfence counter and the fetch-stall counter
+(on eager log+p+sf runs their sum exceeds ``cycles`` several times
+over).  That is the right design for the paper's per-mechanism figures,
+but useless for answering "where did this run's cycles actually go".
+
+This module answers that question from the traced stall *spans* instead:
+each span is a wall-clock interval, so attributing every cycle in
+``[0, cycles)`` to exactly one bucket is interval arithmetic —
+
+1. clip all stall spans to ``[0, cycles)``;
+2. walk the buckets in priority order (``sfence_drain`` >
+   ``checkpoint_stall`` > ``ssb_full_stall`` > ``fetch_stall``: the
+   deeper persistency cause wins a contested cycle, since the front-end
+   stall is a *symptom* of the back-pressure the fence created);
+3. each bucket owns the union of its intervals minus everything a
+   higher-priority bucket already claimed;
+4. ``compute`` is the residue.
+
+By construction the buckets are disjoint, non-negative, and sum to
+``stats.cycles`` exactly — :func:`attribution_errors` asserts it, and
+the conformance engine runs that assertion over the whole
+workload×mode×config matrix (``python -m repro validate --quick``).
+
+:func:`consistency_errors` is the companion cross-check in the other
+direction: traced span counts/durations must agree with the RunStats
+counters (e.g. pcommit spans == ``stats.pcommits``), so the tracer can
+never silently drop or invent events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.stats.run import RunStats
+
+#: Stall buckets in claim-priority order; ``compute`` is the residue.
+ATTRIBUTION_BUCKETS = (
+    "sfence_drain",
+    "checkpoint_stall",
+    "ssb_full_stall",
+    "fetch_stall",
+)
+
+#: (span durations summed, RunStats counter) pairs that must agree.
+_SPAN_CYCLE_COUNTERS = (
+    ("sfence_drain", "sfence_stall_cycles"),
+    ("checkpoint_stall", "checkpoint_stall_cycles"),
+    ("ssb_full_stall", "ssb_full_stall_cycles"),
+    ("fetch_stall", "fetch_stall_cycles"),
+)
+
+Interval = Tuple[int, int]
+
+
+def merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Sorted disjoint union of *intervals* (empty intervals dropped)."""
+    live = sorted(pair for pair in intervals if pair[1] > pair[0])
+    merged: List[Interval] = []
+    for start, end in live:
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def subtract_intervals(
+    intervals: List[Interval], covered: List[Interval]
+) -> List[Interval]:
+    """*intervals* minus *covered*; both must be sorted and disjoint."""
+    result: List[Interval] = []
+    ci = 0
+    n_covered = len(covered)
+    for start, end in intervals:
+        cursor = start
+        while ci < n_covered and covered[ci][1] <= cursor:
+            ci += 1
+        scan = ci
+        while cursor < end and scan < n_covered and covered[scan][0] < end:
+            c_start, c_end = covered[scan]
+            if c_start > cursor:
+                result.append((cursor, c_start))
+            cursor = max(cursor, c_end)
+            scan += 1
+        if cursor < end:
+            result.append((cursor, end))
+    return result
+
+
+def _clip(intervals: List[Interval], cycles: int) -> List[Interval]:
+    return [
+        (max(0, start), min(end, cycles))
+        for start, end in intervals
+        if start < cycles and end > 0
+    ]
+
+
+@dataclass
+class AttributionReport:
+    """Where one run's cycles went, bucket-disjoint."""
+
+    cycles: int
+    buckets: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compute(self) -> int:
+        return self.buckets.get("compute", 0)
+
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"cycles": self.cycles, **self.buckets}
+
+    def render(self) -> str:
+        lines = [f"stall attribution ({self.cycles:,} cycles)"]
+        for name in ("compute",) + ATTRIBUTION_BUCKETS:
+            value = self.buckets.get(name, 0)
+            share = value / self.cycles if self.cycles else 0.0
+            lines.append(f"  {name:<17}: {value:>12,}  ({share:6.1%})")
+        return "\n".join(lines)
+
+
+def attribute(stats: RunStats, tracer) -> AttributionReport:
+    """Decompose *stats.cycles* using *tracer*'s stall spans.
+
+    *tracer* is a :class:`~repro.obs.tracer.SpanTracer` (anything with
+    an ``intervals(name)`` method works).
+    """
+    cycles = stats.cycles
+    report = AttributionReport(cycles=cycles)
+    covered: List[Interval] = []
+    for name in ATTRIBUTION_BUCKETS:
+        own = subtract_intervals(
+            merge_intervals(_clip(tracer.intervals(name), cycles)), covered
+        )
+        report.buckets[name] = sum(end - start for start, end in own)
+        covered = merge_intervals(covered + own)
+    report.buckets["compute"] = cycles - sum(
+        end - start for start, end in covered
+    )
+    return report
+
+
+def attribution_errors(stats: RunStats, tracer) -> List[str]:
+    """Violations of the attribution invariants (empty when healthy).
+
+    Checks that every stall span is well-formed and lies within the
+    billed execution window ``[0, stats.cycles]`` (epoch/pcommit spans
+    may legitimately outlive ``cycles`` — background commit is not
+    billed — but a *stall* charged after the last retirement would mean
+    the pipeline accounted a wait it never served), and that the bucket
+    decomposition sums exactly to ``cycles`` with no negative residue.
+    """
+    errors: List[str] = []
+    for name in ATTRIBUTION_BUCKETS:
+        for start, end in tracer.intervals(name):
+            if end < start:
+                errors.append(f"{name} span [{start}, {end}) has negative duration")
+            if start < 0 or end > stats.cycles:
+                errors.append(
+                    f"{name} span [{start}, {end}) outside [0, {stats.cycles}]"
+                )
+    report = attribute(stats, tracer)
+    if report.buckets.get("compute", 0) < 0:
+        errors.append(f"negative compute residue: {report.buckets['compute']}")
+    if report.total() != stats.cycles:
+        errors.append(
+            f"buckets sum to {report.total()}, not cycles={stats.cycles}"
+        )
+    return errors
+
+
+def consistency_errors(stats: RunStats, tracer) -> List[str]:
+    """Span-set vs RunStats-counter disagreements (empty when healthy).
+
+    Valid for *finished* runs only (``run(trace, finish=True)``): a
+    paused run may hold open epochs whose spans are not emitted yet.
+    """
+    errors: List[str] = []
+    for span_name, counter in _SPAN_CYCLE_COUNTERS:
+        traced = tracer.span_cycles(span_name)
+        counted = getattr(stats, counter)
+        if traced != counted:
+            errors.append(
+                f"{span_name} spans total {traced} cycles but "
+                f"stats.{counter} == {counted}"
+            )
+    for span_name, counter in (("pcommit", "pcommits"), ("epoch", "epochs_created")):
+        n_spans = tracer.span_count(span_name)
+        counted = getattr(stats, counter)
+        if n_spans != counted:
+            errors.append(
+                f"{n_spans} {span_name} spans but stats.{counter} == {counted}"
+            )
+    for instant_name, counter in (("sp_enter", "sp_entries"), ("rollback", "rollbacks")):
+        n_instants = len(tracer.instants(instant_name))
+        counted = getattr(stats, counter)
+        if n_instants != counted:
+            errors.append(
+                f"{n_instants} {instant_name} instants but "
+                f"stats.{counter} == {counted}"
+            )
+    return errors

@@ -1,0 +1,112 @@
+"""Traced-run capture: glue between the tracer and the harness.
+
+Kept out of ``repro.obs.__init__`` because it imports the harness
+(which itself imports :mod:`repro.obs.metrics`); import it directly::
+
+    from repro.obs.capture import traced_run
+
+``TRACE_MODES`` names every machine setup the ``python -m repro trace``
+CLI can capture — the four persistency modes on the baseline machine
+plus the SP configurations, including ``sp_unlim``, a resource-limit
+study point (the largest Table-3 SSB with a deep checkpoint buffer, so
+speculation is effectively never resource-stalled).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.obs.tracer import SpanTracer
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel
+from repro.workloads.registry import PAPER_SPECS
+
+_BASE = MachineConfig()
+
+#: CLI mode label -> (persistency mode of the trace, machine config).
+TRACE_MODES: Dict[str, Tuple[PersistMode, MachineConfig]] = {
+    "base": (PersistMode.BASE, _BASE),
+    "log": (PersistMode.LOG, _BASE),
+    "log_p": (PersistMode.LOG_P, _BASE),
+    "log_p_sf": (PersistMode.LOG_P_SF, _BASE),
+    "sp32": (PersistMode.LOG_P_SF, _BASE.with_sp(32)),
+    "sp256": (PersistMode.LOG_P_SF, _BASE.with_sp(256)),
+    "sp1024": (PersistMode.LOG_P_SF, _BASE.with_sp(1024)),
+    # effectively-unlimited speculation resources: the largest SSB the
+    # paper's Table 3 gives a CAM latency for, plus 64 checkpoints, so
+    # neither structure's exhaustion ever forces a stall in practice
+    "sp_unlim": (
+        PersistMode.LOG_P_SF,
+        _BASE.with_sp(1024, checkpoint_entries=64),
+    ),
+}
+
+
+def _normalize(token: str) -> str:
+    return re.sub(r"[^a-z0-9]", "", token.lower())
+
+
+def resolve_workload(name: str) -> str:
+    """Map a benchmark abbrev or human name to its registry abbrev.
+
+    Accepts ``BT``, ``bt``, ``btree``, ``B-tree``, ``hash-map``, ... —
+    anything whose alphanumeric form matches an abbrev or spec name.
+    """
+    token = _normalize(name)
+    for abbrev, spec in PAPER_SPECS.items():
+        if token == abbrev.lower() or token == _normalize(spec.name):
+            return abbrev
+    known = ", ".join(
+        f"{abbrev} ({spec.name})" for abbrev, spec in PAPER_SPECS.items()
+    )
+    raise ValueError(f"unknown workload {name!r}; known: {known}")
+
+
+def resolve_mode(label: str) -> Tuple[str, PersistMode, MachineConfig]:
+    """Map a mode label (``log+p+sf`` and ``log_p_sf`` both work) to its
+    canonical label, persistency mode, and machine config."""
+    token = re.sub(r"[+\-\s]", "_", label.lower())
+    if token not in TRACE_MODES:
+        raise ValueError(
+            f"unknown trace mode {label!r}; known: {', '.join(TRACE_MODES)}"
+        )
+    mode, config = TRACE_MODES[token]
+    return token, mode, config
+
+
+def traced_run(
+    workload: str,
+    mode: str = "sp256",
+    seed: int = 7,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
+    tracer: Optional[SpanTracer] = None,
+):
+    """Simulate one workload variant with tracing on.
+
+    Returns ``(stats, tracer, info)`` where *info* carries the resolved
+    identifiers (abbrev, mode label, trace length) for report headers.
+    The trace comes through the normal harness cache; only the
+    simulation itself runs traced (through the exact per-op loop — see
+    docs/OBSERVABILITY.md).
+    """
+    from repro.harness.runner import build_trace
+
+    abbrev = resolve_workload(workload)
+    mode_label, persist_mode, config = resolve_mode(mode)
+    trace = build_trace(abbrev, persist_mode, seed=seed, init_ops=init_ops,
+                        sim_ops=sim_ops)
+    tracer = tracer if tracer is not None else SpanTracer()
+    stats = PipelineModel(config, tracer=tracer).run(trace)
+    info = {
+        "workload": abbrev,
+        "workload_name": PAPER_SPECS[abbrev].name,
+        "mode": mode_label,
+        "persist_mode": persist_mode.value,
+        "seed": seed,
+        "trace_len": len(trace),
+        "sp_enabled": config.sp_enabled,
+    }
+    return stats, tracer, info

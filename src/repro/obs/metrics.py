@@ -1,0 +1,154 @@
+"""Harness self-observability: cache effectiveness and variant timing.
+
+The harness runs parallel, cached, fast-pathed simulation jobs; this
+module records what actually happened — which cache layer served each
+variant, how long the real work took, and which worker did it — so
+``run``/``report``/``bench`` can print a one-line accounting and
+``--metrics-out`` can dump the machine-readable version.
+
+Recording is in-process and append-only.  The serial path
+(:func:`repro.harness.runner.run_variant` / ``trace_for_key``) records
+disk hits and fresh work; the parallel scheduler
+(:mod:`repro.harness.parallel`) records per-worker wall time and PID
+for fanned-out jobs.  In-process memo hits are *not* recorded — they
+are dictionary lookups, and recording them would swamp the signal
+(figure assembly loops re-read every variant from the memo).
+
+Cache hit/miss/corrupt counters live in :mod:`repro.harness.cache`
+(session scope, plus a best-effort lifetime total persisted in the
+cache directory); :func:`metrics_snapshot` folds both in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class VariantRecord:
+    """One unit of harness work: a trace fetch/generation or a simulation.
+
+    ``kind``   — ``"trace"`` or ``"sim"``;
+    ``label``  — ``ABBREV/mode`` of the variant;
+    ``source`` — ``"disk"`` (cache hit), ``"generated"``/``"simulated"``
+    (real work), as observed at the recording site;
+    ``worker`` — ``"main"`` or ``"pid:N"`` for pool workers.
+    """
+
+    kind: str
+    label: str
+    source: str
+    wall_s: float
+    worker: str = "main"
+
+
+_RECORDS: List[VariantRecord] = []
+
+
+def record_variant(
+    kind: str, label: str, source: str, wall_s: float, worker: str = "main"
+) -> None:
+    """Append one work record (called by the harness, cheap)."""
+    _RECORDS.append(VariantRecord(kind, label, source, round(wall_s, 6), worker))
+
+
+def variant_records() -> List[VariantRecord]:
+    return list(_RECORDS)
+
+
+def reset_metrics() -> None:
+    """Drop all recorded work (tests and bench phases use this)."""
+    _RECORDS.clear()
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def summarize() -> Dict[str, object]:
+    """Aggregate the records: counts by source, wall time by worker."""
+    by_source: Dict[str, int] = {}
+    wall_by_worker: Dict[str, float] = {}
+    sim_wall = 0.0
+    trace_wall = 0.0
+    for record in _RECORDS:
+        tag = f"{record.kind}:{record.source}"
+        by_source[tag] = by_source.get(tag, 0) + 1
+        wall_by_worker[record.worker] = (
+            wall_by_worker.get(record.worker, 0.0) + record.wall_s
+        )
+        if record.kind == "sim":
+            sim_wall += record.wall_s
+        else:
+            trace_wall += record.wall_s
+    return {
+        "records": len(_RECORDS),
+        "by_source": dict(sorted(by_source.items())),
+        "wall_by_worker": {
+            worker: round(seconds, 3)
+            for worker, seconds in sorted(wall_by_worker.items())
+        },
+        "sim_wall_s": round(sim_wall, 3),
+        "trace_wall_s": round(trace_wall, 3),
+    }
+
+
+def metrics_snapshot() -> Dict[str, object]:
+    """Everything ``--metrics-out`` writes: cache counters (session and
+    lifetime) plus the per-variant records and their summary."""
+    from repro.harness import cache as disk_cache
+
+    return {
+        "schema": 1,
+        "cache_session": disk_cache.cache_counters().as_dict(),
+        "cache_lifetime": disk_cache.lifetime_cache_counters(),
+        "summary": summarize(),
+        "variants": [asdict(record) for record in _RECORDS],
+    }
+
+
+def write_metrics(path: Union[str, Path]) -> Path:
+    """Write :func:`metrics_snapshot` as JSON to *path*."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(metrics_snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def render_metrics_line() -> Optional[str]:
+    """One human-readable accounting line, or ``None`` with nothing to say."""
+    from repro.harness import cache as disk_cache
+
+    counters = disk_cache.cache_counters()
+    summary = summarize()
+    if not _RECORDS and not counters.total():
+        return None
+    parts = []
+    if summary["records"]:
+        by_source = summary["by_source"]
+        sims = {
+            key.split(":", 1)[1]: value
+            for key, value in by_source.items()
+            if key.startswith("sim:")
+        }
+        if sims:
+            detail = ", ".join(f"{count} {source}" for source, count in sims.items())
+            parts.append(f"{sum(sims.values())} variants ({detail})")
+        workers = [w for w in summary["wall_by_worker"] if w != "main"]
+        wall = summary["sim_wall_s"] + summary["trace_wall_s"]
+        if workers:
+            parts.append(f"{wall:.2f}s across {len(workers) + 1} workers")
+        elif wall >= 0.005:
+            parts.append(f"{wall:.2f}s")
+    parts.append(
+        f"cache {counters.hits()} hits / {counters.misses()} misses"
+        + (
+            f" / {counters.corrupt_dropped} corrupt dropped"
+            if counters.corrupt_dropped
+            else ""
+        )
+    )
+    return "harness: " + ", ".join(parts)

@@ -1,0 +1,184 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+One :class:`~repro.obs.tracer.SpanTracer` becomes one *JSON object
+format* trace: span events map to complete (``"ph": "X"``) events,
+instants to ``"i"``, counters to ``"C"``, and the event categories map
+to named pseudo-threads so Perfetto renders pipeline activity,
+stalls, pcommits, and speculation epochs as separate tracks.
+
+Timestamps are simulated core cycles passed through as microseconds
+(the trace-event ``ts`` unit) — in Perfetto, read "1 µs" as "1 cycle".
+
+:func:`validate_chrome_trace` is a minimal, dependency-free schema
+check over the emitted JSON; CI runs it against the ``python -m repro
+trace`` artifact so a malformed export fails the build rather than
+failing silently in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Event category -> trace-event thread id (rendered as tracks).
+_TRACKS: Dict[str, int] = {
+    "": 0,
+    "pipeline": 0,
+    "stall": 1,
+    "pmem": 2,
+    "speculation": 3,
+}
+_TRACK_NAMES = {0: "pipeline", 1: "stalls", 2: "pmem", 3: "speculation"}
+
+#: Phases the validator accepts (the subset this exporter emits, plus
+#: the begin/end pair so hand-edited traces still validate).
+_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "I", "C", "M"})
+
+
+class ChromeTraceError(ValueError):
+    """The JSON is not a loadable Chrome trace-event stream."""
+
+
+def chrome_trace_events(tracer, pid: int = 0) -> List[dict]:
+    """Convert *tracer*'s events into trace-event dicts."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro pipeline"},
+        }
+    ]
+    for tid, name in sorted(_TRACK_NAMES.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for event in tracer.events:
+        tid = _TRACKS.get(event.cat, 0)
+        if event.kind == "span":
+            record = {
+                "ph": "X",
+                "name": event.name,
+                "cat": event.cat or "pipeline",
+                "ts": event.ts,
+                "dur": event.dur,
+                "pid": pid,
+                "tid": tid,
+            }
+        elif event.kind == "instant":
+            record = {
+                "ph": "i",
+                "s": "t",
+                "name": event.name,
+                "cat": event.cat or "pipeline",
+                "ts": event.ts,
+                "pid": pid,
+                "tid": tid,
+            }
+        else:  # counter
+            record = {
+                "ph": "C",
+                "name": event.name,
+                "ts": event.ts,
+                "pid": pid,
+                "args": {"value": event.value},
+            }
+        if event.kind != "counter" and event.args:
+            record["args"] = dict(event.args)
+        events.append(record)
+    return events
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracer,
+    stats=None,
+    meta: Optional[dict] = None,
+    pid: int = 0,
+) -> Path:
+    """Serialise *tracer* (plus optional run metadata) to *path*."""
+    other: dict = dict(meta or {})
+    if stats is not None:
+        other["run_stats"] = stats.as_dict()
+    payload = {
+        "traceEvents": chrome_trace_events(tracer, pid=pid),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# validation (no external dependencies — CI runs this)
+# ----------------------------------------------------------------------
+def _check_event(index: int, event) -> None:
+    if not isinstance(event, dict):
+        raise ChromeTraceError(f"event {index} is not an object")
+    phase = event.get("ph")
+    if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+        raise ChromeTraceError(f"event {index} has unknown phase {phase!r}")
+    if phase != "M":
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            raise ChromeTraceError(f"event {index} has bad ts {ts!r}")
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        raise ChromeTraceError(f"event {index} has no name")
+    for field in ("pid", "tid"):
+        if field in event and (
+            not isinstance(event[field], int) or isinstance(event[field], bool)
+        ):
+            raise ChromeTraceError(f"event {index} has non-integer {field}")
+    if phase == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            raise ChromeTraceError(f"event {index} ('X') has bad dur {dur!r}")
+    if phase == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            raise ChromeTraceError(f"event {index} ('C') has no args")
+        for key, value in args.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ChromeTraceError(
+                    f"event {index} ('C') arg {key!r} is not numeric"
+                )
+
+
+def validate_chrome_trace(source: Union[str, Path, dict]) -> int:
+    """Validate a Chrome trace-event JSON file (or parsed object).
+
+    Returns the number of trace events; raises :class:`ChromeTraceError`
+    on the first violation.  Deliberately minimal: checks exactly what
+    Perfetto's JSON importer relies on (object format, event list,
+    known phases, numeric non-negative timestamps/durations, named
+    events, integral pid/tid, numeric counter args).
+    """
+    if isinstance(source, dict):
+        payload = source
+    else:
+        try:
+            with open(source, "r") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ChromeTraceError(f"unreadable trace JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ChromeTraceError("top level is not an object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ChromeTraceError("missing traceEvents list")
+    if not events:
+        raise ChromeTraceError("traceEvents is empty")
+    for index, event in enumerate(events):
+        _check_event(index, event)
+    return len(events)

@@ -1,0 +1,175 @@
+"""Span/instant/counter tracing primitives.
+
+The pipeline model emits three kinds of events when (and only when) it
+was constructed with a tracer:
+
+* **spans** — an interval ``[start, end)`` in simulated cycles: an
+  sfence drain, a pcommit lifetime (issue → acknowledgement), a
+  speculative epoch (checkpoint → commit/rollback), or a stall;
+* **instants** — a point event: speculation entry, rollback;
+* **counters** — a sampled value over time: WPQ and SSB occupancy.
+
+The hot check in the pipeline is ``self._tracer is None`` — the
+*absence* of a tracer keeps the segment-walker fast path untouched.
+:class:`NullTracer` exists for call sites that require a ``Tracer``
+object; note that handing one to :class:`~repro.uarch.pipeline.
+PipelineModel` still routes the run through the exact per-op loop
+(the model only distinguishes ``None`` from not-``None``), so to keep
+the fast path pass ``tracer=None``, not a ``NullTracer``.
+
+Timestamps are simulated core cycles throughout.  All events end up in
+one in-memory list; a full B-tree SP run emits on the order of 10^5
+events, so :class:`TraceEvent` is a ``__slots__`` class and adjacent
+``fetch_stall`` spans (the one per-instruction-rate emitter) are
+coalesced on the fly, which preserves total stall cycles exactly
+because successive fetch-stall intervals never overlap (the front end's
+``last_fetch`` floor is monotone).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # Python < 3.8 has no typing.Protocol; degrade gracefully
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+#: Span names whose adjacent emissions are merged into one event when
+#: contiguous (``new.start == last.end``) and argument-free.  Only the
+#: high-cardinality fetch-stall spans qualify; every other span's
+#: *count* is meaningful (cross-checked against RunStats counters).
+COALESCED_SPANS = frozenset({"fetch_stall"})
+
+
+class TraceEvent:
+    """One trace event.  ``kind`` is ``"span"``, ``"instant"``, or
+    ``"counter"``; spans carry ``dur``, counters carry ``value``."""
+
+    __slots__ = ("kind", "name", "cat", "ts", "dur", "value", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        ts: int,
+        cat: str = "",
+        dur: int = 0,
+        value: float = 0,
+        args: Optional[dict] = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.value = value
+        self.args = args
+
+    @property
+    def end(self) -> int:
+        return self.ts + self.dur
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "span":
+            return f"<span {self.name} [{self.ts}, {self.end})>"
+        if self.kind == "counter":
+            return f"<counter {self.name} @{self.ts} = {self.value}>"
+        return f"<instant {self.name} @{self.ts}>"
+
+
+class Tracer(Protocol):
+    """What the pipeline expects from a tracer (structural protocol)."""
+
+    def span(self, name: str, start: int, end: int, cat: str = "", **args) -> None:
+        ...  # pragma: no cover - protocol
+
+    def instant(self, name: str, ts: int, cat: str = "", **args) -> None:
+        ...  # pragma: no cover - protocol
+
+    def counter(self, name: str, ts: int, value: float) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class NullTracer:
+    """A tracer that drops everything (for APIs that require a tracer).
+
+    Handing this to :class:`~repro.uarch.pipeline.PipelineModel` still
+    deoptimises the run to the exact per-op loop — pass ``tracer=None``
+    to keep the segment-walker fast path.
+    """
+
+    def span(self, name: str, start: int, end: int, cat: str = "", **args) -> None:
+        pass
+
+    def instant(self, name: str, ts: int, cat: str = "", **args) -> None:
+        pass
+
+    def counter(self, name: str, ts: int, value: float) -> None:
+        pass
+
+
+class SpanTracer:
+    """Collects every emitted event in memory, with query helpers."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        #: last coalescible span per name (see :data:`COALESCED_SPANS`)
+        self._open_tail: Dict[str, TraceEvent] = {}
+
+    # ------------------------------------------------------------------
+    # emission (the Tracer protocol)
+    # ------------------------------------------------------------------
+    def span(self, name: str, start: int, end: int, cat: str = "", **args) -> None:
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts: [{start}, {end})")
+        if not args and name in COALESCED_SPANS:
+            tail = self._open_tail.get(name)
+            if tail is not None and tail.end == start:
+                tail.dur += end - start
+                return
+            event = TraceEvent("span", name, start, cat=cat, dur=end - start)
+            self._open_tail[name] = event
+            self.events.append(event)
+            return
+        self.events.append(
+            TraceEvent("span", name, start, cat=cat, dur=end - start, args=args or None)
+        )
+
+    def instant(self, name: str, ts: int, cat: str = "", **args) -> None:
+        self.events.append(TraceEvent("instant", name, ts, cat=cat, args=args or None))
+
+    def counter(self, name: str, ts: int, value: float) -> None:
+        self.events.append(TraceEvent("counter", name, ts, cat="counter", value=value))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _iter(self, kind: str, name: Optional[str]) -> Iterator[TraceEvent]:
+        for event in self.events:
+            if event.kind == kind and (name is None or event.name == name):
+                yield event
+
+    def spans(self, name: Optional[str] = None) -> List[TraceEvent]:
+        return list(self._iter("span", name))
+
+    def instants(self, name: Optional[str] = None) -> List[TraceEvent]:
+        return list(self._iter("instant", name))
+
+    def counters(self, name: Optional[str] = None) -> List[TraceEvent]:
+        return list(self._iter("counter", name))
+
+    def span_count(self, name: str) -> int:
+        return sum(1 for _ in self._iter("span", name))
+
+    def span_cycles(self, name: str) -> int:
+        """Total duration over all spans named *name* (overlap counted
+        multiply — use :mod:`repro.obs.attribution` for wall-clock)."""
+        return sum(event.dur for event in self._iter("span", name))
+
+    def intervals(self, name: str) -> List[Tuple[int, int]]:
+        """The ``(start, end)`` pairs of every span named *name*."""
+        return [(event.ts, event.end) for event in self._iter("span", name)]

@@ -77,17 +77,36 @@ class RunStats:
             raise ValueError("baseline has zero cycles")
         return self.cycles / baseline.cycles - 1.0
 
+    #: Metrics :meth:`as_dict` derives from the counters; recomputed on
+    #: load, never round-tripped as data.
+    _DERIVED = frozenset(
+        {"ipc", "stores_per_pcommit", "bloom_false_positive_rate"}
+    )
+
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "RunStats":
         """Rebuild a :class:`RunStats` from a mapping of raw counters.
 
-        Accepts the output of :meth:`as_dict` (derived metrics and unknown
-        keys are ignored) as well as the persistent cache's JSON records.
+        Accepts the output of :meth:`as_dict` (derived metrics are
+        recomputed, not read back) as well as the persistent cache's JSON
+        records (which keep ``extra`` nested).  Unknown keys land in
+        ``extra`` — :meth:`as_dict` flattens ``extra`` into the mapping,
+        so dropping them here would make the round trip lossy.
         """
         from dataclasses import fields
 
         names = {field_.name for field_ in fields(cls)}
-        kwargs = {key: value for key, value in data.items() if key in names}
+        kwargs = {}
+        extra: Dict[str, float] = {}
+        for key, value in data.items():
+            if key == "extra" and isinstance(value, dict):
+                extra.update(value)
+            elif key in names:
+                kwargs[key] = value
+            elif key not in cls._DERIVED:
+                extra[key] = value
+        if extra:
+            kwargs.setdefault("extra", {}).update(extra)
         return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, float]:

@@ -65,6 +65,14 @@ class MemoryController:
         self._trim(now)
         return len(self._pending)
 
+    def wpq_sample(self, now: int) -> int:
+        """Read-only occupancy probe: how many queued writes are still in
+        flight at *now*.  Unlike :meth:`wpq_occupancy` this never trims
+        ``_pending``, so observers (the tracer samples it at arbitrary,
+        possibly out-of-order timestamps) cannot perturb
+        ``max_wpq_occupancy`` bookkeeping."""
+        return sum(1 for t in self._pending if t > now)
+
     # ------------------------------------------------------------------
     def pcommit(self, issue_time: int) -> int:
         """Issue a pcommit at *issue_time*; returns its completion time
@@ -126,6 +134,10 @@ class MemoryControllerArray:
 
     def wpq_occupancy(self, now: int) -> int:
         return sum(mc.wpq_occupancy(now) for mc in self.controllers)
+
+    def wpq_sample(self, now: int) -> int:
+        """Read-only occupancy probe across all controllers."""
+        return sum(mc.wpq_sample(now) for mc in self.controllers)
 
     # statistics ----------------------------------------------------------
     @property

@@ -35,6 +35,16 @@ walker is cycle-for-cycle identical to the preserved reference model
 (:mod:`repro.uarch.pipeline_ref`) — asserted by the conformance oracle —
 and any monkey-patched or overridden internal routes the run back to the
 exact loop so fault injections and subclasses keep working.
+
+**Observability.**  Constructed with a :mod:`repro.obs` tracer
+(``PipelineModel(config, tracer=SpanTracer())``) the model emits
+cycle-resolved spans for sfence drains, pcommit lifetimes, speculative
+epochs, and checkpoint/SSB-full/fetch stalls, plus WPQ/SSB occupancy
+counter samples.  A traced run routes through the exact per-op loop and
+produces bit-identical :class:`~repro.stats.run.RunStats`; with
+``tracer=None`` (the default) every emission site is behind a
+``self._tracer is not None`` check and the segment walker runs
+untouched — zero overhead when disabled.
 """
 
 from __future__ import annotations
@@ -76,8 +86,13 @@ _LOCK_RMW = int(Op.LOCK_RMW)
 class PipelineModel:
     """One simulated core; construct it, then call :meth:`run` on a trace."""
 
-    def __init__(self, config: MachineConfig = MachineConfig()):
+    def __init__(self, config: MachineConfig = MachineConfig(), tracer=None):
         self.config = config
+        #: observability hook (:mod:`repro.obs`); ``None`` — the common
+        #: case — keeps the segment-walker fast path (see :meth:`run`)
+        self._tracer = tracer
+        #: epoch_id -> checkpoint time, for epoch span emission
+        self._epoch_starts: Dict[int, int] = {}
         if config.n_memory_controllers > 1:
             self.memctrl = MemoryControllerArray(config, config.n_memory_controllers)
         else:
@@ -146,14 +161,14 @@ class PipelineModel:
         subsystem uses this to probe mid-speculation machine state
         (crash-point invariants); normal callers always finish.
 
-        The run consumes the trace's columnar form.  With coherence
-        probes scheduled, or with any inlined internal monkey-patched or
-        overridden (see :func:`_deoptimized`), the exact per-op loop is
-        used; otherwise the segment walker fast path runs — both are
-        cycle-identical.
+        The run consumes the trace's columnar form.  With a tracer
+        attached, with coherence probes scheduled, or with any inlined
+        internal monkey-patched or overridden (see :func:`_deoptimized`),
+        the exact per-op loop is used; otherwise the segment walker fast
+        path runs — both are cycle-identical.
         """
         columns = trace.columns()
-        if self._probes or _deoptimized(self):
+        if self._tracer is not None or self._probes or _deoptimized(self):
             self._run_exact(columns)
         else:
             self._run_segments(columns, trace.segments())
@@ -938,7 +953,10 @@ class PipelineModel:
         fetch_t = max(bw_ready, fq_ready)
         if fq_ready > bw_ready and fq_ready > self._last_fetch:
             # the front end sat idle because the fetch queue was full
-            self.stats.fetch_stall_cycles += fq_ready - max(bw_ready, self._last_fetch)
+            floor = max(bw_ready, self._last_fetch)
+            self.stats.fetch_stall_cycles += fq_ready - floor
+            if self._tracer is not None:
+                self._tracer.span("fetch_stall", floor, fq_ready, cat="stall")
         self._last_fetch = max(self._last_fetch, fetch_t)
         self._fetch_group.append(fetch_t)
         # dispatch: front-end depth + bandwidth + ROB-full constraint
@@ -978,6 +996,7 @@ class PipelineModel:
         rob_append = rob.append
         last_fetch = self._last_fetch
         last_retire = self._last_retire
+        tracer = self._tracer
         fetch_stalls = 0
         fq_full = len(fetchq) == fetchq_entries
         rob_full = len(rob) == rob_entries
@@ -991,6 +1010,8 @@ class PipelineModel:
                     if fq_ready > last_fetch:
                         floor = bw_ready if bw_ready > last_fetch else last_fetch
                         fetch_stalls += fq_ready - floor
+                        if tracer is not None:
+                            tracer.span("fetch_stall", floor, fq_ready, cat="stall")
                 else:
                     fetch_t = bw_ready
             else:
@@ -1218,6 +1239,8 @@ class PipelineModel:
         self.epochs.buffer_store(block)
         if len(self.ssb) > self.stats.ssb_max_occupancy:
             self.stats.ssb_max_occupancy = len(self.ssb)
+        if self._tracer is not None:
+            self._tracer.counter("ssb_occupancy", retire_t, len(self.ssb))
         return retire_t
 
     def _visible_flush(self, block: int, retire_t: int, invalidate: bool) -> int:
@@ -1237,6 +1260,8 @@ class PipelineModel:
         self.epochs.buffer_flush(block, invalidate)
         if len(self.ssb) > self.stats.ssb_max_occupancy:
             self.stats.ssb_max_occupancy = len(self.ssb)
+        if self._tracer is not None:
+            self._tracer.counter("ssb_occupancy", retire_t, len(self.ssb))
 
     # ------------------------------------------------------------------
     # pcommit / sfence (non-speculative paths)
@@ -1244,6 +1269,12 @@ class PipelineModel:
     def _issue_pcommit(self, issue_t: int) -> int:
         self.stats.pcommits += 1
         done = self.memctrl.pcommit(issue_t)
+        if self._tracer is not None:
+            self._tracer.span("pcommit", issue_t, done, cat="pmem")
+            self._tracer.counter(
+                "wpq_occupancy", issue_t, self.memctrl.wpq_sample(issue_t)
+            )
+            self._tracer.counter("wpq_occupancy", done, self.memctrl.wpq_sample(done))
         self._pcommits_done = max(self._pcommits_done, done)
         self._inflight_pcommits = [t for t in self._inflight_pcommits if t > issue_t]
         self._inflight_pcommits.append(done)
@@ -1269,6 +1300,8 @@ class PipelineModel:
             return
         if horizon > ready:
             self.stats.sfence_stall_cycles += horizon - ready
+            if self._tracer is not None:
+                self._tracer.span("sfence_drain", ready, horizon, cat="stall")
         self._retire(max(ready, horizon))
 
     # ------------------------------------------------------------------
@@ -1306,6 +1339,8 @@ class PipelineModel:
             return
         if pcommit_done > ready:
             self.stats.sfence_stall_cycles += pcommit_done - ready
+            if self._tracer is not None:
+                self._tracer.span("sfence_drain", ready, pcommit_done, cat="stall")
         self._retire(max(ready, first_fence_done))
         self._retire(max(ready, first_fence_done) + 1)      # the pcommit
         self._retire(max(ready + 2, pcommit_done))           # second sfence
@@ -1324,8 +1359,11 @@ class PipelineModel:
         """
         self.stats.sp_entries += 1
         checkpoint_t = ready + self.config.checkpoint_cycles
-        self.epochs.begin_epoch(barrier_done, checkpoint_t, self._instr_index)
+        epoch = self.epochs.begin_epoch(barrier_done, checkpoint_t, self._instr_index)
         self.stats.epochs_created += 1
+        if self._tracer is not None:
+            self._tracer.instant("sp_enter", ready, cat="speculation")
+            self._epoch_starts[epoch.epoch_id] = checkpoint_t
         # the fence(s) retire speculatively, almost for free
         self._retire(checkpoint_t)
         for _ in range(n_fence_instrs - 1):
@@ -1358,9 +1396,15 @@ class PipelineModel:
             self._commit_oldest()
         if stall_until > ready:
             self.stats.checkpoint_stall_cycles += stall_until - ready
+            if self._tracer is not None:
+                self._tracer.span("checkpoint_stall", ready, stall_until, cat="stall")
         checkpoint_t = stall_until + self.config.checkpoint_cycles
-        self.epochs.begin_epoch(next_barrier_done, checkpoint_t, self._instr_index)
+        epoch = self.epochs.begin_epoch(
+            next_barrier_done, checkpoint_t, self._instr_index
+        )
         self.stats.epochs_created += 1
+        if self._tracer is not None:
+            self._epoch_starts[epoch.epoch_id] = checkpoint_t
         self._retire(checkpoint_t)
         if barrier:
             self._retire(checkpoint_t + 1)
@@ -1370,11 +1414,52 @@ class PipelineModel:
 
     def _commit_oldest(self) -> None:
         epoch = self.epochs.commit_oldest()
+        if self._tracer is not None:
+            self._trace_epoch_end(epoch, "commit")
         if not self.epochs.speculating:
             # speculation fully drained: reset the bloom filter (paper)
             self._collect_bloom_stats()
             self.bloom.reset()
             self.blt.clear()
+
+    def _trace_epoch_end(self, epoch, outcome: str, end: Optional[int] = None) -> None:
+        """Emit the lifetime span for *epoch* plus its deferred pcommits.
+
+        Commit spans run from the checkpoint to the later of the epoch's
+        barrier completion and its SSB drain; rollback spans end at the
+        rollback point.  Each *counted* delayed pcommit (``n_pcommits``)
+        gets a span so pcommit spans stay count-consistent with
+        ``stats.pcommits`` — forced end-of-epoch drains issue a physical
+        pcommit too, but neither the counter nor the tracer bills it.
+        """
+        start = self._epoch_starts.pop(epoch.epoch_id, 0)
+        if end is None:
+            end = max(start, epoch.barrier_done, epoch.drain_done)
+        self._tracer.span(
+            "epoch",
+            start,
+            end,
+            cat="speculation",
+            epoch_id=epoch.epoch_id,
+            outcome=outcome,
+            stores=epoch.n_stores,
+            flushes=epoch.n_flushes,
+        )
+        for _ in range(epoch.n_pcommits):
+            if outcome == "commit":
+                p_start = max(start, epoch.drain_done)
+                p_end = max(p_start, epoch.next_barrier_done)
+            else:
+                p_start = p_end = end
+            self._tracer.span(
+                "pcommit",
+                p_start,
+                p_end,
+                cat="pmem",
+                deferred=True,
+                epoch_id=epoch.epoch_id,
+                outcome=outcome,
+            )
 
     def _commit_ready(self, now: int) -> None:
         """Lazily commit epochs whose barriers completed before *now*."""
@@ -1419,6 +1504,10 @@ class PipelineModel:
             self._commit_oldest()
         if retire_t > stalled_from:
             self.stats.ssb_full_stall_cycles += retire_t - stalled_from
+            if self._tracer is not None:
+                self._tracer.span(
+                    "ssb_full_stall", stalled_from, retire_t, cat="stall"
+                )
             self._last_retire = max(self._last_retire, retire_t)
         return retire_t
 
@@ -1458,10 +1547,15 @@ class PipelineModel:
         """
         oldest = self.epochs.oldest
         resume_index = oldest.start_index
-        self.epochs.rollback()
+        discarded = self.epochs.rollback()
         self.bloom.reset()
         self.blt.clear()
         self.stats.rollbacks += 1
+        if self._tracer is not None:
+            now = self._last_retire
+            self._tracer.instant("rollback", now, cat="speculation")
+            for epoch in discarded:
+                self._trace_epoch_end(epoch, "rollback", end=now)
         restart = self._last_retire + self.config.rollback_penalty
         width = self.config.width
         self._fetch_group = deque([restart] * width, maxlen=width)
@@ -1493,10 +1587,15 @@ class PipelineModel:
             return False
         if not self.blt.probe(block & _BLOCK_MASK):
             return False
-        self.epochs.rollback()
+        discarded = self.epochs.rollback()
         self.bloom.reset()
         self.blt.clear()
         self.stats.rollbacks += 1
+        if self._tracer is not None:
+            now = self._last_retire
+            self._tracer.instant("rollback", now, cat="speculation")
+            for epoch in discarded:
+                self._trace_epoch_end(epoch, "rollback", end=now)
         return True
 
     # ------------------------------------------------------------------
@@ -1590,6 +1689,12 @@ def _deoptimized(model: PipelineModel) -> bool:
     return False
 
 
-def simulate(trace: Trace, config: MachineConfig = MachineConfig()) -> RunStats:
-    """Convenience wrapper: simulate *trace* on a fresh machine."""
-    return PipelineModel(config).run(trace)
+def simulate(
+    trace: Trace, config: MachineConfig = MachineConfig(), tracer=None
+) -> RunStats:
+    """Convenience wrapper: simulate *trace* on a fresh machine.
+
+    Pass a :class:`repro.obs.tracer.SpanTracer` as *tracer* to capture
+    cycle-resolved spans (forces the exact per-op loop); ``None`` keeps
+    the segment fast path."""
+    return PipelineModel(config, tracer=tracer).run(trace)

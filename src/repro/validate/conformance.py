@@ -24,6 +24,14 @@ two implementations must agree counter-for-counter, and the retired
 instruction count must be invariant across configurations (timing knobs
 must never change the architectural work performed).
 
+Each matrix cell is additionally re-simulated with a
+:class:`~repro.obs.tracer.SpanTracer` attached (forcing the exact
+per-op loop): the traced run must be counter-identical to the fast
+path, its span set must agree with the RunStats counters, and the
+stall-attribution buckets must decompose ``cycles`` exactly
+(:mod:`repro.obs.attribution`) — so the observability layer can never
+drift from the model it observes.
+
 Because the optimised pipeline consumes the trace's columnar form and
 segment list while the reference model iterates ``Instr`` rows, this
 matrix also pins down the dual-representation contract: a trace's
@@ -45,6 +53,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.harness.parallel import VariantJob, run_variants
 from repro.harness.runner import build_trace, run_variant
+from repro.obs import attribution_errors, consistency_errors
+from repro.obs.tracer import SpanTracer
+from repro.uarch.pipeline import PipelineModel
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import simulate
@@ -272,6 +283,27 @@ def run_conformance(
                     f"pipeline-vs-ref/{abbrev}/{mode.value}/{label}",
                     not diverged,
                     detail="" if not diverged else f"diverged counters: {diverged}",
+                    abbrev=abbrev,
+                    mode=mode.value,
+                    config=label,
+                )
+                # observability cross-check: a traced run must match the
+                # fast path bit-for-bit, its spans must agree with the
+                # counters, and attribution must sum to cycles exactly
+                try:
+                    tracer = SpanTracer()
+                    traced = PipelineModel(config, tracer=tracer).run(trace)
+                    problems: List[str] = []
+                    if traced.as_dict() != fast:
+                        problems.append("traced run diverged from fast path")
+                    problems += consistency_errors(traced, tracer)
+                    problems += attribution_errors(traced, tracer)
+                except Exception as exc:  # mutations may legally break this
+                    problems = [f"traced run raised {exc!r}"]
+                report.add(
+                    f"observability/{abbrev}/{mode.value}/{label}",
+                    not problems,
+                    detail="; ".join(problems),
                     abbrev=abbrev,
                     mode=mode.value,
                     config=label,

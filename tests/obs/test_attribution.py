@@ -1,0 +1,139 @@
+"""Interval arithmetic and stall attribution."""
+
+from repro.obs.attribution import (
+    ATTRIBUTION_BUCKETS,
+    attribute,
+    attribution_errors,
+    consistency_errors,
+    merge_intervals,
+    subtract_intervals,
+)
+from repro.obs.tracer import SpanTracer
+from repro.stats.run import RunStats
+
+
+class TestIntervalOps:
+    def test_merge_overlapping(self):
+        assert merge_intervals([(0, 5), (3, 8), (10, 12)]) == [(0, 8), (10, 12)]
+
+    def test_merge_adjacent(self):
+        assert merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_merge_drops_empty(self):
+        assert merge_intervals([(3, 3), (5, 4)]) == []
+
+    def test_merge_unsorted_input(self):
+        assert merge_intervals([(10, 12), (0, 2)]) == [(0, 2), (10, 12)]
+
+    def test_subtract_middle(self):
+        assert subtract_intervals([(0, 10)], [(3, 6)]) == [(0, 3), (6, 10)]
+
+    def test_subtract_covering(self):
+        assert subtract_intervals([(2, 5)], [(0, 10)]) == []
+
+    def test_subtract_disjoint(self):
+        assert subtract_intervals([(0, 2)], [(5, 8)]) == [(0, 2)]
+
+    def test_subtract_multiple(self):
+        assert subtract_intervals([(0, 10), (20, 30)], [(1, 2), (8, 22)]) == [
+            (0, 1),
+            (2, 8),
+            (22, 30),
+        ]
+
+
+class TestAttribute:
+    def test_priority_order_resolves_overlap(self):
+        """A cycle claimed by both sfence-drain and fetch-stall goes to
+        the deeper cause (the drain)."""
+        tracer = SpanTracer()
+        tracer.span("sfence_drain", 0, 10)
+        tracer.span("fetch_stall", 5, 15)
+        stats = RunStats(cycles=20)
+        report = attribute(stats, tracer)
+        assert report.buckets["sfence_drain"] == 10
+        assert report.buckets["fetch_stall"] == 5  # only [10, 15)
+        assert report.buckets["compute"] == 5
+        assert report.total() == 20
+
+    def test_buckets_always_sum_to_cycles(self):
+        tracer = SpanTracer()
+        tracer.span("checkpoint_stall", 2, 6)
+        tracer.span("ssb_full_stall", 4, 9)
+        tracer.span("fetch_stall", 0, 3)
+        stats = RunStats(cycles=12)
+        report = attribute(stats, tracer)
+        assert report.total() == stats.cycles
+        assert attribution_errors(stats, tracer) == []
+
+    def test_no_spans_means_all_compute(self):
+        stats = RunStats(cycles=100)
+        report = attribute(stats, SpanTracer())
+        assert report.compute == 100
+
+    def test_as_dict_and_render(self):
+        tracer = SpanTracer()
+        tracer.span("fetch_stall", 0, 4)
+        report = attribute(RunStats(cycles=10), tracer)
+        data = report.as_dict()
+        assert data["cycles"] == 10 and data["fetch_stall"] == 4
+        text = report.render()
+        for name in ("compute",) + ATTRIBUTION_BUCKETS:
+            assert name in text
+
+
+class TestAttributionErrors:
+    def test_stall_span_beyond_cycles_flagged(self):
+        tracer = SpanTracer()
+        tracer.span("sfence_drain", 5, 30)
+        errors = attribution_errors(RunStats(cycles=20), tracer)
+        assert any("outside" in error for error in errors)
+
+    def test_epoch_span_beyond_cycles_is_fine(self):
+        """Background commit legitimately outlives ``cycles``."""
+        tracer = SpanTracer()
+        tracer.span("epoch", 5, 30, epoch_id=0, outcome="commit")
+        assert attribution_errors(RunStats(cycles=20), tracer) == []
+
+
+class TestConsistencyErrors:
+    def _stats(self):
+        return RunStats(
+            cycles=100,
+            sfence_stall_cycles=7,
+            pcommits=2,
+            epochs_created=1,
+            sp_entries=1,
+            rollbacks=0,
+        )
+
+    def _tracer(self):
+        tracer = SpanTracer()
+        tracer.span("sfence_drain", 0, 7)
+        tracer.span("pcommit", 0, 3)
+        tracer.span("pcommit", 3, 5)
+        tracer.span("epoch", 0, 9, epoch_id=0, outcome="commit")
+        tracer.instant("sp_enter", 0)
+        return tracer
+
+    def test_healthy_pair_has_no_errors(self):
+        assert consistency_errors(self._stats(), self._tracer()) == []
+
+    def test_missing_pcommit_span_flagged(self):
+        tracer = self._tracer()
+        stats = self._stats()
+        stats.pcommits = 3
+        errors = consistency_errors(stats, tracer)
+        assert any("pcommit" in error for error in errors)
+
+    def test_stall_duration_mismatch_flagged(self):
+        stats = self._stats()
+        stats.sfence_stall_cycles = 8
+        errors = consistency_errors(stats, self._tracer())
+        assert any("sfence_drain" in error for error in errors)
+
+    def test_instant_count_mismatch_flagged(self):
+        stats = self._stats()
+        stats.rollbacks = 1
+        errors = consistency_errors(stats, self._tracer())
+        assert any("rollback" in error for error in errors)

@@ -1,0 +1,83 @@
+"""Workload/mode resolution, traced_run, and the ``trace`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.capture import (
+    TRACE_MODES,
+    resolve_mode,
+    resolve_workload,
+    traced_run,
+)
+from repro.obs.perfetto import validate_chrome_trace
+from repro.txn.modes import PersistMode
+
+
+class TestResolution:
+    def test_abbrev_passthrough(self):
+        assert resolve_workload("BT") == "BT"
+        assert resolve_workload("bt") == "BT"
+
+    def test_human_names(self):
+        assert resolve_workload("btree") == "BT"
+        assert resolve_workload("B-tree") == "BT"
+        assert resolve_workload("hash map") == "HM"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolve_workload("quicksort")
+
+    def test_mode_separators(self):
+        for spelling in ("log_p_sf", "log+p+sf", "LOG P SF", "log-p-sf"):
+            token, mode, _config = resolve_mode(spelling)
+            assert token == "log_p_sf"
+            assert mode is PersistMode.LOG_P_SF
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            resolve_mode("sp9000")
+
+    def test_sp_modes_enable_speculation(self):
+        for label in ("sp32", "sp256", "sp1024", "sp_unlim"):
+            _mode, config = TRACE_MODES[label]
+            assert config.sp_enabled
+        assert not TRACE_MODES["base"][1].sp_enabled
+
+
+class TestTracedRun:
+    def test_returns_consistent_triple(self):
+        stats, tracer, info = traced_run(
+            "LL", mode="sp256", init_ops=60, sim_ops=30
+        )
+        assert stats.cycles > 0
+        assert len(tracer) > 0
+        assert info["workload"] == "LL"
+        assert info["mode"] == "sp256"
+        assert info["sp_enabled"] is True
+        assert info["trace_len"] > 0
+
+
+class TestTraceCommand:
+    def test_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "linked-list", "--mode", "sp256",
+                "--out", str(out), "--init-ops", "60", "--sim-ops", "30",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Linked-List" in printed
+        assert "stall attribution" in printed
+        assert validate_chrome_trace(out) > 0
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["mode"] == "sp256"
+        assert payload["otherData"]["run_stats"]["cycles"] > 0
+
+    def test_unknown_workload_exits_2(self, tmp_path, capsys):
+        code = main(["trace", "nope", "--out", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Chrome trace-event export and the no-deps schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import (
+    ChromeTraceError,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import SpanTracer
+from repro.stats.run import RunStats
+
+
+def _tracer():
+    tracer = SpanTracer()
+    tracer.span("sfence_drain", 10, 25, cat="stall")
+    tracer.span("pcommit", 5, 20, cat="pmem")
+    tracer.span("epoch", 0, 30, cat="speculation", epoch_id=0, outcome="commit")
+    tracer.instant("sp_enter", 0, cat="speculation")
+    tracer.counter("wpq_occupancy", 5, 2)
+    return tracer
+
+
+class TestExport:
+    def test_events_have_known_phases(self):
+        events = chrome_trace_events(_tracer())
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i", "C"}
+
+    def test_span_maps_to_complete_event(self):
+        events = chrome_trace_events(_tracer())
+        (drain,) = [e for e in events if e.get("name") == "sfence_drain"]
+        assert (drain["ph"], drain["ts"], drain["dur"]) == ("X", 10, 15)
+
+    def test_categories_map_to_tracks(self):
+        events = chrome_trace_events(_tracer())
+        by_name = {e["name"]: e for e in events if e["ph"] in ("X", "i")}
+        tids = {name: event["tid"] for name, event in by_name.items()}
+        assert tids["sfence_drain"] != tids["pcommit"] != tids["epoch"]
+
+    def test_args_carried_through(self):
+        events = chrome_trace_events(_tracer())
+        (epoch,) = [e for e in events if e.get("name") == "epoch"]
+        assert epoch["args"]["outcome"] == "commit"
+
+    def test_metadata_names_tracks(self):
+        events = chrome_trace_events(_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert sum(e["name"] == "thread_name" for e in meta) >= 4
+
+
+class TestWriteAndValidate:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        stats = RunStats(cycles=30, instructions=10)
+        write_chrome_trace(path, _tracer(), stats=stats, meta={"mode": "sp256"})
+        count = validate_chrome_trace(path)
+        assert count > 5
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["mode"] == "sp256"
+        assert payload["otherData"]["run_stats"]["cycles"] == 30
+
+    def test_validate_accepts_parsed_dict(self):
+        payload = {
+            "traceEvents": chrome_trace_events(_tracer()),
+            "displayTimeUnit": "ms",
+        }
+        assert validate_chrome_trace(payload) == len(payload["traceEvents"])
+
+
+class TestValidatorRejects:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace(tmp_path / "nope.json")
+
+    def test_top_level_list(self):
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace({"traceEvents": "not-a-list"})
+
+    def test_empty_events(self):
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_unknown_phase(self):
+        with pytest.raises(ChromeTraceError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "name": "x", "ts": 0}]}
+            )
+
+    def test_negative_timestamp(self):
+        with pytest.raises(ChromeTraceError, match="ts"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "i", "name": "x", "ts": -1}]}
+            )
+
+    def test_boolean_duration(self):
+        with pytest.raises(ChromeTraceError, match="dur"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "dur": True}]}
+            )
+
+    def test_counter_without_args(self):
+        with pytest.raises(ChromeTraceError, match="args"):
+            validate_chrome_trace({"traceEvents": [{"ph": "C", "name": "x", "ts": 0}]})
+
+    def test_nameless_event(self):
+        with pytest.raises(ChromeTraceError, match="name"):
+            validate_chrome_trace({"traceEvents": [{"ph": "i", "ts": 0}]})

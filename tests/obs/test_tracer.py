@@ -1,0 +1,93 @@
+"""SpanTracer / NullTracer primitives."""
+
+import pytest
+
+from repro.obs.tracer import COALESCED_SPANS, NullTracer, SpanTracer, TraceEvent
+
+
+class TestSpanTracer:
+    def test_span_records_interval(self):
+        tracer = SpanTracer()
+        tracer.span("sfence_drain", 10, 25, cat="stall")
+        (event,) = tracer.spans("sfence_drain")
+        assert (event.ts, event.end, event.dur) == (10, 25, 15)
+        assert event.cat == "stall"
+
+    def test_span_args_preserved(self):
+        tracer = SpanTracer()
+        tracer.span("epoch", 0, 5, cat="speculation", epoch_id=3, outcome="commit")
+        (event,) = tracer.spans("epoch")
+        assert event.args == {"epoch_id": 3, "outcome": "commit"}
+
+    def test_negative_span_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            tracer.span("sfence_drain", 10, 9)
+
+    def test_zero_duration_span_allowed(self):
+        tracer = SpanTracer()
+        tracer.span("pcommit", 7, 7)
+        assert tracer.span_count("pcommit") == 1
+        assert tracer.span_cycles("pcommit") == 0
+
+    def test_instant_and_counter(self):
+        tracer = SpanTracer()
+        tracer.instant("sp_enter", 4, cat="speculation")
+        tracer.counter("wpq_occupancy", 5, 3)
+        assert tracer.instants("sp_enter")[0].ts == 4
+        assert tracer.counters("wpq_occupancy")[0].value == 3
+        assert len(tracer) == 2
+
+    def test_queries_filter_by_name(self):
+        tracer = SpanTracer()
+        tracer.span("a", 0, 1)
+        tracer.span("b", 1, 2)
+        assert tracer.span_count("a") == 1
+        assert tracer.intervals("b") == [(1, 2)]
+        assert len(tracer.spans()) == 2
+
+
+class TestCoalescing:
+    def test_adjacent_fetch_stalls_merge(self):
+        tracer = SpanTracer()
+        tracer.span("fetch_stall", 0, 5)
+        tracer.span("fetch_stall", 5, 9)
+        assert tracer.span_count("fetch_stall") == 1
+        assert tracer.span_cycles("fetch_stall") == 9
+        assert tracer.intervals("fetch_stall") == [(0, 9)]
+
+    def test_gap_breaks_the_merge(self):
+        tracer = SpanTracer()
+        tracer.span("fetch_stall", 0, 5)
+        tracer.span("fetch_stall", 6, 9)
+        assert tracer.span_count("fetch_stall") == 2
+        assert tracer.span_cycles("fetch_stall") == 8
+
+    def test_only_listed_names_coalesce(self):
+        tracer = SpanTracer()
+        assert "sfence_drain" not in COALESCED_SPANS
+        tracer.span("sfence_drain", 0, 5)
+        tracer.span("sfence_drain", 5, 9)
+        assert tracer.span_count("sfence_drain") == 2
+
+    def test_args_disable_coalescing(self):
+        tracer = SpanTracer()
+        tracer.span("fetch_stall", 0, 5, reason="x")
+        tracer.span("fetch_stall", 5, 9, reason="x")
+        assert tracer.span_count("fetch_stall") == 2
+
+
+class TestNullTracer:
+    def test_swallows_everything(self):
+        tracer = NullTracer()
+        tracer.span("a", 0, 1)
+        tracer.instant("b", 2)
+        tracer.counter("c", 3, 4)
+        # nothing stored, nothing raised
+
+
+class TestTraceEvent:
+    def test_slots(self):
+        event = TraceEvent("span", "x", 0)
+        with pytest.raises(AttributeError):
+            event.other = 1

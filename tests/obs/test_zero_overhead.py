@@ -1,0 +1,143 @@
+"""The zero-overhead-when-disabled seam, and traced-run consistency.
+
+The contract: ``tracer=None`` keeps the segment-walker fast path
+(bit-identical to the seed and to a traced run); any tracer object —
+including :class:`NullTracer` — routes through the exact per-op loop.
+"""
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.obs.attribution import attribution_errors, consistency_errors
+from repro.obs.tracer import NullTracer, SpanTracer
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import PipelineModel
+
+BASE = MachineConfig()
+SP = BASE.with_sp(256)
+
+
+def barrier(addr):
+    return [
+        Instr(Op.STORE, addr),
+        Instr(Op.CLWB, addr),
+        Instr(Op.SFENCE),
+        Instr(Op.PCOMMIT),
+        Instr(Op.SFENCE),
+    ]
+
+
+def mixed_trace():
+    instrs = []
+    for i in range(6):
+        instrs += barrier(0x10000 + i * 0x400)
+        instrs += [Instr(Op.STORE, 0x20000 + i * 64)]
+        instrs += [Instr(Op.LOAD, 0x30000 + j * 64) for j in range(4)]
+        instrs += [Instr(Op.ALU)] * 10
+    return Trace(instrs)
+
+
+def _spy_paths(model):
+    """Count fast-path vs exact-loop entries without deoptimising.
+
+    ``_run_segments``/``_run_exact`` are not in the pipeline's inlined-
+    method set, so instance-level wrappers don't flip ``_deoptimized``.
+    """
+    calls = {"segments": 0, "exact": 0}
+    real_segments = model._run_segments
+    real_exact = model._run_exact
+
+    def spy_segments(columns, segments):
+        calls["segments"] += 1
+        return real_segments(columns, segments)
+
+    def spy_exact(columns):
+        calls["exact"] += 1
+        return real_exact(columns)
+
+    model._run_segments = spy_segments
+    model._run_exact = spy_exact
+    return calls
+
+
+class TestRouting:
+    def test_no_tracer_takes_segment_fast_path(self):
+        model = PipelineModel(SP)
+        calls = _spy_paths(model)
+        model.run(mixed_trace())
+        assert calls == {"segments": 1, "exact": 0}
+
+    def test_span_tracer_takes_exact_loop(self):
+        model = PipelineModel(SP, tracer=SpanTracer())
+        calls = _spy_paths(model)
+        model.run(mixed_trace())
+        assert calls == {"segments": 0, "exact": 1}
+
+    def test_null_tracer_also_takes_exact_loop(self):
+        """The model only distinguishes None from not-None."""
+        model = PipelineModel(SP, tracer=NullTracer())
+        calls = _spy_paths(model)
+        model.run(mixed_trace())
+        assert calls == {"segments": 0, "exact": 1}
+
+
+class TestTracedEqualsUntraced:
+    def test_bit_identical_stats_sp(self):
+        trace = mixed_trace()
+        fast = PipelineModel(SP).run(trace)
+        traced = PipelineModel(SP, tracer=SpanTracer()).run(trace)
+        assert fast.as_dict() == traced.as_dict()
+
+    def test_bit_identical_stats_base(self):
+        trace = mixed_trace()
+        fast = PipelineModel(BASE).run(trace)
+        traced = PipelineModel(BASE, tracer=SpanTracer()).run(trace)
+        assert fast.as_dict() == traced.as_dict()
+
+    def test_null_tracer_changes_nothing(self):
+        trace = mixed_trace()
+        fast = PipelineModel(SP).run(trace)
+        nulled = PipelineModel(SP, tracer=NullTracer()).run(trace)
+        assert fast.as_dict() == nulled.as_dict()
+
+
+class TestSpanCounterConsistency:
+    def test_sp_run(self):
+        tracer = SpanTracer()
+        stats = PipelineModel(SP, tracer=tracer).run(mixed_trace())
+        assert stats.sp_entries > 0  # the trace actually speculates
+        assert consistency_errors(stats, tracer) == []
+        assert attribution_errors(stats, tracer) == []
+        assert tracer.span_count("pcommit") == stats.pcommits
+        assert tracer.span_count("epoch") == stats.epochs_created
+        assert tracer.span_cycles("sfence_drain") == stats.sfence_stall_cycles
+
+    def test_eager_run(self):
+        tracer = SpanTracer()
+        stats = PipelineModel(BASE, tracer=tracer).run(mixed_trace())
+        assert stats.sfence_stall_cycles > 0  # fences actually stall
+        assert consistency_errors(stats, tracer) == []
+        assert attribution_errors(stats, tracer) == []
+
+    def test_rollback_run(self):
+        tracer = SpanTracer()
+        model = PipelineModel(SP, tracer=tracer)
+        model.schedule_probe(8, 0x20000)
+        instrs = barrier(0x10000) + [Instr(Op.STORE, 0x20000)]
+        instrs += [Instr(Op.LOAD, 0x30000 + i * 64) for i in range(10)]
+        instrs += [Instr(Op.ALU)] * 20
+        stats = model.run(Trace(instrs))
+        assert stats.rollbacks == 1
+        assert len(tracer.instants("rollback")) == 1
+        assert consistency_errors(stats, tracer) == []
+        assert attribution_errors(stats, tracer) == []
+
+    def test_wpq_counter_samples_do_not_perturb_stats(self):
+        """The tracer samples WPQ occupancy read-only — max_wpq bookkeeping
+        in the memory controller must not see the probes."""
+        trace = mixed_trace()
+        fast = PipelineModel(BASE).run(trace)
+        tracer = SpanTracer()
+        traced = PipelineModel(BASE, tracer=tracer).run(trace)
+        assert traced.max_inflight_pcommits == fast.max_inflight_pcommits
+        assert len(tracer.counters("wpq_occupancy")) > 0

@@ -1,0 +1,51 @@
+"""as_dict/from_dict must be lossless, including ``extra``."""
+
+from repro.stats.run import RunStats
+
+
+class TestRoundTrip:
+    def test_plain_counters(self):
+        stats = RunStats(cycles=100, instructions=80, pcommits=3)
+        assert RunStats.from_dict(stats.as_dict()) == stats
+
+    def test_extra_survives_flattened_form(self):
+        """as_dict flattens ``extra`` into the mapping; from_dict must
+        absorb those keys back instead of dropping them."""
+        stats = RunStats(cycles=10, extra={"speedup": 1.5, "warm_ratio": 0.2})
+        rebuilt = RunStats.from_dict(stats.as_dict())
+        assert rebuilt == stats
+        assert rebuilt.extra == {"speedup": 1.5, "warm_ratio": 0.2}
+
+    def test_extra_survives_nested_form(self):
+        """The persistent cache's JSON records keep ``extra`` nested."""
+        rebuilt = RunStats.from_dict(
+            {"cycles": 10, "extra": {"speedup": 1.5}}
+        )
+        assert rebuilt == RunStats(cycles=10, extra={"speedup": 1.5})
+
+    def test_derived_metrics_not_absorbed(self):
+        stats = RunStats(cycles=100, instructions=80)
+        rebuilt = RunStats.from_dict(stats.as_dict())
+        assert rebuilt.extra == {}
+        assert rebuilt.ipc == stats.ipc
+
+    def test_double_round_trip_is_stable(self):
+        stats = RunStats(cycles=7, extra={"x": 1.0})
+        once = RunStats.from_dict(stats.as_dict())
+        twice = RunStats.from_dict(once.as_dict())
+        assert twice == stats
+
+    def test_cache_round_trip(self, tmp_path, monkeypatch):
+        """Store → load through the persistent cache preserves extra."""
+        from repro.harness import cache as disk_cache
+        from repro.harness.runner import TraceKey
+        from repro.txn.modes import PersistMode
+        from repro.uarch.config import MachineConfig
+
+        monkeypatch.setenv(disk_cache.ENV_CACHE_DIR, str(tmp_path))
+        monkeypatch.delenv(disk_cache.ENV_NO_CACHE, raising=False)
+        key = TraceKey("BT", PersistMode.BASE, 7)
+        config = MachineConfig()
+        stats = RunStats(cycles=42, extra={"speedup": 2.0})
+        disk_cache.store_stats(key, config, stats)
+        assert disk_cache.load_cached_stats(key, config) == stats
