@@ -35,6 +35,14 @@ for any job count.  They also accept ``--metrics-out PATH`` to dump the
 harness's own metrics (cache hit/miss counters, per-variant wall time
 and worker attribution) as JSON, and print a one-line summary of the
 same after their regular output.
+
+Multi-worker campaigns run under the fault-tolerant supervisor
+(:mod:`repro.harness.supervisor`; see ``docs/RESILIENCE.md``).  The
+commands above plus ``validate`` accept ``--resume`` (skip cells an
+interrupted campaign already journaled), ``--no-supervise`` (the plain
+PR-1 scheduler, byte-identical output), ``--job-timeout SECONDS`` (the
+per-job watchdog deadline), and ``--failures-out PATH`` (structured
+report of timeouts/retries/quarantines/pool rebuilds).
 """
 
 from __future__ import annotations
@@ -276,6 +284,32 @@ def build_parser() -> argparse.ArgumentParser:
                  "wall time/worker) as JSON to PATH",
         )
 
+    def add_supervise(sub_parser):
+        sub_parser.add_argument(
+            "--resume", action="store_true",
+            help="resume an interrupted campaign: cells recorded in the "
+                 "campaign journal are loaded from cache, only the "
+                 "missing ones are re-simulated",
+        )
+        sub_parser.add_argument(
+            "--no-supervise", action="store_true", dest="no_supervise",
+            help="bypass the fault-tolerant supervisor (no retries, "
+                 "timeouts, or journals); output is byte-identical",
+        )
+        sub_parser.add_argument(
+            "--job-timeout", type=float, default=None, metavar="SECONDS",
+            dest="job_timeout",
+            help="wall-clock deadline per pool job before the watchdog "
+                 "kills and requeues it (default: 300, or "
+                 "REPRO_JOB_TIMEOUT)",
+        )
+        sub_parser.add_argument(
+            "--failures-out", default=None, metavar="PATH",
+            dest="failures_out",
+            help="write a structured failure/recovery report (retries, "
+                 "timeouts, quarantines, pool rebuilds) as JSON to PATH",
+        )
+
     sub.add_parser("tables", help="print Tables 1-3")
 
     figure = sub.add_parser("figure", help="regenerate one figure")
@@ -286,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs(figure)
     add_metrics_out(figure)
+    add_supervise(figure)
 
     sub.add_parser("headline", help="the abstract's claim")
 
@@ -293,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("abbrev", choices=WORKLOADS)
     add_jobs(run)
     add_metrics_out(run)
+    add_supervise(run)
 
     trace = sub.add_parser(
         "trace",
@@ -331,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("path", nargs="?", default=None)
     add_jobs(report)
     add_metrics_out(report)
+    add_supervise(report)
 
     bench = sub.add_parser(
         "bench", help="time cold/warm harness runs and pipeline throughput"
@@ -350,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs(bench)
     add_metrics_out(bench)
+    add_supervise(bench)
 
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
     cache.add_argument("action", choices=("info", "clear"))
@@ -383,13 +421,36 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: {validation.DEFAULT_REPORT}; '-' to skip)",
     )
     add_jobs(validate)
+    add_supervise(validate)
     return parser
+
+
+def _configure_supervisor(args) -> None:
+    """Apply the --resume/--no-supervise/--job-timeout flags."""
+    from repro.harness import supervisor
+
+    if getattr(args, "no_supervise", False):
+        supervisor.set_enabled(False)
+    if getattr(args, "resume", False):
+        supervisor.set_resume(True)
+    if getattr(args, "job_timeout", None) is not None:
+        supervisor.set_job_timeout(args.job_timeout)
+
+
+def _write_failures(args) -> None:
+    """Write the --failures-out recovery report, if requested."""
+    if getattr(args, "failures_out", None):
+        from repro.harness import supervisor
+
+        path = supervisor.write_failure_report(args.failures_out)
+        print(f"failure report written to {path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "jobs", None) is not None:
         parallel.set_default_jobs(args.jobs)
+    _configure_supervisor(args)
     if args.command == "tables":
         print(table1_text())
         print()
@@ -453,8 +514,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = result.write(args.report)
             print(f"report written to {path}")
         print(result.summary())
+        _write_failures(args)
         harness_cache.persist_cache_counters()
         return 0 if result.ok else 1
+    _write_failures(args)
     harness_cache.persist_cache_counters()
     return 0
 

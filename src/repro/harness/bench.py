@@ -69,7 +69,9 @@ def _git_rev() -> Optional[str]:
             timeout=10,
             cwd=os.path.dirname(os.path.abspath(__file__)),
         )
-    except (OSError, subprocess.TimeoutExpired):
+    except (OSError, ValueError, subprocess.SubprocessError):
+        # git missing, hung (TimeoutExpired), unrunnable, or emitting
+        # undecodable output — the record is still useful without a rev
         return None
     rev = out.stdout.strip()
     return rev if out.returncode == 0 and rev else None
@@ -82,6 +84,9 @@ def _isolated_cache(root: str):
     saved_off = os.environ.get(disk_cache.ENV_NO_CACHE)
     os.environ[disk_cache.ENV_CACHE_DIR] = root
     os.environ.pop(disk_cache.ENV_NO_CACHE, None)
+    # a runtime cache degrade (ENOSPC elsewhere) must not leak into the
+    # bench's isolated store, which lives on a fresh temp directory
+    disk_cache.reset_runtime_disable()
     try:
         yield
     finally:

@@ -28,6 +28,16 @@ Environment overrides:
 Writes are atomic (temp file + ``os.replace``), so concurrent workers of
 the parallel scheduler may share one store without locking: the worst
 case is the same key being written twice with identical content.
+
+Robustness (see ``docs/RESILIENCE.md``): every entry carries an
+integrity check — RPTR2 traces end in a CRC-32 footer, stats records are
+wrapped in a ``{"crc": ..., "record": ...}`` envelope — and anything
+that fails to parse *or verify* is deleted and treated as a miss, so a
+torn or bit-flipped entry can never resurface as wrong data.  A failed
+store (``ENOSPC``, read-only filesystem) degrades the whole cache to off
+for the rest of the process with a one-line warning instead of aborting
+the run, and ``cache info``/``cache clear`` sweep the ``mkstemp``
+staging files a crashed writer may have leaked.
 """
 
 from __future__ import annotations
@@ -36,7 +46,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
 import tempfile
+import time
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
@@ -165,9 +178,50 @@ def persist_cache_counters(root: Optional[PathLike] = None) -> None:
     _PERSISTED = CacheCounters(**session)
 
 
+#: Reason the cache turned itself off mid-run (``None`` while healthy).
+#: Set when a store hits an ``OSError`` — most commonly ``ENOSPC`` on a
+#: full disk — so the run degrades to cache-off instead of aborting.
+_RUNTIME_DISABLED: Optional[str] = None
+
+
+def runtime_disabled() -> Optional[str]:
+    """Why the cache degraded to off this session, or ``None``."""
+    return _RUNTIME_DISABLED
+
+
+def reset_runtime_disable() -> None:
+    """Re-arm the cache after a runtime degrade (tests, new campaigns)."""
+    global _RUNTIME_DISABLED
+    _RUNTIME_DISABLED = None
+
+
+def _degrade(exc: OSError) -> None:
+    """Turn the cache off for the rest of the process after a failed write."""
+    global _RUNTIME_DISABLED
+    if _RUNTIME_DISABLED is None:
+        _RUNTIME_DISABLED = f"{type(exc).__name__}: {exc}"
+        print(
+            f"repro: cache write failed ({_RUNTIME_DISABLED}); "
+            "continuing with the cache disabled",
+            file=sys.stderr,
+        )
+
+
+def _guarded_write(path: Path, writer) -> bool:
+    """Atomic write that degrades to cache-off on ``OSError`` (ENOSPC,
+    read-only filesystem, ...) instead of propagating; returns success."""
+    try:
+        _atomic_write(path, writer)
+    except OSError as exc:
+        _degrade(exc)
+        return False
+    return True
+
+
 def cache_enabled() -> bool:
-    """Whether the persistent cache is active (``REPRO_NO_CACHE`` unset)."""
-    return not os.environ.get(ENV_NO_CACHE)
+    """Whether the persistent cache is active (``REPRO_NO_CACHE`` unset
+    and no runtime degrade has fired)."""
+    return not os.environ.get(ENV_NO_CACHE) and _RUNTIME_DISABLED is None
 
 
 def cache_root() -> Optional[Path]:
@@ -239,6 +293,15 @@ def stats_path(key, config: MachineConfig, root: Optional[PathLike] = None) -> O
     return resolved / "stats" / f"{stats_digest(key, config)}.json"
 
 
+def journal_dir(root: Optional[PathLike] = None) -> Optional[Path]:
+    """Where campaign journals live (``<cache>/journal/``), or ``None``
+    when caching is disabled.  See :mod:`repro.harness.supervisor`."""
+    resolved = _resolve_root(root)
+    if resolved is None:
+        return None
+    return resolved / "journal"
+
+
 # ----------------------------------------------------------------------
 # atomic file helpers
 # ----------------------------------------------------------------------
@@ -289,7 +352,8 @@ def store_trace(key, trace: Trace, root: Optional[PathLike] = None) -> Optional[
     path = trace_path(key, root)
     if path is None:
         return None
-    _atomic_write(path, lambda handle: dump_trace(trace, handle))
+    if not _guarded_write(path, lambda handle: dump_trace(trace, handle)):
+        return None
     _COUNTERS.trace_stores += 1
     return path
 
@@ -304,10 +368,23 @@ def _stats_record(stats: RunStats) -> dict:
     }
 
 
+def _record_crc(record: dict) -> int:
+    """CRC-32 of the canonical JSON encoding of a raw-counter record."""
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode())
+
+
 def load_cached_stats(
     key, config: MachineConfig, root: Optional[PathLike] = None
 ) -> Optional[RunStats]:
-    """The cached :class:`RunStats` for *(key, config)*, or ``None``."""
+    """The cached :class:`RunStats` for *(key, config)*, or ``None``.
+
+    Checksummed records (``{"crc": ..., "record": {...}}``) are verified
+    before deserialising — a flipped digit in a counter would otherwise
+    load as *plausible but wrong* stats; legacy flat records (written
+    before the integrity envelope existed) load unverified.  Anything
+    that fails to parse or verify is dropped via :func:`_drop_corrupt`.
+    """
     path = stats_path(key, config, root)
     if path is None or not path.exists():
         _COUNTERS.stats_misses += 1
@@ -315,8 +392,14 @@ def load_cached_stats(
     try:
         with open(path, "r") as handle:
             data = json.load(handle)
-        stats = RunStats.from_dict(data)
-    except (json.JSONDecodeError, TypeError, OSError):
+        if isinstance(data, dict) and "record" in data and "crc" in data:
+            record = data["record"]
+            if not isinstance(record, dict) or _record_crc(record) != data["crc"]:
+                raise ValueError("stats record checksum mismatch")
+            stats = RunStats.from_dict(record)
+        else:
+            stats = RunStats.from_dict(data)
+    except (json.JSONDecodeError, TypeError, ValueError, OSError):
         _drop_corrupt(path)
         _COUNTERS.corrupt_dropped += 1
         _COUNTERS.stats_misses += 1
@@ -328,12 +411,16 @@ def load_cached_stats(
 def store_stats(
     key, config: MachineConfig, stats: RunStats, root: Optional[PathLike] = None
 ) -> Optional[Path]:
-    """Persist *stats* for *(key, config)*; returns the path."""
+    """Persist *stats* for *(key, config)* inside a CRC-32 integrity
+    envelope; returns the path."""
     path = stats_path(key, config, root)
     if path is None:
         return None
-    blob = json.dumps(_stats_record(stats), sort_keys=True).encode()
-    _atomic_write(path, lambda handle: handle.write(blob))
+    record = _stats_record(stats)
+    envelope = {"schema": 1, "crc": _record_crc(record), "record": record}
+    blob = json.dumps(envelope, sort_keys=True).encode()
+    if not _guarded_write(path, lambda handle: handle.write(blob)):
+        return None
     _COUNTERS.stats_stores += 1
     return path
 
@@ -341,13 +428,54 @@ def store_stats(
 # ----------------------------------------------------------------------
 # maintenance
 # ----------------------------------------------------------------------
-def clear_cache(root: Optional[PathLike] = None) -> int:
-    """Delete every cache entry; returns the number of files removed."""
+def _is_tmp_entry(path: Path) -> bool:
+    """Whether *path* is an orphaned ``mkstemp`` leftover of
+    :func:`_atomic_write` (``<name>.<random>`` — never a finished entry,
+    which always ends in ``.rptr``, ``.json``, or ``.jsonl``)."""
+    return path.is_file() and path.suffix not in (".rptr", ".json", ".jsonl")
+
+
+def sweep_stale_tmp(
+    root: Optional[PathLike] = None, min_age_s: float = 3600.0
+) -> int:
+    """Remove ``*.tmp`` droppings a crashed writer left next to cache
+    entries; returns the number removed.
+
+    ``_atomic_write`` stages every entry through ``mkstemp`` in the
+    target directory; a worker killed between ``mkstemp`` and
+    ``os.replace`` leaks the staging file forever.  Only files older than
+    *min_age_s* are touched (0 sweeps everything) so a live writer's
+    in-flight staging file survives a concurrent sweep.
+    """
     resolved = _resolve_root(root)
     if resolved is None or not resolved.exists():
         return 0
+    cutoff = time.time() - max(0.0, min_age_s)
     removed = 0
-    for sub in ("traces", "stats"):
+    for sub in ("traces", "stats", "journal"):
+        directory = resolved / sub
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            if not _is_tmp_entry(path):
+                continue
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def clear_cache(root: Optional[PathLike] = None) -> int:
+    """Delete every cache entry (stale tmp files included); returns the
+    number of files removed."""
+    resolved = _resolve_root(root)
+    if resolved is None or not resolved.exists():
+        return 0
+    removed = sweep_stale_tmp(root, min_age_s=0.0)
+    for sub in ("traces", "stats", "journal"):
         directory = resolved / sub
         if not directory.is_dir():
             continue
@@ -381,32 +509,44 @@ def cache_info(root: Optional[PathLike] = None) -> dict:
     RPTR format version (a non-zero ``traces_rptr1`` after a schema bump
     means stale pre-columnar files are still on disk) — and reports the
     session's and, when persisted, the cache's lifetime hit/miss counters.
+    Stale ``mkstemp`` staging files older than an hour (leaked by crashed
+    writers) are swept as a side effect and the count reported as
+    ``stale_tmp_removed``.
     """
     resolved = _resolve_root(root)
     info = {
         "root": str(resolved) if resolved is not None else None,
         "enabled": resolved is not None,
+        "degraded": runtime_disabled(),
         "schema_version": CACHE_SCHEMA_VERSION,
         "traces": 0,
         "stats": 0,
+        "journals": 0,
         "bytes": 0,
         "trace_bytes": 0,
         "stats_bytes": 0,
+        "journal_bytes": 0,
         "traces_rptr1": 0,
         "traces_rptr2": 0,
+        "stale_tmp_removed": 0,
         "counters_session": _COUNTERS.as_dict(),
         "counters_lifetime": lifetime_cache_counters(root),
     }
     if resolved is None or not resolved.exists():
         return info
-    for sub, bytes_key in (("traces", "trace_bytes"), ("stats", "stats_bytes")):
+    info["stale_tmp_removed"] = sweep_stale_tmp(root)
+    for sub, bytes_key in (
+        ("traces", "trace_bytes"),
+        ("stats", "stats_bytes"),
+        ("journal", "journal_bytes"),
+    ):
         directory = resolved / sub
         if not directory.is_dir():
             continue
         for path in directory.iterdir():
             if not path.is_file():
                 continue
-            info[sub] += 1
+            info["journals" if sub == "journal" else sub] += 1
             size = path.stat().st_size
             info[bytes_key] += size
             info["bytes"] += size

@@ -24,6 +24,13 @@ four ``array.frombytes`` calls into a column-backed trace, so no
 When the persistent cache is disabled (``REPRO_NO_CACHE``) a temporary
 directory serves as the job-scoped shared store and is removed after the
 merge.
+
+Multi-worker campaigns are normally routed through the fault-tolerant
+supervisor (:mod:`repro.harness.supervisor` — watchdog timeouts, retry
+with backoff, pool-death recovery, resumable journals).  ``--no-supervise``
+(``supervisor.set_enabled(False)``) keeps them on the plain two-phase
+``pool.map`` scheduler below, which produces byte-identical results: the
+supervisor changes only *scheduling*, never *what* is computed.
 """
 
 from __future__ import annotations
@@ -135,6 +142,11 @@ def run_variants(
             for job in jobs_list
         ]
 
+    from repro.harness import supervisor
+
+    if supervisor.enabled():
+        return supervisor.run_supervised(jobs_list, n_workers)
+
     results: List[Optional[RunStats]] = [None] * len(jobs_list)
     missing: List[Tuple[int, VariantJob, TraceKey]] = []
     for index, job in enumerate(jobs_list):
@@ -182,7 +194,8 @@ def run_variants(
             path = disk_cache.trace_path(key, root=root_str)
             if path is None or not path.exists():
                 gen_keys.append(key)
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(missing))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(n_workers, len(missing)))
+        try:
             if gen_keys:
                 for key, (length, wall_s, pid) in zip(
                     gen_keys,
@@ -210,6 +223,19 @@ def run_variants(
                     wall_s,
                     worker=f"pid:{pid}",
                 )
+            pool.shutdown(wait=True)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-campaign: don't hang in ProcessPoolExecutor's
+            # atexit join waiting for in-flight simulations — cancel the
+            # queue, SIGKILL the workers, and re-raise so the CLI exits
+            # promptly (completed cells are already in the shared store)
+            from repro.harness.supervisor import _terminate_pool
+
+            _terminate_pool(pool)
+            raise
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
     finally:
         if scratch is not None:
             scratch.cleanup()

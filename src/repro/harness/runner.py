@@ -107,16 +107,20 @@ def build_trace(
     return trace_for_key(TraceKey(abbrev, mode, seed, init_ops, sim_ops))
 
 
-def peek_cached_stats(key: TraceKey, config: MachineConfig) -> Optional[RunStats]:
+def peek_cached_stats(
+    key: TraceKey, config: MachineConfig, root: Optional[str] = None
+) -> Optional[RunStats]:
     """The cached :class:`RunStats` for *(key, config)*, without simulating.
 
     Checks the in-process memo, then the disk store (promoting hits into
-    the memo).  Returns ``None`` on a miss.
+    the memo).  With *root*, a store other than the default cache root —
+    the supervisor's campaign or scratch store — is consulted instead of
+    the default one.  Returns ``None`` on a miss.
     """
     cached = _STATS_CACHE.get((key, config))
     if cached is not None:
         return cached
-    stats = disk_cache.load_cached_stats(key, config)
+    stats = disk_cache.load_cached_stats(key, config, root=root)
     if stats is not None:
         _STATS_CACHE[(key, config)] = stats
     return stats

@@ -1,0 +1,910 @@
+"""Fault-tolerant campaign supervisor for the parallel scheduler.
+
+A figure, report, bench, or validate campaign fans thousands of
+(benchmark, mode, config, seed) simulations across a process pool.
+Without supervision, one OOM-killed worker, one hung simulation, or one
+``KeyboardInterrupt`` aborts the whole fleet and throws away every
+completed cell — exactly the fragility long full-system-simulation
+campaigns cannot tolerate.  This module wraps the scheduler in a
+recovery layer, applying the retry/abort discipline of persistent-memory
+transaction runtimes to the harness itself:
+
+* **watchdog timeouts** — every pool job has a wall-clock deadline;
+  stragglers are killed with the pool and requeued;
+* **bounded retry with deterministic backoff** — failed jobs are
+  re-submitted with exponential backoff and *seeded* jitter, so a rerun
+  of the same campaign schedules identically;
+* **quarantine** — after ``max_attempts`` failures a job is pulled from
+  the fleet so one poison input cannot starve everything else; it is
+  finished in-process by the chaos-free serial fallback;
+* **pool-death recovery** — a ``BrokenProcessPool`` (worker SIGKILL,
+  OOM) rebuilds the pool and re-enqueues the in-flight jobs; after
+  ``max_pool_rebuilds`` deaths the campaign degrades gracefully to
+  serial execution;
+* **resumable journal** — completed jobs are appended (atomically, one
+  JSON line each) to ``<cache>/journal/<campaign-id>.jsonl``; an
+  interrupted campaign rerun with ``--resume`` re-simulates only the
+  journal-missing cells;
+* **chaos mode** — ``REPRO_CHAOS=kill:p,hang:p,corrupt:p`` randomly
+  SIGKILLs workers, injects hangs, and corrupts just-written cache
+  entries, so tests and CI can prove every recovery path actually fires.
+
+None of this changes *what* is computed: results are merged by job
+position exactly as in :mod:`repro.harness.parallel`, simulation is a
+pure function of ``(trace, config)``, and chaos only perturbs scheduling
+and cache files (which are integrity-checked and self-healing) — so a
+campaign that survives any amount of injected failure is byte-identical
+to a clean serial run.  ``--no-supervise`` bypasses this module
+entirely and reproduces the unsupervised scheduler behaviour.
+
+See ``docs/RESILIENCE.md`` for the failure taxonomy and policies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import random
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.harness import cache as disk_cache
+from repro.harness import runner
+from repro.obs import metrics as obs_metrics
+from repro.stats.run import RunStats
+from repro.uarch.pipeline import simulate
+
+ENV_CHAOS = "REPRO_CHAOS"
+ENV_CHAOS_SEED = "REPRO_CHAOS_SEED"
+ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
+ENV_MAX_ATTEMPTS = "REPRO_MAX_ATTEMPTS"
+ENV_MAX_POOL_REBUILDS = "REPRO_MAX_POOL_REBUILDS"
+
+#: How long a chaos-injected hang sleeps — far beyond any sane job
+#: timeout, so a hang always manifests as a watchdog timeout.
+_HANG_SECONDS = 3600.0
+
+#: Cap on recorded per-campaign events so a pathological campaign cannot
+#: grow the failure report without bound.
+_MAX_EVENTS = 1000
+
+
+# ----------------------------------------------------------------------
+# chaos specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Per-event-type injection probabilities, seeded for reproducibility.
+
+    ``kill`` SIGKILLs the worker before it starts (exercises
+    ``BrokenProcessPool`` recovery), ``hang`` sleeps long enough to trip
+    the watchdog (exercises timeouts), ``corrupt`` garbles the cache
+    entry the worker just wrote (exercises integrity-check recovery).
+    Draws are deterministic in ``(seed, job digest, attempt)``, so a
+    chaotic campaign replays identically.
+    """
+
+    kill: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+
+    def active(self) -> bool:
+        return self.kill > 0 or self.hang > 0 or self.corrupt > 0
+
+    def render(self) -> str:
+        return ",".join(
+            f"{name}:{getattr(self, name):g}"
+            for name in ("kill", "hang", "corrupt")
+            if getattr(self, name) > 0
+        )
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "ChaosSpec":
+        """Parse ``"kill:0.1,hang:0.05,corrupt:0.2"`` (any subset)."""
+        rates = {"kill": 0.0, "hang": 0.0, "corrupt": 0.0}
+        for clause in filter(None, (c.strip() for c in text.split(","))):
+            name, _, value = clause.partition(":")
+            name = name.strip()
+            if name not in rates:
+                raise ValueError(
+                    f"unknown chaos event {name!r} in {text!r} "
+                    f"(expected kill/hang/corrupt)"
+                )
+            try:
+                rate = float(value)
+            except ValueError:
+                raise ValueError(f"bad chaos rate in {clause!r}") from None
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"chaos rate out of [0, 1] in {clause!r}")
+            rates[name] = rate
+        return cls(seed=seed, **rates)
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "ChaosSpec":
+        """The active chaos spec (inert when ``REPRO_CHAOS`` is unset)."""
+        text = environ.get(ENV_CHAOS, "")
+        if not text:
+            return cls()
+        try:
+            seed = int(environ.get(ENV_CHAOS_SEED, "0"))
+        except ValueError:
+            seed = 0
+        return cls.parse(text, seed=seed)
+
+
+def _chaos_rng(spec: ChaosSpec, digest: str, attempt: int) -> random.Random:
+    return random.Random(f"{spec.seed}|{digest}|{attempt}")
+
+
+def _corrupt_file(path: Path, rng: random.Random) -> None:
+    """Garble *path* in place: truncate it or flip a few bytes.
+
+    Deliberately non-atomic — this simulates torn writes and bit rot.
+    The integrity layer (RPTR2 CRC footer, stats CRC envelope) must
+    detect the damage on the next load and drop the entry.
+    """
+    try:
+        blob = bytearray(path.read_bytes())
+    except OSError:
+        return
+    if len(blob) < 2:
+        return
+    if rng.random() < 0.5:
+        blob = blob[: rng.randrange(1, len(blob))]
+    else:
+        for _ in range(3):
+            index = rng.randrange(len(blob))
+            blob[index] ^= 1 + rng.randrange(255)
+    try:
+        path.write_bytes(bytes(blob))
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# supervisor configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry/timeout/quarantine policy (env-overridable, see below)."""
+
+    #: wall-clock seconds a single pool job may run before the watchdog
+    #: kills the pool and requeues it (``REPRO_JOB_TIMEOUT``).
+    job_timeout: float = 300.0
+    #: failures (of any kind) before a job is quarantined
+    #: (``REPRO_MAX_ATTEMPTS``).
+    max_attempts: int = 3
+    #: pool deaths tolerated before degrading to serial execution
+    #: (``REPRO_MAX_POOL_REBUILDS``).
+    max_pool_rebuilds: int = 3
+    #: exponential-backoff base and cap, in seconds.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: jitter fraction applied on top of the backoff (seeded — reruns of
+    #: the same campaign back off identically).
+    jitter: float = 0.5
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "SupervisorConfig":
+        def _float(name: str, default: float, low: float) -> float:
+            try:
+                return max(low, float(environ[name]))
+            except (KeyError, ValueError):
+                return default
+
+        def _int(name: str, default: int, low: int) -> int:
+            try:
+                return max(low, int(environ[name]))
+            except (KeyError, ValueError):
+                return default
+
+        return cls(
+            job_timeout=_float(ENV_JOB_TIMEOUT, cls.job_timeout, 0.1),
+            max_attempts=_int(ENV_MAX_ATTEMPTS, cls.max_attempts, 1),
+            max_pool_rebuilds=_int(
+                ENV_MAX_POOL_REBUILDS, cls.max_pool_rebuilds, 0
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# module state (mirrors parallel.set_default_jobs's CLI plumbing)
+# ----------------------------------------------------------------------
+_ENABLED = True
+_RESUME = False
+_JOB_TIMEOUT_OVERRIDE: Optional[float] = None
+_CAMPAIGNS: List["CampaignReport"] = []
+
+
+def set_enabled(flag: bool) -> None:
+    """Route ``run_variants`` through the supervisor (the default) or
+    straight to the unsupervised scheduler (``--no-supervise``)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_resume(flag: bool) -> None:
+    """Honour existing campaign journals instead of restarting them."""
+    global _RESUME
+    _RESUME = bool(flag)
+
+
+def resume_requested() -> bool:
+    return _RESUME
+
+
+def set_job_timeout(seconds: Optional[float]) -> None:
+    """CLI override for the per-job watchdog deadline."""
+    global _JOB_TIMEOUT_OVERRIDE
+    _JOB_TIMEOUT_OVERRIDE = seconds if seconds is None else max(0.1, seconds)
+
+
+def current_config() -> SupervisorConfig:
+    config = SupervisorConfig.from_env()
+    if _JOB_TIMEOUT_OVERRIDE is not None:
+        config = dataclasses.replace(config, job_timeout=_JOB_TIMEOUT_OVERRIDE)
+    return config
+
+
+def reset() -> None:
+    """Restore default supervisor state (tests)."""
+    global _ENABLED, _RESUME, _JOB_TIMEOUT_OVERRIDE
+    _ENABLED = True
+    _RESUME = False
+    _JOB_TIMEOUT_OVERRIDE = None
+    _CAMPAIGNS.clear()
+
+
+def campaign_reports() -> List["CampaignReport"]:
+    """Every supervised campaign this process ran, in order."""
+    return list(_CAMPAIGNS)
+
+
+# ----------------------------------------------------------------------
+# campaign identity and journal
+# ----------------------------------------------------------------------
+def job_digest(job) -> str:
+    """Stable identity of one (trace, config) cell — the stats digest."""
+    return disk_cache.stats_digest(job.trace_key, job.config)
+
+
+def campaign_id(jobs_list: Sequence) -> str:
+    """Content identity of a campaign: order-independent over its cells."""
+    blob = "|".join(sorted(job_digest(job) for job in jobs_list))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class CampaignJournal:
+    """Append-only completion log for one campaign.
+
+    One JSON object per line; each append is a single buffered write of
+    one ``\\n``-terminated line followed by a flush, so a crash can tear
+    at most the final line — which :meth:`load_done` skips.  Journals
+    live beside the cache entries they refer to, so ``--resume`` can
+    trust that a journaled job's result is (re-)loadable, and fall back
+    to re-simulation when the entry has vanished or got corrupted.
+    """
+
+    def __init__(self, directory: Optional[Path], campaign: str) -> None:
+        self.path = (
+            directory / f"{campaign}.jsonl" if directory is not None else None
+        )
+        self.campaign = campaign
+        self._handle = None
+        self.appended = 0
+
+    def load_done(self) -> Set[str]:
+        """Digests of jobs a previous (interrupted) run completed."""
+        if self.path is None or not self.path.exists():
+            return set()
+        done: Set[str] = set()
+        try:
+            with open(self.path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line
+                    digest = record.get("job")
+                    if isinstance(digest, str):
+                        done.add(digest)
+        except OSError:
+            return set()
+        return done
+
+    def restart(self) -> None:
+        """Truncate the journal (a fresh, non-resumed campaign)."""
+        if self.path is None:
+            return
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+        except OSError:
+            self.path = None  # journaling off for this campaign
+
+    def append(self, digest: str, label: str, source: str) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(
+            {"job": digest, "label": label, "source": source},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.appended += 1
+        except OSError:
+            self.close()
+            self.path = None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+# ----------------------------------------------------------------------
+# campaign report (--failures-out)
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """What one supervised campaign did to stay alive."""
+
+    campaign: str
+    jobs: int
+    chaos: str = ""
+    prescan: int = 0
+    resumed: int = 0
+    journal_stale: int = 0
+    scheduled: int = 0
+    completed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    chaos_corrupts: int = 0
+    degraded_serial: bool = False
+    quarantined: List[str] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    def event(self, kind: str, label: str, **detail: object) -> None:
+        if len(self.events) < _MAX_EVENTS:
+            self.events.append({"event": kind, "job": label, **detail})
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def failure_report() -> Dict[str, object]:
+    """Aggregate failure/recovery report of every campaign this session."""
+    totals = obs_metrics.supervisor_counters()
+    return {
+        "schema": 1,
+        "totals": totals.as_dict(),
+        "recovered": totals.any_recovery(),
+        "campaigns": [report.as_dict() for report in _CAMPAIGNS],
+    }
+
+
+def write_failure_report(path) -> Path:
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(failure_report(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# the worker (top-level so it pickles)
+# ----------------------------------------------------------------------
+def _do_work(kind: str, key, config, root: str):
+    """Execute one unit of campaign work; returns ``(result, stored_path)``.
+
+    ``kind == "trace"``: ensure the trace for *key* exists in the shared
+    store; result is the generated length (0 when it already existed).
+    ``kind == "sim"``: simulate *key* on *config*, persisting the stats.
+    Runs identically in pool workers and in the serial fallback.
+    """
+    if kind == "trace":
+        path = disk_cache.trace_path(key, root=root)
+        if path is not None and path.exists():
+            return 0, None
+        trace = runner.generate_trace(key)
+        stored = disk_cache.store_trace(key, trace, root=root)
+        return len(trace), stored
+    trace = disk_cache.load_cached_trace(key, root=root)
+    if trace is None:
+        # the trace phase should have produced it (or chaos ate it);
+        # regenerate defensively
+        trace = runner.generate_trace(key)
+        disk_cache.store_trace(key, trace, root=root)
+    stats = simulate(trace, config)
+    stored = disk_cache.store_stats(key, config, stats, root=root)
+    return stats, stored
+
+
+def _supervised_worker(payload: Tuple) -> Tuple[object, float, int, bool]:
+    """Pool entry point: chaos hooks around :func:`_do_work`.
+
+    Returns ``(result, wall_seconds, worker_pid, chaos_corrupted)``.
+    Chaos draws are deterministic in (seed, job digest, attempt): kill
+    and hang fire *before* the work (they must not affect results),
+    corruption fires *after* the result has been computed and returned
+    bytes are already safe — it damages only the on-disk cache entry,
+    which the integrity layer detects and drops on the next load.
+    """
+    kind, key, config, root, digest, attempt, spec = payload
+    rng = None
+    if spec is not None and spec.active():
+        rng = _chaos_rng(spec, f"{kind}:{digest}", attempt)
+        if rng.random() < spec.kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if rng.random() < spec.hang:
+            time.sleep(_HANG_SECONDS)
+    started = time.perf_counter()
+    result, stored = _do_work(kind, key, config, root)
+    wall = time.perf_counter() - started
+    corrupted = False
+    if rng is not None and stored is not None and rng.random() < spec.corrupt:
+        _corrupt_file(Path(stored), rng)
+        corrupted = True
+    return result, wall, os.getpid(), corrupted
+
+
+# ----------------------------------------------------------------------
+# phase runner
+# ----------------------------------------------------------------------
+class _Task:
+    """One schedulable unit (a trace generation or a simulation)."""
+
+    __slots__ = (
+        "kind", "key", "config", "index", "label", "digest",
+        "attempts", "quarantined", "done", "ready_at", "future",
+        "started_at",
+    )
+
+    def __init__(self, kind, key, config, index, label, digest):
+        self.kind = kind
+        self.key = key
+        self.config = config
+        self.index = index
+        self.label = label
+        self.digest = digest
+        self.attempts = 0
+        self.quarantined = False
+        self.done = False
+        self.ready_at = 0.0
+        self.future = None
+        self.started_at = 0.0
+
+
+class _DegradedToSerial(Exception):
+    """Internal control flow: the pool died too often; go serial."""
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: SIGKILL live workers, then cancel queued work.
+
+    Shared with :mod:`repro.harness.parallel`'s ``KeyboardInterrupt``
+    path — never blocks waiting for a worker that may be hung.  The
+    kill MUST come first: ``shutdown()`` drops the executor's process
+    table (``_processes = None``), and a merely-shut-down executor
+    still waits for hung workers at interpreter exit.  Killing the
+    workers makes the executor observe a broken pool, which is the one
+    state it knows how to wind down from without joining anything.
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+class _PhaseRunner:
+    """Run one phase's tasks across a self-healing process pool."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        root: str,
+        config: SupervisorConfig,
+        chaos: ChaosSpec,
+        report: CampaignReport,
+        on_done: Callable[[_Task, object, float, str], None],
+    ) -> None:
+        self.n_workers = n_workers
+        self.root = root
+        self.config = config
+        self.chaos = chaos if chaos.active() else None
+        self.report = report
+        self.on_done = on_done
+        self.counters = obs_metrics.supervisor_counters()
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.rebuilds_left = config.max_pool_rebuilds
+        self.degraded = False
+
+    # -- pool lifecycle ------------------------------------------------
+    def _ensure_pool(self, remaining: int) -> None:
+        if self.pool is not None:
+            return
+        self.pool = ProcessPoolExecutor(
+            max_workers=min(self.n_workers, max(1, remaining))
+        )
+
+    def _pool_died(self, reason: str) -> None:
+        if self.pool is not None:
+            _terminate_pool(self.pool)
+            self.pool = None
+        if self.rebuilds_left <= 0:
+            self.counters.serial_degradations += 1
+            self.report.degraded_serial = True
+            self.report.event("serial_degrade", "*", reason=reason)
+            raise _DegradedToSerial(reason)
+        self.rebuilds_left -= 1
+        self.counters.pool_rebuilds += 1
+        self.report.pool_rebuilds += 1
+        self.report.event("pool_rebuild", "*", reason=reason)
+
+    # -- task bookkeeping ----------------------------------------------
+    def _charge(self, task: _Task, kind: str, detail: str = "") -> None:
+        """Count one failed attempt; schedule the retry or quarantine."""
+        task.attempts += 1
+        task.future = None
+        self.report.event(kind, task.label, attempt=task.attempts, detail=detail)
+        if kind == "timeout":
+            self.counters.timeouts += 1
+            self.report.timeouts += 1
+        if task.attempts >= self.config.max_attempts:
+            task.quarantined = True
+            self.counters.quarantined += 1
+            self.report.quarantined.append(task.label)
+            self.report.event("quarantine", task.label, attempts=task.attempts)
+            return
+        self.counters.retries += 1
+        self.report.retries += 1
+        delay = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** (task.attempts - 1)),
+        )
+        rng = random.Random(f"{self.config.seed}|{task.digest}|{task.attempts}")
+        task.ready_at = time.monotonic() + delay * (
+            1.0 + self.config.jitter * rng.random()
+        )
+
+    def _complete(self, task: _Task, payload) -> None:
+        result, wall, pid, corrupted = payload
+        task.done = True
+        task.future = None
+        if corrupted:
+            self.counters.chaos_corrupts += 1
+            self.report.chaos_corrupts += 1
+            self.report.event("chaos_corrupt", task.label)
+        self.on_done(task, result, wall, f"pid:{pid}")
+
+    def _run_serial(self, task: _Task) -> None:
+        """Chaos-free in-process execution (quarantine / degraded mode)."""
+        started = time.perf_counter()
+        result, _stored = _do_work(task.kind, task.key, task.config, self.root)
+        task.done = True
+        self.on_done(task, result, time.perf_counter() - started, "main")
+
+    # -- the loop ------------------------------------------------------
+    def run(self, tasks: List[_Task]) -> None:
+        """Drive *tasks* to completion; every task ends ``done``."""
+        try:
+            if not self.degraded:
+                self._run_pooled(tasks)
+        except _DegradedToSerial:
+            self.degraded = True
+        finally:
+            if self.pool is not None:
+                # _terminate_pool, not shutdown(): a worker may be mid-hang
+                # and shutdown alone would leak it past process exit.
+                _terminate_pool(self.pool)
+                self.pool = None
+        # quarantined stragglers (and everything left after a serial
+        # degrade) complete in-process, chaos-free — a poison job gets
+        # one last deterministic chance, and a real bug surfaces with
+        # its original traceback
+        for task in tasks:
+            if not task.done:
+                self._run_serial(task)
+
+    def _submit(self, task: _Task, in_flight: Dict) -> bool:
+        payload = (
+            task.kind, task.key, task.config, self.root,
+            task.digest, task.attempts, self.chaos,
+        )
+        try:
+            future = self.pool.submit(_supervised_worker, payload)
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self._pool_died(f"submit failed: {exc!r}")
+            return False
+        task.future = future
+        task.started_at = time.monotonic()
+        in_flight[future] = task
+        return True
+
+    def _run_pooled(self, tasks: List[_Task]) -> None:
+        in_flight: Dict = {}
+        tick = max(0.02, min(0.25, self.config.job_timeout / 10.0))
+        while True:
+            active = [t for t in tasks if not t.done and not t.quarantined]
+            if not active:
+                return
+            now = time.monotonic()
+            ready = [
+                t for t in active if t.future is None and t.ready_at <= now
+            ]
+            self._ensure_pool(len(active))
+            for task in ready:
+                if len(in_flight) >= self.n_workers:
+                    break
+                if not self._submit(task, in_flight):
+                    break
+            if not in_flight:
+                # everything is backing off — sleep to the soonest retry
+                waiting = [t.ready_at for t in active if t.future is None]
+                if waiting:
+                    time.sleep(min(0.5, max(0.0, min(waiting) - now)))
+                continue
+            done, _pending = wait(
+                set(in_flight), timeout=tick, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                task = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except CancelledError:
+                    task.future = None
+                    continue
+                except BrokenProcessPool as exc:
+                    broken = True
+                    self._charge(task, "worker_death", repr(exc))
+                    continue
+                except Exception as exc:
+                    self._charge(task, "worker_error", repr(exc))
+                    continue
+                self._complete(task, payload)
+            if broken:
+                # the pool is gone: every other in-flight job died with
+                # it; at most n_workers jobs get charged per death
+                for future, task in list(in_flight.items()):
+                    del in_flight[future]
+                    self._charge(task, "worker_death", "pool died")
+                self._pool_died("BrokenProcessPool")
+                continue
+            # watchdog: kill the pool when any running job is overdue
+            now = time.monotonic()
+            overdue = [
+                task
+                for task in in_flight.values()
+                if now - task.started_at > self.config.job_timeout
+            ]
+            if overdue:
+                for future, task in list(in_flight.items()):
+                    del in_flight[future]
+                    if future.done() and not future.cancelled():
+                        # finished in the window between wait() and now
+                        try:
+                            self._complete(task, future.result())
+                            continue
+                        except Exception:
+                            pass
+                    if task in overdue:
+                        self._charge(
+                            task,
+                            "timeout",
+                            f"exceeded {self.config.job_timeout:g}s",
+                        )
+                    else:
+                        task.future = None  # innocent bystander: requeue
+                self._pool_died("watchdog timeout")
+
+
+# ----------------------------------------------------------------------
+# the supervised scheduler
+# ----------------------------------------------------------------------
+def run_supervised(
+    jobs_list: Sequence, n_workers: int
+) -> List[RunStats]:
+    """Fault-tolerant equivalent of
+    :func:`repro.harness.parallel.run_variants` for ``n_workers > 1``.
+
+    Identical result semantics (deterministic job-position merge, both
+    cache layers honoured, every trace generated once fleet-wide) plus
+    the supervision described in the module docstring.
+    """
+    import tempfile
+
+    jobs_list = list(jobs_list)
+    config = current_config()
+    chaos = ChaosSpec.from_env()
+    counters = obs_metrics.supervisor_counters()
+    counters.campaigns += 1
+    counters.jobs += len(jobs_list)
+
+    results: List[Optional[RunStats]] = [None] * len(jobs_list)
+    report = CampaignReport(
+        campaign=campaign_id(jobs_list),
+        jobs=len(jobs_list),
+        chaos=chaos.render(),
+    )
+    _CAMPAIGNS.append(report)
+
+    root = disk_cache.cache_root()
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    if root is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-scratch-")
+        root = Path(scratch.name)
+    journal = CampaignJournal(
+        disk_cache.journal_dir(root=root), report.campaign
+    )
+    # the journal is consulted *before* the prescan so a ``--resume``
+    # disk hit is attributed to the journal (``resumed``), not to an
+    # ordinary warm cache (``prescan``) — the counters are how a resume
+    # proves it re-simulated only the journal-missing cells
+    if resume_requested():
+        done_digests = journal.load_done()
+    else:
+        journal.restart()
+        done_digests = set()
+
+    try:
+        root_str = str(root)
+
+        # ---- prescan: memo, then disk (journal-attributed) -----------
+        missing: List[Tuple[int, object, object]] = []
+        for index, job in enumerate(jobs_list):
+            key = job.trace_key
+            label = f"{key.abbrev}/{key.mode.value}"
+            memo = runner._STATS_CACHE.get((key, job.config))
+            if memo is not None:
+                results[index] = memo
+                report.prescan += 1
+                continue
+            started = time.perf_counter()
+            cached = runner.peek_cached_stats(key, job.config)
+            if cached is None and done_digests:
+                # a journaled cell invisible to the default-root peek
+                # (scratch store): try the campaign root directly
+                if disk_cache.stats_digest(key, job.config) in done_digests:
+                    cached = runner.peek_cached_stats(
+                        key, job.config, root=root_str
+                    )
+            wall = time.perf_counter() - started
+            if cached is None:
+                missing.append((index, job, key))
+                continue
+            results[index] = cached
+            if disk_cache.stats_digest(key, job.config) in done_digests:
+                counters.resumed += 1
+                report.resumed += 1
+                obs_metrics.record_variant("sim", label, "resumed", wall)
+            else:
+                report.prescan += 1
+                obs_metrics.record_variant("sim", label, "disk", wall)
+
+        # journal-done cells whose cached result vanished (or got
+        # corrupted): they must be re-simulated
+        for _index, job, key in missing:
+            if disk_cache.stats_digest(key, job.config) in done_digests:
+                counters.journal_stale += 1
+                report.journal_stale += 1
+                report.event(
+                    "journal_stale", f"{key.abbrev}/{key.mode.value}"
+                )
+
+        # journal every already-satisfied cell so an interruption right
+        # now still leaves a complete record
+        for index, job in enumerate(jobs_list):
+            if results[index] is None:
+                continue
+            digest = disk_cache.stats_digest(job.trace_key, job.config)
+            if digest not in done_digests:
+                label = f"{job.trace_key.abbrev}/{job.trace_key.mode.value}"
+                journal.append(digest, label, "cached")
+                done_digests.add(digest)
+
+        if not missing:
+            report.completed = report.prescan + report.resumed
+            return results  # type: ignore[return-value]
+
+        report.scheduled = len(missing)
+
+        # ---- phase 1: unique traces ----------------------------------
+        seen: Set = set()
+        trace_tasks: List[_Task] = []
+        for _, _, key in missing:
+            if key in seen:
+                continue
+            seen.add(key)
+            memo = runner._TRACE_CACHE.get(key)
+            path = disk_cache.trace_path(key, root=root_str)
+            if memo is not None:
+                if path is not None and not path.exists():
+                    disk_cache.store_trace(key, memo, root=root_str)
+                continue
+            if path is None or not path.exists():
+                trace_tasks.append(
+                    _Task(
+                        "trace", key, None, None,
+                        f"{key.abbrev}/{key.mode.value}",
+                        disk_cache.trace_digest(key),
+                    )
+                )
+
+        def trace_done(task: _Task, result, wall: float, worker: str) -> None:
+            if result:
+                obs_metrics.record_variant(
+                    "trace", task.label, "generated", wall, worker=worker
+                )
+
+        runner_ = _PhaseRunner(
+            n_workers, root_str, config, chaos, report, trace_done
+        )
+        if trace_tasks:
+            runner_.run(trace_tasks)
+
+        # ---- phase 2: simulations ------------------------------------
+        sim_tasks: List[_Task] = []
+        job_by_index = {index: job for index, job, _ in missing}
+        for index, job, key in missing:
+            sim_tasks.append(
+                _Task(
+                    "sim", key, job.config, index,
+                    f"{key.abbrev}/{key.mode.value}",
+                    disk_cache.stats_digest(key, job.config),
+                )
+            )
+
+        def sim_done(task: _Task, result, wall: float, worker: str) -> None:
+            results[task.index] = result
+            job = job_by_index[task.index]
+            runner.seed_stats_cache(task.key, job.config, result)
+            obs_metrics.record_variant(
+                "sim", task.label, "simulated", wall, worker=worker
+            )
+            journal.append(task.digest, task.label, "simulated")
+            report.completed += 1
+
+        sim_runner = _PhaseRunner(
+            n_workers, root_str, config, chaos, report, sim_done
+        )
+        sim_runner.degraded = runner_.degraded  # don't re-learn the lesson
+        sim_runner.run(sim_tasks)
+
+        report.completed += report.prescan + report.resumed
+        return results  # type: ignore[return-value]
+    finally:
+        journal.close()
+        if scratch is not None:
+            scratch.cleanup()

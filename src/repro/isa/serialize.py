@@ -19,6 +19,16 @@ one ``array.tobytes`` blob per column — so loading is four
     N x u16 meta-index column    (little endian; 0 = None)
     N x i64 address column       (little endian)
 
+New RPTR2 files end in an **integrity footer** — ``b"RPC2"`` plus the
+little-endian CRC-32 of every preceding byte (magic, header, and all
+four column sections).  The footer turns silent bit rot into a
+detectable :class:`TraceFormatError`: a flipped byte anywhere in the
+container no longer deserialises into a *different but plausible* trace,
+it fails the checksum and the cache layer drops the entry
+(``docs/RESILIENCE.md``).  Footer-less RPTR2 files written before the
+footer existed still load (unverified), so the cache schema version did
+not change.
+
 The original row-at-a-time **RPTR1** format (``N`` interleaved
 ``u8 op | u8 size | u16 meta-index | u64 addr`` records) is still read
 transparently and can be written via :func:`dump_trace_legacy`; loads of
@@ -32,6 +42,7 @@ import io
 import json
 import struct
 import sys
+import zlib
 from array import array
 from pathlib import Path
 from typing import BinaryIO, Union
@@ -42,6 +53,11 @@ from repro.isa.trace import Trace
 _MAGIC_V1 = b"RPTR1\n"
 _MAGIC_V2 = b"RPTR2\n"
 _RECORD_V1 = struct.Struct("<BBHQ")
+
+#: Integrity footer of RPTR2 containers: marker + CRC-32 of every byte
+#: before the footer.  Optional on load for backward compatibility.
+_FOOTER_MAGIC = b"RPC2"
+_FOOTER = struct.Struct("<4sI")
 
 #: (attribute, array typecode) for each RPTR2 section, in file order.
 _SECTIONS = (("ops", "B"), ("sizes", "H"), ("meta_idx", "H"), ("addrs", "q"))
@@ -68,15 +84,24 @@ def dump_trace(trace: Trace, target: Union[str, Path, BinaryIO]) -> int:
     header = json.dumps(
         {"count": len(columns), "metas": columns.metas[1:]}
     ).encode()
-    written = target.write(_MAGIC_V2)
-    written += target.write(struct.pack("<I", len(header)))
-    written += target.write(header)
+    crc = 0
+    written = 0
+
+    def _emit(blob: bytes) -> None:
+        nonlocal crc, written
+        crc = zlib.crc32(blob, crc)
+        written += target.write(blob)
+
+    _emit(_MAGIC_V2)
+    _emit(struct.pack("<I", len(header)))
+    _emit(header)
     for attr, _typecode in _SECTIONS:
         column: array = getattr(columns, attr)
         if _BIG_ENDIAN:  # pragma: no cover - canonical format is LE
             column = array(column.typecode, column)
             column.byteswap()
-        written += target.write(column.tobytes())
+        _emit(column.tobytes())
+    written += target.write(_FOOTER.pack(_FOOTER_MAGIC, crc))
     return written
 
 
@@ -118,11 +143,11 @@ def _read_header(source: BinaryIO) -> tuple:
         header = json.loads(header_bytes)
         count = int(header["count"])
         metas = [None] + list(header["metas"])
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+    except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError) as exc:
         raise TraceFormatError(f"bad header: {exc}") from None
     if count < 0 or len(metas) - 1 > MAX_METAS:
         raise TraceFormatError("bad header counts")
-    return count, metas
+    return count, metas, length_bytes + header_bytes
 
 
 def _validate(columns: TraceColumns) -> TraceColumns:
@@ -134,7 +159,8 @@ def _validate(columns: TraceColumns) -> TraceColumns:
 
 
 def _load_v2(source: BinaryIO) -> Trace:
-    count, metas = _read_header(source)
+    count, metas, header_raw = _read_header(source)
+    crc = zlib.crc32(header_raw, zlib.crc32(_MAGIC_V2))
     loaded = {}
     for attr, typecode in _SECTIONS:
         column = array(typecode)
@@ -145,10 +171,23 @@ def _load_v2(source: BinaryIO) -> Trace:
                 f"truncated body: {attr} column has {len(blob)} of "
                 f"{expected} bytes"
             )
+        crc = zlib.crc32(blob, crc)
         column.frombytes(blob)
         if _BIG_ENDIAN:  # pragma: no cover - canonical format is LE
             column.byteswap()
         loaded[attr] = column
+    trailer = source.read()
+    if trailer:
+        # pre-footer files end exactly at the last column; anything else
+        # must be a well-formed footer whose checksum matches
+        if len(trailer) != _FOOTER.size or trailer[:4] != _FOOTER_MAGIC:
+            raise TraceFormatError("corrupt trailer (bad integrity footer)")
+        (_, stored_crc) = _FOOTER.unpack(trailer)
+        if stored_crc != crc:
+            raise TraceFormatError(
+                f"checksum mismatch: footer {stored_crc:#010x}, "
+                f"computed {crc:#010x}"
+            )
     columns = TraceColumns(
         loaded["ops"], loaded["addrs"], loaded["sizes"], loaded["meta_idx"], metas
     )
@@ -156,7 +195,7 @@ def _load_v2(source: BinaryIO) -> Trace:
 
 
 def _load_v1(source: BinaryIO) -> Trace:
-    count, metas = _read_header(source)
+    count, metas, _header_raw = _read_header(source)
     body = source.read(count * _RECORD_V1.size)
     if len(body) != count * _RECORD_V1.size:
         raise TraceFormatError(

@@ -48,6 +48,53 @@ class VariantRecord:
 _RECORDS: List[VariantRecord] = []
 
 
+@dataclass
+class SupervisorCounters:
+    """Fault-tolerance accounting of the campaign supervisor
+    (:mod:`repro.harness.supervisor`).
+
+    ``retries`` counts re-submissions after a worker failure, ``timeouts``
+    watchdog kills of over-deadline jobs, ``quarantined`` jobs pulled from
+    the fleet after repeated failures (they finish in the serial fallback),
+    ``pool_rebuilds`` recoveries from a broken process pool,
+    ``serial_degradations`` campaigns that gave up on pools entirely,
+    ``resumed`` jobs skipped on ``--resume`` because the campaign journal
+    already recorded them, ``journal_stale`` journaled jobs whose cached
+    result had vanished and had to be re-simulated, and
+    ``chaos_corrupts`` cache corruptions injected by chaos mode.
+    """
+
+    campaigns: int = 0
+    jobs: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    serial_degradations: int = 0
+    resumed: int = 0
+    journal_stale: int = 0
+    chaos_corrupts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def any_recovery(self) -> bool:
+        """Whether any fault-handling path actually fired."""
+        return any(
+            value
+            for key, value in asdict(self).items()
+            if key not in ("campaigns", "jobs")
+        )
+
+
+_SUPERVISOR = SupervisorCounters()
+
+
+def supervisor_counters() -> SupervisorCounters:
+    """This process's supervisor accounting (a live object)."""
+    return _SUPERVISOR
+
+
 def record_variant(
     kind: str, label: str, source: str, wall_s: float, worker: str = "main"
 ) -> None:
@@ -61,7 +108,9 @@ def variant_records() -> List[VariantRecord]:
 
 def reset_metrics() -> None:
     """Drop all recorded work (tests and bench phases use this)."""
+    global _SUPERVISOR
     _RECORDS.clear()
+    _SUPERVISOR = SupervisorCounters()
 
 
 # ----------------------------------------------------------------------
@@ -101,9 +150,10 @@ def metrics_snapshot() -> Dict[str, object]:
     from repro.harness import cache as disk_cache
 
     return {
-        "schema": 1,
+        "schema": 2,
         "cache_session": disk_cache.cache_counters().as_dict(),
         "cache_lifetime": disk_cache.lifetime_cache_counters(),
+        "supervisor": _SUPERVISOR.as_dict(),
         "summary": summarize(),
         "variants": [asdict(record) for record in _RECORDS],
     }
@@ -151,4 +201,11 @@ def render_metrics_line() -> Optional[str]:
             else ""
         )
     )
+    if _SUPERVISOR.any_recovery():
+        recovery = ", ".join(
+            f"{value} {key}"
+            for key, value in _SUPERVISOR.as_dict().items()
+            if value and key not in ("campaigns", "jobs")
+        )
+        parts.append(f"supervisor recovered [{recovery}]")
     return "harness: " + ", ".join(parts)

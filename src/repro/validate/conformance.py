@@ -243,6 +243,9 @@ def run_conformance(
     mutated = mutations.active_mutation() is not None
     if not mutated:
         # warm the trace + stats caches through the parallel scheduler
+        # (supervised by default: worker deaths, hangs, and corrupted
+        # cache entries are retried/requeued rather than failing the
+        # oracle — see repro.harness.supervisor)
         jobs = [
             VariantJob(ab, PersistMode.BASE, MachineConfig(), seed,
                        trace_init_ops, trace_sim_ops)
@@ -253,7 +256,14 @@ def run_conformance(
             for ab in benchmarks
             for _, config in matrix
         ]
-        run_variants(jobs)
+        warmed = run_variants(jobs)
+        report.add(
+            "campaign/warmup-complete",
+            all(stats is not None for stats in warmed),
+            detail="" if all(s is not None for s in warmed)
+            else "scheduler returned incomplete results",
+            n_jobs=len(jobs),
+        )
     for abbrev in benchmarks:
         for mode, configs in (
             (PersistMode.BASE, matrix[:1]),

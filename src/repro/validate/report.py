@@ -99,12 +99,21 @@ class ValidationReport:
         return bool(self.engines) and all(e.ok for e in self.engines.values())
 
     def as_dict(self) -> Dict[str, object]:
+        from repro.obs import metrics as obs_metrics
+
+        supervisor = obs_metrics.supervisor_counters()
         return {
             "subsystem": "repro.validate",
             "seed": self.seed,
             "quick": self.quick,
             "injected": self.injected,
             "ok": self.ok,
+            # fault-tolerance accounting: campaigns the supervisor ran for
+            # the oracle's cache warm-up, and any recovery that fired —
+            # a validation verdict obtained through retries/requeues is
+            # still trustworthy (results are pure and merge-deterministic),
+            # but the report says the run was not failure-free
+            "supervisor": supervisor.as_dict(),
             "engines": {name: rep.as_dict() for name, rep in self.engines.items()},
         }
 
@@ -132,5 +141,15 @@ class ValidationReport:
             )
             for failure in engine.failures[:8]:
                 lines.append(f"    ! {failure.name}: {failure.detail}")
+        from repro.obs import metrics as obs_metrics
+
+        supervisor = obs_metrics.supervisor_counters()
+        if supervisor.any_recovery():
+            recovery = ", ".join(
+                f"{value} {key}"
+                for key, value in supervisor.as_dict().items()
+                if value and key not in ("campaigns", "jobs")
+            )
+            lines.append(f"  supervisor recovered [{recovery}]")
         lines.append("overall: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)

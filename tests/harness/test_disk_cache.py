@@ -2,6 +2,8 @@
 keying, invalidation, and env overrides."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -19,9 +21,11 @@ SMALL = dict(init_ops=40, sim_ops=4)
 def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "cache"))
     monkeypatch.delenv(cache.ENV_NO_CACHE, raising=False)
+    cache.reset_runtime_disable()
     clear_trace_cache()
     yield
     clear_trace_cache()
+    cache.reset_runtime_disable()
 
 
 def _no_generation(monkeypatch):
@@ -128,6 +132,80 @@ class TestRobustness:
         assert cache.cache_info()["bytes"] == 0
 
 
+class TestStaleTmpSweep:
+    def _stale(self, root, sub, name, age_s=7200.0):
+        path = root / sub / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"partial write")
+        old = time.time() - age_s
+        os.utime(path, (old, old))
+        return path
+
+    def test_sweep_removes_old_staging_files_only(self, tmp_path):
+        run_variant("LL", PersistMode.BASE, **SMALL)
+        root = tmp_path / "cache"
+        stale = self._stale(root, "traces", "deadbeef.rptr.a1b2c3")
+        fresh = root / "stats" / "cafef00d.json.x9y8z7"
+        fresh.write_bytes(b"in-flight writer")
+        removed = cache.sweep_stale_tmp(min_age_s=3600.0)
+        assert removed == 1
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer's staging file survives
+        # finished entries are never touched
+        assert cache.cache_info()["traces"] == 1
+
+    def test_cache_info_sweeps_and_reports(self, tmp_path):
+        run_variant("LL", PersistMode.BASE, **SMALL)
+        root = tmp_path / "cache"
+        self._stale(root, "traces", "feedface.rptr.q1w2e3")
+        self._stale(root, "journal", "abc123.jsonl.r4t5y6")
+        info = cache.cache_info()
+        assert info["stale_tmp_removed"] == 2
+        assert info["traces"] == 1 and info["stats"] == 1
+
+    def test_clear_cache_removes_tmp_regardless_of_age(self, tmp_path):
+        run_variant("LL", PersistMode.BASE, **SMALL)
+        root = tmp_path / "cache"
+        fresh = root / "traces" / "deadbeef.rptr.zz11"
+        fresh.write_bytes(b"just written")
+        assert cache.clear_cache() == 3  # trace + stats + staging file
+        assert not fresh.exists()
+
+
+class TestRuntimeDegrade:
+    def test_write_failure_degrades_to_cache_off(self, monkeypatch, capsys):
+        def no_space(path, writer):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache, "_atomic_write", no_space)
+        # the campaign itself must survive: simulation completes, only
+        # the store is skipped
+        stats = run_variant("LL", PersistMode.BASE, **SMALL)
+        assert stats.cycles > 0
+        assert cache.runtime_disabled() is not None
+        assert "No space left" in cache.runtime_disabled()
+        assert not cache.cache_enabled()
+        assert cache.cache_root() is None
+        err = capsys.readouterr().err
+        assert err.count("cache write failed") == 1
+
+    def test_degrade_reported_by_cache_info(self, monkeypatch):
+        monkeypatch.setattr(
+            cache, "_RUNTIME_DISABLED", "OSError: [Errno 28] fake"
+        )
+        info = cache.cache_info()
+        assert info["degraded"] == "OSError: [Errno 28] fake"
+        assert not info["enabled"]
+
+    def test_reset_rearms_the_cache(self, monkeypatch):
+        monkeypatch.setattr(cache, "_RUNTIME_DISABLED", "OSError: fake")
+        assert not cache.cache_enabled()
+        cache.reset_runtime_disable()
+        assert cache.cache_enabled()
+        run_variant("LL", PersistMode.BASE, **SMALL)
+        assert cache.cache_info()["stats"] == 1
+
+
 class TestRunStatsRoundTrip:
     def test_from_dict_ignores_derived_keys(self):
         stats = RunStats(cycles=100, instructions=250, clflushes=3)
@@ -140,8 +218,10 @@ class TestRunStatsRoundTrip:
         clear_trace_cache()
         loaded = cache.load_cached_stats(key, MachineConfig())
         assert loaded == stats
-        # the JSON record holds raw counters only (derived metrics are
-        # recomputed by RunStats properties)
-        record = json.loads(cache.stats_path(key, MachineConfig()).read_text())
+        # the JSON envelope holds raw counters plus their checksum
+        # (derived metrics are recomputed by RunStats properties)
+        envelope = json.loads(cache.stats_path(key, MachineConfig()).read_text())
+        record = envelope["record"]
         assert "ipc" not in record
         assert record["cycles"] == stats.cycles
+        assert envelope["crc"] == cache._record_crc(record)

@@ -105,6 +105,43 @@ class TestCacheSharing:
         assert again is results[0]
 
 
+class TestInterrupt:
+    def test_ctrl_c_kills_workers_and_reraises(self, monkeypatch):
+        """Ctrl-C mid-campaign must SIGKILL in-flight workers and cancel
+        the queue instead of blocking in the executor's atexit join."""
+        from repro.harness import supervisor
+
+        events = []
+
+        class FakeProc:
+            def kill(self):
+                events.append("kill")
+
+        class FakePool:
+            def __init__(self, max_workers=None):
+                self._processes = {1: FakeProc(), 2: FakeProc()}
+
+            def map(self, fn, payloads):
+                raise KeyboardInterrupt
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                events.append(("shutdown", wait, cancel_futures))
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", FakePool)
+        supervisor.set_enabled(False)  # exercise the legacy scheduler path
+        try:
+            jobs = [
+                VariantJob("LL", PersistMode.BASE, MachineConfig(), **SMALL),
+                VariantJob("HM", PersistMode.BASE, MachineConfig(), **SMALL),
+            ]
+            with pytest.raises(KeyboardInterrupt):
+                run_variants(jobs, jobs=2)
+        finally:
+            supervisor.set_enabled(True)
+        assert events.count("kill") == 2
+        assert ("shutdown", False, True) in events
+
+
 class TestJobResolution:
     def test_default_tracks_cpu_count(self):
         assert default_jobs() == (os.cpu_count() or 1)

@@ -113,10 +113,11 @@ class TestCacheCounters:
         out = tmp_path / "metrics.json"
         obs_metrics.write_metrics(out)
         payload = json.loads(out.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2  # v2 added the supervisor block
         assert payload["summary"]["records"] == 1
         assert payload["variants"][0]["label"] == "BT/base"
         assert "cache_session" in payload
+        assert "supervisor" in payload
 
 
 class TestCacheInfoBreakdown:
