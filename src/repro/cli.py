@@ -28,6 +28,13 @@ Commands
     crash-consistency fuzzer, trace property fuzzer) and write a JSON
     report; exits non-zero on any failed check.  See docs/VALIDATION.md.
 
+``figure``, ``report``, ``run``, ``bench``, and ``validate`` accept
+``--kernel {auto,python,numpy}`` to pick the simulation kernel backend
+(exported as ``REPRO_KERNEL`` so parallel workers inherit it; both
+backends are cycle-identical — see docs/PERFORMANCE.md).  ``run``
+accepts ``--scale paper`` to simulate Table 1's full operation counts
+instead of the scaled defaults.
+
 ``figure``, ``report``, ``run``, and ``bench`` accept ``--jobs N`` to fan
 variant simulation across N worker processes (default: all cores);
 results are merged deterministically, so the output is byte-identical
@@ -69,7 +76,7 @@ from repro.harness import cache as harness_cache
 from repro.harness import parallel
 from repro.harness.bench import (
     DEFAULT_OUTPUT,
-    PIPELINE_IPS_FLOOR,
+    PIPELINE_IPS_FLOORS,
     check_floor,
     render_bench,
     run_bench,
@@ -137,24 +144,47 @@ def _headline_text() -> str:
     )
 
 
-def _run_text(abbrev: str) -> str:
+def _run_text(abbrev: str, scale: str = "scaled") -> str:
     machine = MachineConfig()
-    prefetch_variants(
-        [(abbrev, mode, machine) for mode in PersistMode]
-        + [(abbrev, PersistMode.LOG_P_SF, machine.with_sp(256))]
+    spec = PAPER_SPECS[abbrev]
+    if scale == "paper":
+        # Table-1 operation counts: traces run to tens of millions of
+        # micro-ops, so skip the multi-process prefetch (each worker
+        # would regenerate the same huge trace) and simulate in-process
+        # on the batch kernel.
+        init_ops: Optional[int] = spec.paper_init_ops
+        sim_ops: Optional[int] = spec.paper_sim_ops
+    else:
+        init_ops = sim_ops = None
+        prefetch_variants(
+            [(abbrev, mode, machine) for mode in PersistMode]
+            + [(abbrev, PersistMode.LOG_P_SF, machine.with_sp(256))]
+        )
+    base = run_variant(
+        abbrev, PersistMode.BASE, machine, init_ops=init_ops, sim_ops=sim_ops
     )
-    base = run_variant(abbrev, PersistMode.BASE, machine)
-    lines = [f"{PAPER_SPECS[abbrev].name} ({abbrev})"]
-    lines.append(f"{'variant':<12}{'cycles':>12}{'overhead':>10}{'IPC':>7}")
+    title = f"{spec.name} ({abbrev})"
+    if scale == "paper":
+        title += (
+            f" — paper scale ({spec.paper_init_ops:,} init ops,"
+            f" {spec.paper_sim_ops:,} sim ops)"
+        )
+    lines = [title]
+    lines.append(f"{'variant':<12}{'cycles':>14}{'overhead':>10}{'IPC':>7}")
     for mode in PersistMode:
-        stats = run_variant(abbrev, mode, machine)
+        stats = run_variant(
+            abbrev, mode, machine, init_ops=init_ops, sim_ops=sim_ops
+        )
         lines.append(
-            f"{mode.label:<12}{stats.cycles:>12,}"
+            f"{mode.label:<12}{stats.cycles:>14,}"
             f"{stats.overhead_vs(base):>10.1%}{stats.ipc:>7.2f}"
         )
-    sp = run_variant(abbrev, PersistMode.LOG_P_SF, machine.with_sp(256))
+    sp = run_variant(
+        abbrev, PersistMode.LOG_P_SF, machine.with_sp(256),
+        init_ops=init_ops, sim_ops=sim_ops,
+    )
     lines.append(
-        f"{'SP256':<12}{sp.cycles:>12,}{sp.overhead_vs(base):>10.1%}{sp.ipc:>7.2f}"
+        f"{'SP256':<12}{sp.cycles:>14,}{sp.overhead_vs(base):>10.1%}{sp.ipc:>7.2f}"
     )
     return "\n".join(lines)
 
@@ -284,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "wall time/worker) as JSON to PATH",
         )
 
+    def add_kernel(sub_parser):
+        sub_parser.add_argument(
+            "--kernel", choices=("auto", "python", "numpy"), default=None,
+            help="simulation kernel backend: 'numpy' for the vectorized "
+                 "batch kernel, 'python' for the pure-Python segment "
+                 "walker, 'auto' to pick numpy when available (default: "
+                 "REPRO_KERNEL, then auto); both are cycle-identical",
+        )
+
     def add_supervise(sub_parser):
         sub_parser.add_argument(
             "--resume", action="store_true",
@@ -321,14 +360,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(figure)
     add_metrics_out(figure)
     add_supervise(figure)
+    add_kernel(figure)
 
     sub.add_parser("headline", help="the abstract's claim")
 
     run = sub.add_parser("run", help="run one benchmark across variants")
     run.add_argument("abbrev", choices=WORKLOADS)
+    run.add_argument(
+        "--scale", choices=("scaled", "paper"), default="scaled",
+        help="operation counts: 'scaled' (the registry's reduced "
+             "defaults) or 'paper' (Table 1's #InitOps/#SimOps — traces "
+             "of tens of millions of micro-ops; needs the numpy kernel "
+             "to finish in minutes)",
+    )
     add_jobs(run)
     add_metrics_out(run)
     add_supervise(run)
+    add_kernel(run)
 
     trace = sub.add_parser(
         "trace",
@@ -368,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(report)
     add_metrics_out(report)
     add_supervise(report)
+    add_kernel(report)
 
     bench = sub.add_parser(
         "bench", help="time cold/warm harness runs and pipeline throughput"
@@ -388,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(bench)
     add_metrics_out(bench)
     add_supervise(bench)
+    add_kernel(bench)
 
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
     cache.add_argument("action", choices=("info", "clear"))
@@ -422,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs(validate)
     add_supervise(validate)
+    add_kernel(validate)
     return parser
 
 
@@ -450,6 +501,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "jobs", None) is not None:
         parallel.set_default_jobs(args.jobs)
+    if getattr(args, "kernel", None):
+        # exported rather than threaded through every call site so that
+        # parallel worker processes inherit the same backend choice; the
+        # backends are cycle-identical, so this never affects results or
+        # cache keys, only wall-clock speed
+        import os
+
+        os.environ["REPRO_KERNEL"] = args.kernel
     _configure_supervisor(args)
     if args.command == "tables":
         print(table1_text())
@@ -463,7 +522,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "headline":
         print(_headline_text())
     elif args.command == "run":
-        print(_run_text(args.abbrev))
+        print(_run_text(args.abbrev, scale=args.scale))
         _print_metrics(args)
     elif args.command == "trace":
         return _trace_command(args)
@@ -489,7 +548,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             if error:
                 print(error)
                 return 1
-            print(f"pipeline_ips floor ok (>= {PIPELINE_IPS_FLOOR:,} instr/s)")
+            floors = ", ".join(
+                f"{backend} >= {floor:,}"
+                for backend, floor in sorted(PIPELINE_IPS_FLOORS.items())
+            )
+            print(f"pipeline_ips floors ok ({floors} instr/s)")
     elif args.command == "cache":
         if args.action == "clear":
             removed = harness_cache.clear_cache()

@@ -9,9 +9,16 @@ Times the three layers the performance work targets and records them in
   cache (must be at least ~5x faster; warm runs only read JSON and
   columnar RPTR2 traces);
 * **pipeline throughput** — committed instructions per second of the
-  timing model itself, measured by re-simulating the recorded traces
-  (best-of-N per trace, columns/segments prewarmed — see
-  ``docs/PERFORMANCE.md``).
+  timing model itself, measured **per kernel backend** (pure-Python
+  walker and, when available, the vectorized NumPy kernel) on one long
+  pointer-chase trace (LL/BASE), plus a *sweep* number over every
+  recorded bench variant (best-of-N per trace, columns/segments
+  prewarmed — see ``docs/PERFORMANCE.md``).
+
+The headline ``pipeline_ips`` is the sustained single-trace number for
+the *active* backend; ``pipeline_ips_by_backend`` carries both
+backends measured like-for-like in the same process, so the record
+demonstrates the kernel speedup on every machine that writes one.
 
 The bench uses a temporary cache directory so it never reads from (or
 pollutes) the user's ``.repro-cache``.
@@ -35,6 +42,7 @@ from repro.harness.parallel import default_jobs
 from repro.harness.runner import all_benchmarks, build_trace, clear_trace_cache
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
+from repro.uarch.kernel import numpy_available, resolve_backend
 from repro.uarch.pipeline import simulate
 
 #: Subset used by ``bench --quick`` (CI smoke): the cheapest two traces.
@@ -47,15 +55,35 @@ DEFAULT_OUTPUT = "BENCH_harness.json"
 #: persistent trace/stats store.  2: added ``schema``/``cache_schema``
 #: split, ``git_rev``, and ``timestamp_utc`` fields.  3: added
 #: ``cold_cache``/``warm_cache`` hit/miss counter deltas per phase.
-BENCH_SCHEMA_VERSION = 3
+#: 4: ``pipeline_ips`` became the sustained single-trace throughput of
+#: the active kernel backend (previously an aggregate over the small
+#: bench variants, now recorded as ``sweep_ips``); added
+#: ``kernel_backend``, ``pipeline_ips_by_backend``,
+#: ``sweep_ips_by_backend``, and the ``pipeline_trace`` descriptor.
+BENCH_SCHEMA_VERSION = 4
 
-#: Regression floor for ``bench --enforce-floor`` (used by CI): the run
-#: fails if ``pipeline_ips`` lands below this.  Set to roughly half the
-#: throughput measured on a developer machine after the segment-walker
-#: fast path landed, leaving headroom for slower CI hardware while still
-#: catching order-of-magnitude regressions back to per-``Instr``
-#: dispatch.
-PIPELINE_IPS_FLOOR = 900_000
+#: Sustained-throughput trace: the paper's linked-list benchmark on the
+#: unfenced baseline, scaled up until per-run fixed costs vanish (a few
+#: hundred thousand micro-ops of pointer chasing, field accesses, and
+#: list surgery with no persist events).  One long BASE trace isolates
+#: the pipeline model's steady-state speed from the event-handling and
+#: cache-layer costs that the cold/warm phases already track.  Quick
+#: mode uses a shorter run so CI stays fast.
+SUSTAINED_BENCHMARK = "LL"
+SUSTAINED_SIM_OPS = 200
+SUSTAINED_SIM_OPS_QUICK = 60
+
+#: Per-backend regression floors for ``bench --enforce-floor`` (CI):
+#: the run fails if a measured backend's sustained ``pipeline_ips``
+#: lands below its floor.  Set to roughly half the throughput measured
+#: on a developer machine, leaving headroom for slower CI hardware
+#: while still catching order-of-magnitude regressions (the Python
+#: walker sliding back to per-``Instr`` dispatch, the NumPy kernel
+#: silently degrading to the walker).
+PIPELINE_IPS_FLOORS = {"python": 800_000, "numpy": 3_000_000}
+
+#: Backwards-compatible alias: the floor every backend must clear.
+PIPELINE_IPS_FLOOR = PIPELINE_IPS_FLOORS["python"]
 
 
 def _git_rev() -> Optional[str]:
@@ -131,16 +159,20 @@ def run_bench(
             warm = time.perf_counter() - t0
             counters_warm = disk_cache.cache_counters().as_dict()
 
-            # pipeline throughput: re-simulate the recorded traces (cache
+            # pipeline throughput: re-simulate recorded traces (cache
             # hits now) on the baseline machine and count committed
-            # instructions per wall-clock second.  Columns and segments
-            # are memoized per-trace artifacts amortised over every
-            # simulation of that trace, so they are built outside the
-            # timer; per-trace best-of-N damps scheduler noise so the
-            # number tracks the model, not the machine's mood.  GC is
-            # paused across the timed region — the cold sweep above
-            # leaves plenty of garbage, and a collection pause inside a
-            # 20 ms sample would swamp the measurement.
+            # instructions per wall-clock second, once per kernel
+            # backend so the record carries a like-for-like comparison.
+            # Columns and segments are memoized per-trace artifacts
+            # amortised over every simulation of that trace, so they
+            # are built outside the timer; per-trace best-of-N damps
+            # scheduler noise so the number tracks the model, not the
+            # machine's mood.  GC is paused across the timed region —
+            # the cold sweep above leaves plenty of garbage, and a
+            # collection pause inside a 20 ms sample would swamp the
+            # measurement.
+            backends = ["python"] + (["numpy"] if numpy_available() else [])
+            active_backend = resolve_backend(None)
             reps = 5
             variants = []
             for ab in names:
@@ -149,8 +181,20 @@ def run_bench(
                     trace.columns()
                     trace.segments()
                     variants.append(trace)
-            best = [float("inf")] * len(variants)
-            instructions = 0
+            sustained_ops = SUSTAINED_SIM_OPS_QUICK if quick else SUSTAINED_SIM_OPS
+            sustained = build_trace(
+                SUSTAINED_BENCHMARK, PersistMode.BASE, seed=seed,
+                sim_ops=sustained_ops,
+            )
+            sustained.columns()
+            sustained.segments()
+
+            sweep_best = {
+                backend: [float("inf")] * len(variants) for backend in backends
+            }
+            sustained_best = {backend: float("inf") for backend in backends}
+            sweep_instructions = 0
+            sustained_instructions = 0
             gc_was_enabled = gc.isenabled()
             gc.collect()
             gc.disable()
@@ -160,18 +204,39 @@ def run_bench(
                 # back-to-back, so a transient slow spell (scheduler,
                 # frequency scaling) can't poison every sample of one trace
                 for rep in range(reps):
-                    for i, trace in enumerate(variants):
+                    for backend in backends:
+                        for i, trace in enumerate(variants):
+                            t0 = time.perf_counter()
+                            stats = simulate(trace, MachineConfig(), kernel=backend)
+                            elapsed = time.perf_counter() - t0
+                            if elapsed < sweep_best[backend][i]:
+                                sweep_best[backend][i] = elapsed
+                            if rep == 0 and backend == backends[0]:
+                                sweep_instructions += stats.instructions
+                for rep in range(reps):
+                    for backend in backends:
                         t0 = time.perf_counter()
-                        stats = simulate(trace, MachineConfig())
+                        stats = simulate(sustained, MachineConfig(), kernel=backend)
                         elapsed = time.perf_counter() - t0
-                        if elapsed < best[i]:
-                            best[i] = elapsed
-                        if rep == 0:
-                            instructions += stats.instructions
+                        if elapsed < sustained_best[backend]:
+                            sustained_best[backend] = elapsed
+                        sustained_instructions = stats.instructions
             finally:
                 if gc_was_enabled:
                     gc.enable()
-            sim_seconds = sum(best)
+            sweep_seconds = {
+                backend: sum(times) for backend, times in sweep_best.items()
+            }
+            sweep_ips = {
+                backend: round(sweep_instructions / seconds)
+                for backend, seconds in sweep_seconds.items()
+                if seconds
+            }
+            pipeline_ips = {
+                backend: round(sustained_instructions / seconds)
+                for backend, seconds in sustained_best.items()
+                if seconds
+            }
         clear_trace_cache()
 
     record: Dict[str, object] = {
@@ -188,10 +253,21 @@ def run_bench(
         "warm_speedup": round(cold / warm, 1) if warm > 0 else None,
         "cold_cache": _counter_delta(counters_cold, counters_start),
         "warm_cache": _counter_delta(counters_warm, counters_cold),
-        "pipeline_instructions": instructions,
+        "kernel_backend": active_backend,
+        "pipeline_trace": {
+            "benchmark": SUSTAINED_BENCHMARK,
+            "mode": PersistMode.BASE.value,
+            "sim_ops": sustained_ops,
+        },
+        "pipeline_instructions": sustained_instructions,
         "pipeline_reps": reps,
-        "pipeline_seconds": round(sim_seconds, 3),
-        "pipeline_ips": round(instructions / sim_seconds) if sim_seconds else None,
+        "pipeline_seconds": round(sustained_best.get(active_backend, 0.0), 3),
+        "pipeline_ips": pipeline_ips.get(active_backend),
+        "pipeline_ips_by_backend": pipeline_ips,
+        "sweep_instructions": sweep_instructions,
+        "sweep_seconds": round(sweep_seconds.get(active_backend, 0.0), 3),
+        "sweep_ips": sweep_ips.get(active_backend),
+        "sweep_ips_by_backend": sweep_ips,
     }
     if output:
         with open(output, "w") as handle:
@@ -222,14 +298,29 @@ def render_bench(record: Dict[str, object]) -> str:
     lines = [
         f"harness bench ({'quick, ' if record.get('quick') else ''}"
         f"{len(record.get('benchmarks') or [])} benchmarks,"
-        f" jobs={_fmt(record.get('jobs'))})",
+        f" jobs={_fmt(record.get('jobs'))},"
+        f" kernel={_fmt(record.get('kernel_backend'))})",
         f"  cold figure-8 run : {_fmt(record.get('cold_seconds'), '>8.3f')} s",
         f"  warm (cached) run : {_fmt(record.get('warm_seconds'), '>8.3f')} s"
         f"   ({_fmt(record.get('warm_speedup'))}x speedup)",
         f"  pipeline model    : {_fmt(record.get('pipeline_ips'), '>8,')} instr/s"
-        f" ({_fmt(record.get('pipeline_instructions'), ',')} instrs"
+        f" sustained ({_fmt(record.get('pipeline_instructions'), ',')} instrs"
         f" in {_fmt(record.get('pipeline_seconds'))} s)",
     ]
+    by_backend = record.get("pipeline_ips_by_backend")
+    sweep_by_backend = record.get("sweep_ips_by_backend") or {}
+    if isinstance(by_backend, dict) and by_backend:
+        for backend in sorted(by_backend):
+            sweep = sweep_by_backend.get(backend)
+            lines.append(
+                f"    {backend:<8}        : {_fmt(by_backend[backend], '>8,')}"
+                f" instr/s sustained,"
+                f" {_fmt(sweep, ',')} instr/s variant sweep"
+            )
+    elif record.get("sweep_ips") is not None:
+        lines.append(
+            f"  variant sweep     : {_fmt(record.get('sweep_ips'), '>8,')} instr/s"
+        )
     for phase in ("cold", "warm"):
         counters = record.get(f"{phase}_cache")
         if isinstance(counters, dict):
@@ -247,18 +338,31 @@ def render_bench(record: Dict[str, object]) -> str:
 
 
 def check_floor(
-    record: Dict[str, object], floor: int = PIPELINE_IPS_FLOOR
+    record: Dict[str, object], floors: Optional[Dict[str, int]] = None
 ) -> Optional[str]:
-    """Return an error message if the record's ``pipeline_ips`` is below
-    *floor* (or missing), else ``None``.  CI runs the quick bench with
-    ``--enforce-floor`` so a regression back to per-object dispatch fails
-    the build instead of silently shipping."""
-    ips = record.get("pipeline_ips")
-    if ips is None:
-        return "bench record has no pipeline_ips measurement"
-    if ips < floor:
-        return (
-            f"pipeline throughput regression: {ips:,} instr/s is below the "
-            f"checked-in floor of {floor:,} instr/s"
-        )
-    return None
+    """Return an error message if any measured backend's sustained
+    ``pipeline_ips`` is below its floor (or the measurement is missing),
+    else ``None``.  CI runs the quick bench with ``--enforce-floor`` so
+    a regression — the walker sliding back to per-object dispatch, or
+    the NumPy kernel silently degrading to walker speed — fails the
+    build instead of silently shipping.  Only backends actually measured
+    are checked, so the no-NumPy CI leg enforces the Python floor
+    alone."""
+    floors = PIPELINE_IPS_FLOORS if floors is None else floors
+    by_backend = record.get("pipeline_ips_by_backend")
+    if not isinstance(by_backend, dict) or not by_backend:
+        # pre-v4 records carried one aggregate number
+        ips = record.get("pipeline_ips")
+        if ips is None:
+            return "bench record has no pipeline_ips measurement"
+        by_backend = {"python": ips}
+    problems = []
+    for backend, ips in sorted(by_backend.items()):
+        floor = floors.get(backend)
+        if floor is not None and ips < floor:
+            problems.append(
+                f"pipeline throughput regression ({backend} backend): "
+                f"{ips:,} instr/s is below the checked-in floor of "
+                f"{floor:,} instr/s"
+            )
+    return "; ".join(problems) if problems else None

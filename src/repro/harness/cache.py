@@ -392,9 +392,19 @@ def load_cached_stats(
     try:
         with open(path, "r") as handle:
             data = json.load(handle)
-        if isinstance(data, dict) and "record" in data and "crc" in data:
-            record = data["record"]
-            if not isinstance(record, dict) or _record_crc(record) != data["crc"]:
+        if isinstance(data, dict) and (
+            "record" in data or "crc" in data or "schema" in data
+        ):
+            # anything resembling an envelope must verify as one — a
+            # corrupted envelope (e.g. a flipped byte inside the "crc"
+            # or "record" key name itself) must never fall through to
+            # the unverified legacy branch below
+            record = data.get("record")
+            if (
+                not isinstance(record, dict)
+                or "crc" not in data
+                or _record_crc(record) != data["crc"]
+            ):
                 raise ValueError("stats record checksum mismatch")
             stats = RunStats.from_dict(record)
         else:

@@ -61,10 +61,18 @@ def clear_trace_cache() -> None:
 def generate_trace(key: TraceKey) -> Trace:
     """Run the functional workload for *key* and return its trace (uncached)."""
     spec = PAPER_SPECS[key.abbrev]
-    bench = Workbench(mode=key.mode, record=True, seed=key.seed)
+    init_ops = spec.scaled_init_ops if key.init_ops is None else key.init_ops
+    sim_ops = spec.scaled_sim_ops if key.sim_ops is None else key.sim_ops
+    kwargs = {}
+    if (init_ops, sim_ops) == (spec.paper_init_ops, spec.paper_sim_ops):
+        # the paper tier outgrows the default heap (nodes are never
+        # eagerly reclaimed); the size is fixed per workload in the
+        # registry, so the trace stays a pure function of the key
+        kwargs["heap_size"] = spec.paper_heap_bytes
+    bench = Workbench(mode=key.mode, record=True, seed=key.seed, **kwargs)
     workload = spec.build(bench)
-    workload.populate(spec.scaled_init_ops if key.init_ops is None else key.init_ops)
-    workload.run(spec.scaled_sim_ops if key.sim_ops is None else key.sim_ops)
+    workload.populate(init_ops)
+    workload.run(sim_ops)
     return bench.trace
 
 

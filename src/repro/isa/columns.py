@@ -139,3 +139,58 @@ class TraceColumns:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TraceColumns({len(self)} ops, {len(self.metas) - 1} metas)"
+
+
+class ColumnBuilder:
+    """Appendable column accumulator — the recorder's backing store.
+
+    Recording through a builder keeps a trace columnar from birth: one
+    ``array`` append per field instead of one ``Instr`` object per
+    micro-op, which is what makes paper-scale traces (tens of millions of
+    micro-ops) fit in memory.  :meth:`snapshot` packs the current
+    contents into an immutable :class:`TraceColumns` (copying the
+    buffers, so later appends never mutate a published snapshot).
+    """
+
+    __slots__ = ("ops", "addrs", "sizes", "meta_idx", "metas", "_index_of")
+
+    def __init__(self):
+        self.ops = array("B")
+        self.addrs = array("q")
+        self.sizes = array("H")
+        self.meta_idx = array("H")
+        self.metas: List[Optional[str]] = [None]
+        self._index_of = {None: 0}
+
+    def append(self, op: int, addr: int = 0, size: int = 0,
+               meta: Optional[str] = None) -> None:
+        idx = self._index_of.get(meta)
+        if idx is None:
+            idx = len(self.metas)
+            if idx > MAX_METAS:
+                raise ValueError("too many distinct meta strings for u16 index")
+            self._index_of[meta] = idx
+            self.metas.append(meta)
+        self.ops.append(op)
+        self.addrs.append(addr)
+        self.sizes.append(size)
+        self.meta_idx.append(idx)
+
+    def append_run(self, op: int, n: int) -> None:
+        """Append *n* identical metadata-free ops (ALU padding runs)."""
+        self.ops.frombytes(bytes([op]) * n)
+        self.addrs.frombytes(bytes(8 * n))
+        self.sizes.frombytes(bytes(2 * n))
+        self.meta_idx.frombytes(bytes(2 * n))
+
+    def snapshot(self) -> TraceColumns:
+        return TraceColumns(
+            array("B", self.ops),
+            array("q", self.addrs),
+            array("H", self.sizes),
+            array("H", self.meta_idx),
+            list(self.metas),
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -148,9 +148,11 @@ def metrics_snapshot() -> Dict[str, object]:
     """Everything ``--metrics-out`` writes: cache counters (session and
     lifetime) plus the per-variant records and their summary."""
     from repro.harness import cache as disk_cache
+    from repro.uarch.kernel import resolve_backend
 
     return {
-        "schema": 2,
+        "schema": 3,
+        "kernel_backend": resolve_backend(None),
         "cache_session": disk_cache.cache_counters().as_dict(),
         "cache_lifetime": disk_cache.lifetime_cache_counters(),
         "supervisor": _SUPERVISOR.as_dict(),
@@ -172,11 +174,13 @@ def render_metrics_line() -> Optional[str]:
     """One human-readable accounting line, or ``None`` with nothing to say."""
     from repro.harness import cache as disk_cache
 
+    from repro.uarch.kernel import resolve_backend
+
     counters = disk_cache.cache_counters()
     summary = summarize()
     if not _RECORDS and not counters.total():
         return None
-    parts = []
+    parts = [f"kernel={resolve_backend(None)}"]
     if summary["records"]:
         by_source = summary["by_source"]
         sims = {

@@ -33,6 +33,11 @@ class CacheLevel:
         self.ways = config.ways
         self.block_bits = config.block_size.bit_length() - 1
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
+        #: membership generation — bumped whenever a tag is inserted or
+        #: removed (never on an LRU refresh), so observers such as the
+        #: vectorized kernel can cache a snapshot of the resident tags and
+        #: invalidate it cheaply.  Hit paths never touch it.
+        self.stamp = 0
         # statistics
         self.hits = 0
         self.misses = 0
@@ -69,12 +74,14 @@ class CacheLevel:
             if victim_dirty:
                 self.writebacks += 1
         ways[tag] = dirty
+        self.stamp += 1
         return victim
 
     def evict(self, block: int) -> Optional[bool]:
         """Remove *block* if present; returns its dirty bit, else ``None``."""
         ways, tag = self._locate(block)
         if tag in ways:
+            self.stamp += 1
             return ways.pop(tag)
         return None
 

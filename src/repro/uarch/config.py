@@ -43,6 +43,28 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """Execution-engine knobs: *how* the simulator runs, not *what* it
+    models.
+
+    Deliberately separate from :class:`MachineConfig` — both backends
+    are cycle-for-cycle identical by contract, so the backend choice
+    must never enter config hashing, result caching, or trace keys.
+
+    ``kernel`` is ``auto`` (numpy when importable, else Python),
+    ``python`` (force the segment walker), or ``numpy`` (force the
+    vectorized kernel; warns once and degrades to Python if numpy is
+    missing or too old).  ``kernel_min_batch`` is the batch length below
+    which the kernel defers to the walker — the kernel's fixed per-batch
+    cost only amortises past about a thousand instructions per
+    event-free span.
+    """
+
+    kernel: str = "auto"
+    kernel_min_batch: int = 1024
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """The baseline system of paper Table 2 plus SP knobs.
 

@@ -62,8 +62,9 @@ from repro.isa.columns import TraceColumns
 from repro.isa.ops import Op
 from repro.isa.trace import Trace
 from repro.stats.run import RunStats
+from repro.uarch import kernel as _kernel
 from repro.uarch.caches import CacheHierarchy, CacheLevel
-from repro.uarch.config import MachineConfig
+from repro.uarch.config import MachineConfig, PipelineConfig
 from repro.uarch.memctrl import MemoryController, MemoryControllerArray
 
 _BLOCK_MASK = ~63
@@ -86,8 +87,22 @@ _LOCK_RMW = int(Op.LOCK_RMW)
 class PipelineModel:
     """One simulated core; construct it, then call :meth:`run` on a trace."""
 
-    def __init__(self, config: MachineConfig = MachineConfig(), tracer=None):
+    def __init__(
+        self,
+        config: MachineConfig = MachineConfig(),
+        tracer=None,
+        pipeline: Optional[PipelineConfig] = None,
+    ):
         self.config = config
+        #: execution-engine knobs (backend choice); cycle-identical by
+        #: contract, so never part of config hashing or trace keys
+        self.pipeline = pipeline or PipelineConfig()
+        #: the backend that will actually run (``numpy`` resolves to
+        #: ``python`` here when numpy is missing or too old)
+        self.kernel_backend = _kernel.resolve_backend(self.pipeline.kernel)
+        self._kernel_advance = (
+            _kernel.advance if self.kernel_backend == "numpy" else None
+        )
         #: observability hook (:mod:`repro.obs`); ``None`` — the common
         #: case — keeps the segment-walker fast path (see :meth:`run`)
         self._tracer = tracer
@@ -292,14 +307,29 @@ class PipelineModel:
         addrs = columns.addrs
         meta_idx = columns.meta_idx
         metas = columns.metas
+        kernel_advance = self._kernel_advance
+        min_batch = self.pipeline.kernel_min_batch
         ei = 0
         while ei < n_entries:
             prefix_done = False
-            if (
+            fast_ok = (
                 not epochs.speculating
                 and len(self._fetchq) >= width
                 and len(self._rob) >= width
-            ):
+            )
+            if fast_ok and kernel_advance is not None:
+                # vectorized batch kernel: consumes every entry up to the
+                # next fence/pcommit/clflush/barrier plus that entry's
+                # compute prefix (the walker's prefix_done protocol), or
+                # declines short batches (None) in favour of the walker
+                nj = kernel_advance(self, columns, segments, ei, min_batch)
+                if nj is not None:
+                    if nj >= n_entries:
+                        return
+                    ei = nj
+                    prefix_done = True
+                    fast_ok = False
+            if fast_ok:
                 # ---------- fast phase ----------
                 fg = self._fetch_group
                 fetchq = self._fetchq
@@ -1665,6 +1695,7 @@ _INLINED_METHODS = (
 _PRISTINE = {name: PipelineModel.__dict__[name] for name in _INLINED_METHODS}
 _PRISTINE_ACCESS = CacheHierarchy.__dict__["access"]
 _PRISTINE_LOOKUP = CacheLevel.__dict__["lookup"]
+_PRISTINE_FLUSH = CacheHierarchy.__dict__["flush"]
 
 
 def _deoptimized(model: PipelineModel) -> bool:
@@ -1679,6 +1710,7 @@ def _deoptimized(model: PipelineModel) -> bool:
     if (
         CacheHierarchy.__dict__.get("access") is not _PRISTINE_ACCESS
         or CacheLevel.__dict__.get("lookup") is not _PRISTINE_LOOKUP
+        or CacheHierarchy.__dict__.get("flush") is not _PRISTINE_FLUSH
     ):
         return True
     instance_dict = getattr(model, "__dict__", None)
@@ -1690,11 +1722,17 @@ def _deoptimized(model: PipelineModel) -> bool:
 
 
 def simulate(
-    trace: Trace, config: MachineConfig = MachineConfig(), tracer=None
+    trace: Trace,
+    config: MachineConfig = MachineConfig(),
+    tracer=None,
+    kernel: Optional[str] = None,
 ) -> RunStats:
     """Convenience wrapper: simulate *trace* on a fresh machine.
 
     Pass a :class:`repro.obs.tracer.SpanTracer` as *tracer* to capture
     cycle-resolved spans (forces the exact per-op loop); ``None`` keeps
-    the segment fast path."""
-    return PipelineModel(config, tracer=tracer).run(trace)
+    the segment fast path.  *kernel* picks the batch backend (``auto`` /
+    ``python`` / ``numpy``); ``None`` defers to ``REPRO_KERNEL`` and then
+    ``auto`` — both backends are cycle-identical."""
+    pipeline = PipelineConfig(kernel=kernel) if kernel else None
+    return PipelineModel(config, tracer=tracer, pipeline=pipeline).run(trace)

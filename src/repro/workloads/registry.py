@@ -37,6 +37,13 @@ class BenchmarkSpec:
     scaled_sim_ops: int
     factory: Callable[[Workbench], PersistentWorkload]
     kwargs: dict = field(default_factory=dict)
+    #: Simulated heap for a paper-scale run.  The default 64 MiB heap
+    #: fits every scaled workload, but the allocator never eagerly
+    #: reclaims deleted nodes (paper §5.2), so paper op counts need a
+    #: heap sized for one block per mutating op.  Must stay fixed per
+    #: workload: heap size changes allocation addresses and therefore
+    #: the generated trace.
+    paper_heap_bytes: int = 1 << 26
 
     def build(self, bench: Workbench) -> PersistentWorkload:
         return self.factory(bench, **self.kwargs)
@@ -53,12 +60,14 @@ PAPER_SPECS: Dict[str, BenchmarkSpec] = {
         paper_init_ops=2_600_000, paper_sim_ops=100_000,
         scaled_init_ops=1600, scaled_sim_ops=60,
         factory=_make(GraphWorkload, n_vertices=64),
+        paper_heap_bytes=1 << 29,
     ),
     "HM": BenchmarkSpec(
         "HM", "Hash-Map", "Insert or delete entries in a hash map",
         paper_init_ops=1_500_000, paper_sim_ops=100_000,
         scaled_init_ops=12000, scaled_sim_ops=60,
         factory=_make(HashMapWorkload, initial_capacity=16384),
+        paper_heap_bytes=1 << 28,
     ),
     "LL": BenchmarkSpec(
         "LL", "Linked-List", "Insert or delete nodes in a linked list (Max:1024)",
@@ -71,24 +80,28 @@ PAPER_SPECS: Dict[str, BenchmarkSpec] = {
         paper_init_ops=120_000, paper_sim_ops=500_000,
         scaled_init_ops=0, scaled_sim_ops=80,
         factory=_make(StringSwapWorkload, n_strings=8192),
+        paper_heap_bytes=1 << 27,
     ),
     "AT": BenchmarkSpec(
         "AT", "AVL-tree", "Insert or delete nodes in an AVL tree",
         paper_init_ops=1_000_000, paper_sim_ops=50_000,
         scaled_init_ops=1000, scaled_sim_ops=30,
         factory=_make(AVLTreeWorkload, key_space=16384),
+        paper_heap_bytes=1 << 28,
     ),
     "BT": BenchmarkSpec(
         "BT", "B-tree", "Insert or delete nodes in a B tree",
         paper_init_ops=1_000_000, paper_sim_ops=50_000,
         scaled_init_ops=1000, scaled_sim_ops=30,
         factory=_make(BTreeWorkload, key_space=16384),
+        paper_heap_bytes=1 << 28,
     ),
     "RT": BenchmarkSpec(
         "RT", "RB-tree", "Insert or delete nodes in an RB tree",
         paper_init_ops=1_500_000, paper_sim_ops=50_000,
         scaled_init_ops=1500, scaled_sim_ops=30,
         factory=_make(RBTreeWorkload, key_space=16384),
+        paper_heap_bytes=1 << 28,
     ),
 }
 

@@ -2,6 +2,9 @@
 
 import sys
 
+import pytest
+
+from repro.isa import analysis
 from repro.isa.analysis import barrier_distances, characterise, persist_clusters
 from repro.isa.instr import Instr
 from repro.isa.ops import Op
@@ -92,3 +95,62 @@ class TestCharacterise:
         assert summary.clusters >= 10
         assert summary.clustered_fraction > 0.9
         assert summary.mean_cluster_size >= 3
+
+
+class TestSegmentationVectorizedVsScalar:
+    """segment_trace has two implementations — the numpy one and the
+    pure-Python fallback used when numpy is absent.  They must produce
+    identical segmentations, entry for entry, including the batch
+    metadata the kernel consumes, on every barrier-recognition edge."""
+
+    CASES = {
+        "empty": [],
+        "compute_only": [Instr(Op.ALU)] * 7,
+        "lone_sfence": [Instr(Op.ALU), Instr(Op.SFENCE)],
+        "incomplete_barrier": [Instr(Op.SFENCE), Instr(Op.PCOMMIT)],
+        "barrier_at_end": [Instr(Op.ALU)] * 3 + barrier(),
+        "barrier_at_start": barrier() + [Instr(Op.ALU)] * 3,
+        "overlapping_candidates": [
+            Instr(Op.SFENCE),
+            Instr(Op.PCOMMIT),
+            Instr(Op.SFENCE),
+            Instr(Op.PCOMMIT),
+            Instr(Op.SFENCE),
+        ],
+        "mixed": (
+            [Instr(Op.LOAD, 0x1000, meta="read")]
+            + [Instr(Op.ALU)] * 4
+            + [Instr(Op.STORE, 0x1040, meta="commit")]
+            + [Instr(Op.CLWB, 0x1040)]
+            + barrier()
+            + [Instr(Op.XCHG, 0x2000), Instr(Op.MFENCE)]
+            + [Instr(Op.BRANCH)] * 2
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_case(self, name, monkeypatch):
+        if analysis._np is None:
+            pytest.skip("numpy unavailable: only the scalar path exists")
+        columns = Trace(self.CASES[name]).columns()
+        vec = analysis.segment_trace(columns)
+        monkeypatch.setattr(analysis, "_np", None)
+        ref = analysis.segment_trace(columns)
+        assert [tuple(e) for e in vec.entries] == [tuple(e) for e in ref.entries]
+        assert vec.n == ref.n
+        for field in ("runs", "kinds", "blocks", "metas", "batch_end"):
+            assert [int(v) for v in getattr(vec, field)] == [
+                int(v) for v in getattr(ref, field)
+            ], field
+        assert [int(v) for v in vec.cum_instrs] == [int(v) for v in ref.cum_instrs]
+
+    def test_lazy_entries_len_without_materialisation(self):
+        if analysis._np is None:
+            pytest.skip("numpy unavailable")
+        columns = Trace(self.CASES["mixed"]).columns()
+        seg = analysis.segment_trace(columns)
+        assert seg.entries._rows is None
+        n_entries = len(seg.entries)
+        assert seg.entries._rows is None  # len must not materialise
+        assert len(list(seg.entries)) == n_entries
+        assert seg.entries[0] == list(seg.entries)[0]

@@ -113,7 +113,8 @@ class TestCacheCounters:
         out = tmp_path / "metrics.json"
         obs_metrics.write_metrics(out)
         payload = json.loads(out.read_text())
-        assert payload["schema"] == 2  # v2 added the supervisor block
+        assert payload["schema"] == 3  # v3 added the kernel backend
+        assert payload["kernel_backend"] in ("python", "numpy")
         assert payload["summary"]["records"] == 1
         assert payload["variants"][0]["label"] == "BT/base"
         assert "cache_session" in payload
