@@ -66,6 +66,7 @@ from repro.harness import (
     fig12_stores_per_pcommit,
     fig13_ssb_sweep,
     fig14_bloom_fp,
+    fig15_concurrent_speedup,
     headline_claim,
     render_bar_table,
     table1_text,
@@ -83,7 +84,7 @@ from repro.harness.bench import (
 )
 from repro.harness.figures import GEOMEAN, render_scalar_series
 from repro.harness.parallel import prefetch_variants
-from repro.harness.runner import run_variant
+from repro.harness.runner import run_system, run_variant
 from repro.pmem.crash import CrashTester
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
@@ -129,6 +130,13 @@ def _figure_text(number: int, benchmarks: Optional[List[str]] = None) -> str:
         return render_scalar_series(
             "Figure 14: bloom-filter false-positive rate (SP256)",
             fig14_bloom_fp(columns), fmt="{:8.3f}",
+        )
+    if number == 15:
+        concurrent = [ab for ab in columns if ab in ("HM", "BT")] or None
+        data = fig15_concurrent_speedup(concurrent)
+        return render_bar_table(
+            "Figure 15 (new): SP speedup over Log+P+Sf, cores x contention",
+            data, fmt="{:7.2f}x", columns=list(next(iter(data.values()))),
         )
     raise ValueError(f"no figure {number} in the paper's evaluation")
 
@@ -186,6 +194,37 @@ def _run_text(abbrev: str, scale: str = "scaled") -> str:
     lines.append(
         f"{'SP256':<12}{sp.cycles:>14,}{sp.overhead_vs(base):>10.1%}{sp.ipc:>7.2f}"
     )
+    return "\n".join(lines)
+
+
+def _run_system_text(abbrev: str, cores: int, contention: float) -> str:
+    """Multi-core variant table: shared-heap transactions on N cores."""
+    machine = MachineConfig()
+    spec = PAPER_SPECS[abbrev]
+    title = (
+        f"{spec.name} ({abbrev}) — {cores} cores over one shared heap, "
+        f"contention p={contention:g}"
+    )
+    lines = [title]
+    lines.append(
+        f"{'variant':<12}{'makespan':>14}{'overhead':>10}"
+        f"{'aborts':>8}{'replayed':>10}"
+    )
+    base = run_system(
+        abbrev, PersistMode.BASE, machine, cores=cores, contention=contention
+    )
+    rows = [(mode.label, mode, machine) for mode in PersistMode]
+    rows.append(("SP256", PersistMode.LOG_P_SF, machine.with_sp(256)))
+    for label, mode, config in rows:
+        stats = run_system(
+            abbrev, mode, config, cores=cores, contention=contention
+        )
+        lines.append(
+            f"{label:<12}{stats.cycles:>14,}"
+            f"{stats.overhead_vs(base):>10.1%}"
+            f"{int(stats.extra.get('conflict_aborts', 0)):>8}"
+            f"{int(stats.extra.get('replayed_instructions', 0)):>10}"
+        )
     return "\n".join(lines)
 
 
@@ -352,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("tables", help="print Tables 1-3")
 
     figure = sub.add_parser("figure", help="regenerate one figure")
-    figure.add_argument("number", type=int, choices=range(8, 15))
+    figure.add_argument("number", type=int, choices=range(8, 16))
     figure.add_argument(
         "--benchmarks", nargs="*", choices=WORKLOADS, default=None,
         help="restrict to a subset (default: all seven)",
@@ -372,6 +411,16 @@ def build_parser() -> argparse.ArgumentParser:
              "defaults) or 'paper' (Table 1's #InitOps/#SimOps — traces "
              "of tens of millions of micro-ops; needs the numpy kernel "
              "to finish in minutes)",
+    )
+    run.add_argument(
+        "--cores", type=int, default=1,
+        help="simulate N cores over a shared heap (repro.uarch.system); "
+             "1 = the paper's single-core run",
+    )
+    run.add_argument(
+        "--contention", type=float, default=0.0,
+        help="per-transaction probability of touching the shared "
+             "partition (multi-core runs only)",
     )
     add_jobs(run)
     add_metrics_out(run)
@@ -522,7 +571,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "headline":
         print(_headline_text())
     elif args.command == "run":
-        print(_run_text(args.abbrev, scale=args.scale))
+        if args.cores > 1:
+            print(_run_system_text(args.abbrev, args.cores, args.contention))
+        else:
+            if args.contention:
+                parser.error("--contention needs --cores >= 2")
+            print(_run_text(args.abbrev, scale=args.scale))
         _print_metrics(args)
     elif args.command == "trace":
         return _trace_command(args)

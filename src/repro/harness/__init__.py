@@ -30,7 +30,9 @@ from repro.harness.runner import (
     TraceKey,
     build_trace,
     clear_trace_cache,
+    run_system,
     run_variant,
+    system_result,
     variant_stats,
 )
 from repro.harness.bench import run_bench
@@ -42,6 +44,7 @@ from repro.harness.figures import (
     fig12_stores_per_pcommit,
     fig13_ssb_sweep,
     fig14_bloom_fp,
+    fig15_concurrent_speedup,
     headline_claim,
     render_bar_table,
 )
@@ -59,7 +62,9 @@ __all__ = [
     "default_jobs",
     "prefetch_variants",
     "run_bench",
+    "run_system",
     "run_variant",
+    "system_result",
     "run_variants",
     "set_default_jobs",
     "variant_stats",
@@ -70,6 +75,7 @@ __all__ = [
     "fig12_stores_per_pcommit",
     "fig13_ssb_sweep",
     "fig14_bloom_fp",
+    "fig15_concurrent_speedup",
     "headline_claim",
     "render_bar_table",
     "table1_text",

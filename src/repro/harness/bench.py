@@ -44,6 +44,8 @@ from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
 from repro.uarch.kernel import numpy_available, resolve_backend
 from repro.uarch.pipeline import simulate
+from repro.uarch.system import SystemModel
+from repro.workloads.concurrent import generate_concurrent
 
 #: Subset used by ``bench --quick`` (CI smoke): the cheapest two traces.
 QUICK_BENCHMARKS = ("LL", "GH")
@@ -60,7 +62,12 @@ DEFAULT_OUTPUT = "BENCH_harness.json"
 #: bench variants, now recorded as ``sweep_ips``); added
 #: ``kernel_backend``, ``pipeline_ips_by_backend``,
 #: ``sweep_ips_by_backend``, and the ``pipeline_trace`` descriptor.
-BENCH_SCHEMA_VERSION = 4
+#: 5: added ``system_ips`` — aggregate multi-core throughput of the
+#: :class:`~repro.uarch.system.SystemModel` co-simulation driver (total
+#: committed instructions across cores per wall-clock second, conflicts
+#: included) with its ``system_trace`` descriptor.  Tracked, no floor
+#: enforced yet.
+BENCH_SCHEMA_VERSION = 5
 
 #: Sustained-throughput trace: the paper's linked-list benchmark on the
 #: unfenced baseline, scaled up until per-run fixed costs vanish (a few
@@ -72,6 +79,16 @@ BENCH_SCHEMA_VERSION = 4
 SUSTAINED_BENCHMARK = "LL"
 SUSTAINED_SIM_OPS = 200
 SUSTAINED_SIM_OPS_QUICK = 60
+
+#: Multi-core throughput cell: a moderately contended 2-core hash-map
+#: run on the speculative machine, so the measurement covers the whole
+#: co-simulation driver — min-clock scheduling, store broadcasts, BLT
+#: probes, and abort/replay — not just the per-core exact loops.
+SYSTEM_BENCHMARK = "HM"
+SYSTEM_CORES = 2
+SYSTEM_CONTENTION = 0.5
+SYSTEM_SIM_OPS = 200
+SYSTEM_SIM_OPS_QUICK = 60
 
 #: Per-backend regression floors for ``bench --enforce-floor`` (CI):
 #: the run fails if a measured backend's sustained ``pipeline_ips``
@@ -188,6 +205,14 @@ def run_bench(
             )
             sustained.columns()
             sustained.segments()
+            system_ops = SYSTEM_SIM_OPS_QUICK if quick else SYSTEM_SIM_OPS
+            system_run = generate_concurrent(
+                SYSTEM_BENCHMARK, PersistMode.LOG_P_SF,
+                n_cores=SYSTEM_CORES, contention=SYSTEM_CONTENTION,
+                seed=seed, sim_ops=system_ops,
+            )
+            for trace in system_run.traces:
+                trace.columns()
 
             sweep_best = {
                 backend: [float("inf")] * len(variants) for backend in backends
@@ -221,6 +246,22 @@ def run_bench(
                         if elapsed < sustained_best[backend]:
                             sustained_best[backend] = elapsed
                         sustained_instructions = stats.instructions
+                # multi-core driver throughput (backend-independent: the
+                # co-sim driver always walks the exact loop); a fresh
+                # SystemModel per rep, since core stats accumulate
+                system_best = float("inf")
+                system_instructions = 0
+                sp_config = MachineConfig().with_sp(256)
+                for rep in range(reps):
+                    system = SystemModel(sp_config, n_cores=SYSTEM_CORES)
+                    t0 = time.perf_counter()
+                    result = system.run(system_run.traces)
+                    elapsed = time.perf_counter() - t0
+                    if elapsed < system_best:
+                        system_best = elapsed
+                    system_instructions = sum(
+                        stats.instructions for stats in result.per_core
+                    )
             finally:
                 if gc_was_enabled:
                     gc.enable()
@@ -268,6 +309,18 @@ def run_bench(
         "sweep_seconds": round(sweep_seconds.get(active_backend, 0.0), 3),
         "sweep_ips": sweep_ips.get(active_backend),
         "sweep_ips_by_backend": sweep_ips,
+        "system_trace": {
+            "benchmark": SYSTEM_BENCHMARK,
+            "mode": PersistMode.LOG_P_SF.value,
+            "cores": SYSTEM_CORES,
+            "contention": SYSTEM_CONTENTION,
+            "sim_ops": system_ops,
+        },
+        "system_instructions": system_instructions,
+        "system_seconds": round(system_best, 3),
+        "system_ips": (
+            round(system_instructions / system_best) if system_best else None
+        ),
     }
     if output:
         with open(output, "w") as handle:
@@ -320,6 +373,13 @@ def render_bench(record: Dict[str, object]) -> str:
     elif record.get("sweep_ips") is not None:
         lines.append(
             f"  variant sweep     : {_fmt(record.get('sweep_ips'), '>8,')} instr/s"
+        )
+    if record.get("system_ips") is not None:
+        descriptor = record.get("system_trace") or {}
+        lines.append(
+            f"  multi-core system : {_fmt(record.get('system_ips'), '>8,')} instr/s"
+            f" aggregate ({_fmt(descriptor.get('cores'))} cores,"
+            f" p={_fmt(descriptor.get('contention'))})"
         )
     for phase in ("cold", "warm"):
         counters = record.get(f"{phase}_cache")

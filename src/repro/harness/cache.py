@@ -67,7 +67,8 @@ from repro.uarch.config import MachineConfig
 #: Bump whenever trace generation, the timing model, or the on-disk
 #: payload format changes observable behaviour — every previously cached
 #: entry becomes unreachable.  3: columnar RPTR2 trace payloads.
-CACHE_SCHEMA_VERSION = 3
+#: 4: trace keys carry core count + contention (multi-core cells).
+CACHE_SCHEMA_VERSION = 4
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -253,6 +254,10 @@ def _trace_key_payload(key) -> dict:
         "seed": key.seed,
         "init_ops": key.init_ops,
         "sim_ops": key.sim_ops,
+        # multi-core cells (repro.uarch.system): single-core keys carry
+        # the defaults, so a 2-core run can never alias the 1-core entry
+        "cores": getattr(key, "cores", 1),
+        "contention": getattr(key, "contention", 0.0),
     }
 
 

@@ -17,6 +17,7 @@ from repro.harness.parallel import prefetch_variants
 from repro.harness.runner import (
     all_benchmarks,
     geomean_overhead,
+    run_system,
     run_variant,
 )
 
@@ -214,6 +215,46 @@ def fig14_bloom_fp(
         ab: run_variant(ab, PersistMode.LOG_P_SF, sp_cfg, seed).bloom_false_positive_rate
         for ab in benchmarks
     }
+
+
+# ----------------------------------------------------------------------
+# Figure 15 (beyond the paper): SP speedup on multi-core runs
+# ----------------------------------------------------------------------
+def fig15_concurrent_speedup(
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    core_counts: Sequence[int] = (2, 4),
+    contentions: Sequence[float] = (0.0, 0.5, 0.9),
+) -> Dict[str, Dict[str, float]]:
+    """SP speedup vs. core count x conflict rate — a figure the paper
+    never ran (its evaluation is single-threaded, §5).
+
+    For each benchmark and core count, the same concurrent traces
+    (:mod:`repro.workloads.concurrent`) run on the stalling Log+P+Sf
+    machine and on SP256; the entry is the makespan ratio
+    ``stall / sp`` (> 1 means SP hides the persist barriers even while
+    paying conflict aborts).  Rows are ``"{benchmark}x{cores}"``,
+    columns ``"p=<contention>"``.
+    """
+    benchmarks = list(benchmarks or ("HM", "BT"))
+    base_cfg = MachineConfig()
+    sp_cfg = base_cfg.with_sp(256)
+    result: Dict[str, Dict[str, float]] = {}
+    for ab in benchmarks:
+        for cores in core_counts:
+            row: Dict[str, float] = {}
+            for contention in contentions:
+                stall = run_system(
+                    ab, PersistMode.LOG_P_SF, base_cfg, seed,
+                    cores=cores, contention=contention,
+                )
+                sp = run_system(
+                    ab, PersistMode.LOG_P_SF, sp_cfg, seed,
+                    cores=cores, contention=contention,
+                )
+                row[f"p={contention:g}"] = stall.cycles / sp.cycles
+            result[f"{ab}x{cores}"] = row
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -35,13 +35,21 @@ from repro.workloads.registry import PAPER_SPECS, WORKLOADS
 
 @dataclass(frozen=True)
 class TraceKey:
-    """Cache key for a generated trace."""
+    """Cache key for a generated trace.
+
+    ``cores``/``contention`` identify multi-core cells
+    (:func:`run_system`); the defaults keep every single-core key — and
+    its digest inputs — distinct from any multi-core cell, so a 2-core
+    run can never alias the single-core cache or journal entry.
+    """
 
     abbrev: str
     mode: PersistMode
     seed: int
     init_ops: Optional[int] = None
     sim_ops: Optional[int] = None
+    cores: int = 1
+    contention: float = 0.0
 
 
 _TRACE_CACHE: Dict[TraceKey, Trace] = {}
@@ -60,6 +68,8 @@ def clear_trace_cache() -> None:
 
 def generate_trace(key: TraceKey) -> Trace:
     """Run the functional workload for *key* and return its trace (uncached)."""
+    if key.cores != 1:
+        raise ValueError("multi-core cells have one trace per core; use run_system")
     spec = PAPER_SPECS[key.abbrev]
     init_ops = spec.scaled_init_ops if key.init_ops is None else key.init_ops
     sim_ops = spec.scaled_sim_ops if key.sim_ops is None else key.sim_ops
@@ -165,6 +175,81 @@ def run_variant(
     trace = trace_for_key(key)
     started = time.perf_counter()
     stats = simulate(trace, config)
+    _STATS_CACHE[(key, config)] = stats
+    disk_cache.store_stats(key, config, stats)
+    obs_metrics.record_variant(
+        "sim", label, "simulated", time.perf_counter() - started
+    )
+    return stats
+
+
+def system_result(
+    abbrev: str,
+    mode: PersistMode,
+    config: Optional[MachineConfig] = None,
+    seed: int = 7,
+    cores: int = 2,
+    contention: float = 0.0,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
+):
+    """Generate a concurrent run and co-simulate it (uncached).
+
+    Returns the full :class:`~repro.uarch.system.SystemResult` with
+    per-core stats and conflict counters; :func:`run_system` is the
+    cached aggregate view.
+    """
+    from repro.uarch.system import simulate_system
+    from repro.workloads.concurrent import generate_concurrent
+
+    config = config or MachineConfig()
+    run = generate_concurrent(
+        abbrev, mode, n_cores=cores, contention=contention, seed=seed,
+        init_ops=init_ops, sim_ops=sim_ops,
+    )
+    return simulate_system(run.traces, config)
+
+
+def run_system(
+    abbrev: str,
+    mode: PersistMode,
+    config: Optional[MachineConfig] = None,
+    seed: int = 7,
+    cores: int = 2,
+    contention: float = 0.0,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
+) -> RunStats:
+    """Aggregate stats of one multi-core cell (cached at both layers).
+
+    The returned :class:`RunStats` sums the per-core counters, takes the
+    system makespan as ``cycles``, and carries the conflict counters and
+    per-core cycle breakdown in ``extra`` — everything round-trips
+    through the persistent stats cache.  ``cores`` must be >= 2: a
+    one-core system is just :func:`run_variant`, and keeping the tiers
+    apart keeps their cache keys apart.
+    """
+    if cores < 2:
+        raise ValueError("run_system needs >= 2 cores; use run_variant")
+    config = config or MachineConfig()
+    key = TraceKey(abbrev, mode, seed, init_ops, sim_ops, cores, contention)
+    cached = _STATS_CACHE.get((key, config))
+    if cached is not None:
+        return cached
+    label = f"{abbrev}/{mode.value}@{cores}c/p{contention:g}"
+    started = time.perf_counter()
+    stats = disk_cache.load_cached_stats(key, config)
+    if stats is not None:
+        _STATS_CACHE[(key, config)] = stats
+        obs_metrics.record_variant(
+            "sim", label, "disk", time.perf_counter() - started
+        )
+        return stats
+    stats = system_result(
+        abbrev, mode, config, seed,
+        cores=cores, contention=contention,
+        init_ops=init_ops, sim_ops=sim_ops,
+    ).aggregate()
     _STATS_CACHE[(key, config)] = stats
     disk_cache.store_stats(key, config, stats)
     obs_metrics.record_variant(

@@ -42,6 +42,7 @@ from repro.stats.run import RunStats
 
 #: Stall buckets in claim-priority order; ``compute`` is the residue.
 ATTRIBUTION_BUCKETS = (
+    "conflict_abort",
     "sfence_drain",
     "checkpoint_stall",
     "ssb_full_stall",
@@ -50,6 +51,7 @@ ATTRIBUTION_BUCKETS = (
 
 #: (span durations summed, RunStats counter) pairs that must agree.
 _SPAN_CYCLE_COUNTERS = (
+    ("conflict_abort", "conflict_abort_cycles"),
     ("sfence_drain", "sfence_stall_cycles"),
     ("checkpoint_stall", "checkpoint_stall_cycles"),
     ("ssb_full_stall", "ssb_full_stall_cycles"),

@@ -53,6 +53,9 @@ class RunStats:
     bloom_false_positives: int = 0
     ssb_forwards: int = 0
     rollbacks: int = 0
+    #: Cycles charged to pipeline refill after a coherence-conflict abort
+    #: (multi-core runs; the crash fuzzer's forced aborts also land here).
+    conflict_abort_cycles: int = 0
 
     extra: Dict[str, float] = field(default_factory=dict)
 

@@ -1581,9 +1581,14 @@ class PipelineModel:
         self.bloom.reset()
         self.blt.clear()
         self.stats.rollbacks += 1
+        self.stats.conflict_abort_cycles += self.config.rollback_penalty
         if self._tracer is not None:
             now = self._last_retire
             self._tracer.instant("rollback", now, cat="speculation")
+            self._tracer.span(
+                "conflict_abort", now, now + self.config.rollback_penalty,
+                cat="stall",
+            )
             for epoch in discarded:
                 self._trace_epoch_end(epoch, "rollback", end=now)
         restart = self._last_retire + self.config.rollback_penalty

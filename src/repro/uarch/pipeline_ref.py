@@ -589,6 +589,7 @@ class ReferencePipelineModel:
         self.bloom.reset()
         self.blt.clear()
         self.stats.rollbacks += 1
+        self.stats.conflict_abort_cycles += self.config.rollback_penalty
         restart = self._last_retire + self.config.rollback_penalty
         width = self.config.width
         self._fetch_group = deque([restart] * width, maxlen=width)

@@ -60,8 +60,10 @@ from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import simulate
 from repro.uarch.pipeline_ref import simulate_reference
+from repro.uarch.system import simulate_system
 from repro.validate import mutations
 from repro.validate.report import EngineReport
+from repro.workloads.concurrent import generate_concurrent, serial_oracle_check
 from repro.workloads.base import PersistentWorkload, Workbench
 from repro.workloads.registry import PAPER_SPECS, WORKLOADS
 
@@ -335,4 +337,88 @@ def run_conformance(
                     abbrev=abbrev,
                     mode=mode.value,
                 )
+
+    # ---- system layer (multi-core co-simulation) --------------------
+    system_benchmarks = [ab for ab in benchmarks if ab in ("HM", "BT")]
+    if quick:
+        system_benchmarks = system_benchmarks[:1]
+    for abbrev in system_benchmarks:
+        _system_checks(report, abbrev, seed)
     return report
+
+
+def _system_checks(report: EngineReport, abbrev: str, seed: int) -> None:
+    """Multi-core conformance cell (see repro.uarch.system).
+
+    Zero contention: a 2-core run over a shared heap must equal two
+    independent single-core runs of the same per-core traces,
+    counter-for-counter and cycle-for-cycle, with zero conflicts.
+    Under contention: every abort must be replayed to commit (each core
+    retires at least its trace's micro-op count) and the shared heap
+    must match the serial oracle.
+    """
+    for label, config in (
+        ("eager", MachineConfig()),
+        ("sp256", MachineConfig().with_sp(256)),
+    ):
+        run = generate_concurrent(
+            abbrev, PersistMode.LOG_P_SF, n_cores=2, contention=0.0,
+            seed=seed + 17,
+        )
+        result = simulate_system(run.traces, config)
+        problems: List[str] = []
+        if result.conflict_aborts or result.store_broadcasts == 0:
+            problems.append(
+                f"expected broadcasts and no aborts, got "
+                f"{result.store_broadcasts} broadcasts / "
+                f"{result.conflict_aborts} aborts"
+            )
+        for index, trace in enumerate(run.traces):
+            solo = simulate(trace, config).as_dict()
+            system = result.per_core[index].as_dict()
+            diverged = {
+                key: (system[key], solo[key])
+                for key in system
+                if system[key] != solo.get(key)
+            }
+            if diverged:
+                problems.append(f"core {index} diverged: {diverged}")
+        report.add(
+            f"system/{abbrev}/zero-contention/{label}",
+            not problems,
+            detail="; ".join(problems),
+            abbrev=abbrev,
+            cores=2,
+            contention=0.0,
+            config=label,
+        )
+
+    run = generate_concurrent(
+        abbrev, PersistMode.LOG_P_SF, n_cores=2, contention=0.8,
+        seed=seed + 17,
+    )
+    result = simulate_system(run.traces, MachineConfig().with_sp(256))
+    problems = []
+    if not result.conflict_aborts:
+        problems.append("contention 0.8 produced no conflict aborts")
+    for index, trace in enumerate(run.traces):
+        stats = result.per_core[index]
+        if stats.instructions < len(trace):
+            problems.append(
+                f"core {index} retired {stats.instructions} of "
+                f"{len(trace)} micro-ops (abort not replayed to commit)"
+            )
+        if stats.conflict_abort_cycles and not stats.rollbacks:
+            problems.append(f"core {index} counted abort cycles without rollbacks")
+    error = serial_oracle_check(run)
+    if error is not None:
+        problems.append(error)
+    report.add(
+        f"system/{abbrev}/conflict-replay",
+        not problems,
+        detail="; ".join(problems),
+        abbrev=abbrev,
+        cores=2,
+        contention=0.8,
+        config="sp256",
+    )

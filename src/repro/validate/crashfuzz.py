@@ -39,9 +39,11 @@ from repro.pmem.crash import CrashTester
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
 from repro.uarch.pipeline import PipelineModel
+from repro.uarch.system import SystemModel
 from repro.validate.conformance import build_small_workload
 from repro.validate.invariants import speculative_state_errors
 from repro.validate.report import EngineReport
+from repro.workloads.concurrent import generate_concurrent
 from repro.workloads.registry import WORKLOADS
 
 
@@ -127,6 +129,114 @@ def probe_speculative_crash(
         if model.epochs.speculating:
             errors.append("machine still speculating after crash rollback")
     return errors, was_speculating
+
+
+# ----------------------------------------------------------------------
+# multi-core: power cut in the middle of a conflict
+# ----------------------------------------------------------------------
+def probe_conflict_crash(
+    abbrev: str, seed: int, contention: float = 0.9
+) -> Tuple[List[str], dict]:
+    """Cut power the instant a conflict abort fires on a 2-core system.
+
+    The co-simulation stops immediately after the first remote-store
+    abort — the aborting core freshly rolled back, the other core
+    typically still speculating or draining its epochs.  Power then
+    fails on every core: the machine-state invariants must hold, each
+    still-speculating core must recover to its oldest uncommitted
+    checkpoint with its SSB discarded and checkpoints freed, and no
+    speculative store may have become durable.
+
+    Returns ``(violations, context)``; scans a few seeds so the probe
+    always lands on a run that actually conflicts.
+    """
+    config = MachineConfig().with_sp(256)
+    for attempt in range(4):
+        run = generate_concurrent(
+            abbrev, PersistMode.LOG_P_SF, n_cores=2,
+            contention=contention, seed=seed + attempt * 13,
+        )
+        system = SystemModel(config, n_cores=2)
+        result = system.run(run.traces, finish=False, stop_after_aborts=1)
+        if result.conflict_aborts:
+            break
+    else:
+        return (
+            [f"no conflict abort in 4 attempts at contention {contention}"],
+            {"contention": contention},
+        )
+
+    errors: List[str] = []
+    draining = 0
+    speculating = 0
+    for index, core in enumerate(system.cores):
+        errors += [f"core {index}: {e}" for e in speculative_state_errors(core)]
+        if core.epochs.speculating:
+            speculating += 1
+            draining += any(epoch.ended for epoch in core.epochs.active)
+            expected_resume = core.epochs.oldest.start_index
+            resume = core.abort_speculation()
+            if resume != expected_resume:
+                errors.append(
+                    f"core {index} crash recovery resumed at {resume}, "
+                    f"expected checkpoint {expected_resume}"
+                )
+        if len(core.ssb):
+            errors.append(
+                f"core {index}: {len(core.ssb)} speculative SSB entries "
+                "survived the power cut"
+            )
+        if core.checkpoints.in_use:
+            errors.append(
+                f"core {index}: {core.checkpoints.in_use} checkpoints still held"
+            )
+        if core.epochs.speculating:
+            errors.append(f"core {index} still speculating after the power cut")
+    context = dict(
+        contention=contention,
+        aborts=system.conflict_aborts,
+        speculating_at_cut=speculating,
+        draining_at_cut=draining,
+        generator_seed=run.seed,
+    )
+    return errors, context
+
+
+def run_conflict_campaign(
+    abbrev: str, seed: int, n_crashes: int = 6
+):
+    """Functional mid-transaction crashes on a shared-heap 2-core bench.
+
+    Alternating cores issue transactions against the *shared* partition
+    while :class:`CrashTester` cuts power at store boundaries inside
+    them; recovery replays **every core's** undo log
+    (:meth:`ConcurrentRun.recover_all`) and every partition must check
+    out against its model — multi-log recovery under contention.
+    """
+    run = generate_concurrent(
+        abbrev, PersistMode.LOG_P_SF, n_cores=2, contention=1.0,
+        seed=seed, track_persistence=True,
+    )
+    shared = run.shared_partition
+    rng = random.Random(seed ^ 0xC0FFEE)
+    turn = [0]
+
+    def operation():
+        core = turn[0]
+        turn[0] = (core + 1) % run.n_cores
+        run.bench.set_active(core)
+        shared.tx = run.bench.managers[core]
+        return shared.operation(rng.randrange(shared._key_space))
+
+    tester = CrashTester(
+        run.bench.domain,
+        operation,
+        run.recover_all,
+        run.check_invariants,
+        seed=seed,
+    )
+    tester.campaign(n_crashes, max_point=48, stop_on_failure=True)
+    return tester
 
 
 # ----------------------------------------------------------------------
@@ -271,5 +381,38 @@ def run_crashfuzz(
             abbrev=abbrev,
             probes=len(points),
             speculative=speculative_hits,
+        )
+
+    # ---- multi-core conflicts: machine-state + functional cuts ------
+    mc_benchmarks = [ab for ab in benchmarks if ab in ("HM", "BT")]
+    if quick:
+        mc_benchmarks = mc_benchmarks[:1]
+    for abbrev in mc_benchmarks:
+        errors, context = probe_conflict_crash(abbrev, seed)
+        report.add(
+            f"mc-crash/{abbrev}/mid-conflict",
+            not errors,
+            detail="; ".join(errors[:3]),
+            abbrev=abbrev,
+            **context,
+        )
+        tester = run_conflict_campaign(
+            abbrev, seed, n_crashes=max(3, n_crashes // 2)
+        )
+        bad = [o for o in tester.outcomes if not o.invariants_ok]
+        report.add(
+            f"mc-crash/{abbrev}/shared-partition-campaign",
+            not bad,
+            detail=(
+                ""
+                if not bad
+                else "; ".join(
+                    f"op {o.op_index} point {o.crash_point}: {o.detail}"
+                    for o in bad[:3]
+                )
+            ),
+            abbrev=abbrev,
+            crashes=len(tester.outcomes),
+            mid_operation=sum(o.crashed for o in tester.outcomes),
         )
     return report

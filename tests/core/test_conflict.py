@@ -1,0 +1,217 @@
+"""Conflict-protocol battery: directed two-core scenarios (paper §4.2.2).
+
+Each scenario hand-builds one trace per core and drives them through
+:class:`~repro.uarch.system.SystemModel`, pinning down the BLT-driven
+protocol: which stores broadcast when, which probes abort, and what
+state a core is left in after a rollback.  The system-level scenarios
+at the bottom run :mod:`repro.workloads.concurrent` transactions and
+check the recovered heap against the serial oracle.
+"""
+
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+from repro.uarch.system import SystemModel, simulate_system
+from repro.workloads.concurrent import generate_concurrent, serial_oracle_check
+
+SP = MachineConfig().with_sp(256)
+
+#: distinct cache blocks (64-byte aligned, far apart)
+HOT = 0x40000
+COLD = 0x80000
+PRIV0 = 0x10000
+PRIV1 = 0x20000
+
+
+def barrier(addr):
+    return [
+        Instr(Op.STORE, addr),
+        Instr(Op.CLWB, addr),
+        Instr(Op.SFENCE),
+        Instr(Op.PCOMMIT),
+        Instr(Op.SFENCE),
+    ]
+
+
+def writer_trace(block, pad=30, tail=200, repeats=1, gap=300):
+    """Non-speculative core: plain stores to *block*, never any barrier,
+    so every store becomes globally visible (broadcasts) immediately."""
+    instrs = [Instr(Op.ALU)] * pad
+    for _ in range(repeats):
+        instrs += [Instr(Op.STORE, block)]
+        instrs += [Instr(Op.ALU)] * gap
+    instrs += [Instr(Op.ALU)] * tail
+    return Trace(instrs)
+
+
+def spec_reader_trace(block, private, loads=6, tail=400):
+    """Speculating core: barrier opens an epoch, then loads of *block*
+    land in the BLT while the epoch drains."""
+    instrs = barrier(private)
+    instrs += [Instr(Op.LOAD, block + i * 8) for i in range(loads)]
+    instrs += [Instr(Op.ALU)] * tail
+    return Trace(instrs)
+
+
+def spec_writer_trace(block, private, tail=400):
+    """Speculating core: barrier opens an epoch, then a speculative
+    store to *block* sits in the SSB (and the BLT)."""
+    instrs = barrier(private)
+    instrs += [Instr(Op.STORE, block)]
+    instrs += [Instr(Op.ALU)] * tail
+    return Trace(instrs)
+
+
+class TestDirectedScenarios:
+    def test_disjoint_blocks_no_abort(self):
+        """Cores touching disjoint blocks never conflict, and each
+        retires cycle-for-cycle as if it ran alone."""
+        traces = [
+            spec_writer_trace(HOT, PRIV0),
+            spec_reader_trace(COLD, PRIV1),
+        ]
+        system = SystemModel(SP, n_cores=2)
+        result = system.run(traces)
+        assert result.conflict_aborts == 0
+        assert result.store_broadcasts > 0  # barrier stores still broadcast
+        for core, trace in zip(system.cores, traces):
+            assert core.stats.rollbacks == 0
+            alone = simulate(trace, SP)
+            assert core.stats.as_dict() == alone.as_dict()
+
+    def test_write_write_same_line_aborts(self):
+        """A remote store to a block the reader speculatively *wrote*
+        hits the BLT and rolls the reader back."""
+        system = SystemModel(SP, n_cores=2)
+        result = system.run([
+            writer_trace(HOT),
+            spec_writer_trace(HOT, PRIV1),
+        ])
+        assert result.conflict_aborts == 1
+        assert result.replayed_instructions > 0
+        writer, victim = system.cores
+        assert writer.stats.rollbacks == 0
+        assert victim.stats.rollbacks == 1
+        assert victim.stats.conflict_abort_cycles > 0
+        # post-abort machine state: speculation fully unwound
+        assert victim.blt.conflicts == 1
+        assert len(victim.blt) == 0
+        assert not victim.epochs.speculating
+        assert len(victim.ssb) == 0
+        assert victim.checkpoints.in_use == 0
+
+    def test_read_write_reader_speculative_aborts(self):
+        """A remote store to a block the reader speculatively *read*
+        aborts too — the BLT does not distinguish loads from stores."""
+        system = SystemModel(SP, n_cores=2)
+        result = system.run([
+            writer_trace(HOT),
+            spec_reader_trace(HOT, PRIV1),
+        ])
+        assert result.conflict_aborts == 1
+        victim = system.cores[1]
+        assert victim.stats.rollbacks == 1
+        assert victim.blt.conflicts == 1
+        assert len(victim.blt) == 0
+
+    def test_speculative_store_is_private_until_commit(self):
+        """An epoch's stores must not broadcast before the epoch
+        commits: two cores speculatively writing the same block do not
+        abort each other while both epochs are still open — the abort
+        happens only once the first commit makes its store visible."""
+        system = SystemModel(SP, n_cores=2)
+        # tails long enough that both epochs commit mid-trace (the
+        # speculative window is ~630 instructions under SP256)
+        result = system.run([
+            spec_writer_trace(HOT, PRIV0, tail=2000),
+            spec_writer_trace(HOT, PRIV1, tail=2000),
+        ])
+        # exactly one core loses: the later committer absorbs the
+        # winner's commit-time broadcast while still draining
+        assert result.conflict_aborts == 1
+        rollbacks = sorted(core.stats.rollbacks for core in system.cores)
+        assert rollbacks == [0, 1]
+
+    def test_abort_during_drain(self):
+        """The victim's epoch is still draining (pcommit outstanding)
+        when the remote commit lands: rollback happens mid-drain and
+        the SSB's draining entries are squashed with it."""
+        system = SystemModel(SP, n_cores=2)
+        result = system.run(
+            [
+                spec_writer_trace(HOT, PRIV0, tail=2000),
+                spec_reader_trace(HOT, PRIV1, loads=4, tail=2000),
+            ],
+            stop_after_aborts=1,
+            finish=False,
+        )
+        assert result.conflict_aborts == 1
+        victim = system.cores[1]
+        assert victim.stats.rollbacks == 1
+        # the victim never reached its own commit: it was still inside
+        # the speculative window opened by its one barrier
+        assert victim.stats.sp_entries >= 1
+        assert not victim.epochs.speculating
+        assert len(victim.ssb) == 0
+        assert victim.checkpoints.in_use == 0
+
+    def test_repeated_abort_replay_converges(self):
+        """A writer hammering the hot block aborts the reader across
+        several speculative windows; every abort replays and the run
+        still terminates with every instruction retired."""
+        reader = []
+        for _ in range(3):
+            reader += barrier(PRIV1)
+            reader += [Instr(Op.LOAD, HOT)]
+            reader += [Instr(Op.ALU)] * 700
+        reader_trace = Trace(reader)
+        system = SystemModel(SP, n_cores=2)
+        result = system.run([
+            writer_trace(HOT, pad=320, repeats=4, gap=640, tail=100),
+            reader_trace,
+        ])
+        assert result.conflict_aborts >= 2
+        victim = system.cores[1]
+        assert victim.stats.rollbacks == result.conflict_aborts
+        # convergence: the replays all retired — total instructions is
+        # the trace length plus exactly the replayed work
+        assert victim.stats.instructions == len(reader_trace) + result.replayed_instructions
+        assert not victim.epochs.speculating
+
+
+class TestSystemScenarios:
+    def test_zero_contention_no_aborts_and_oracle(self):
+        run = generate_concurrent(
+            "HM", PersistMode.LOG_P_SF, n_cores=2, contention=0.0, seed=11
+        )
+        result = simulate_system(run.traces, SP)
+        assert result.conflict_aborts == 0
+        assert serial_oracle_check(run) is None
+        assert run.check_invariants() is None
+
+    def test_full_contention_aborts_replay_to_commit(self):
+        run = generate_concurrent(
+            "HM", PersistMode.LOG_P_SF, n_cores=2, contention=1.0, seed=11
+        )
+        result = simulate_system(run.traces, SP)
+        assert result.conflict_aborts > 0
+        assert result.replayed_instructions > 0
+        # every abort was replayed to completion: each core retired at
+        # least its whole trace
+        for stats, trace in zip(result.per_core, run.traces):
+            assert stats.instructions >= len(trace)
+        # and the shared heap still matches a serial execution of the
+        # committed-transaction order
+        assert serial_oracle_check(run) is None
+        assert run.check_invariants() is None
+
+    def test_btree_contention_oracle(self):
+        run = generate_concurrent(
+            "BT", PersistMode.LOG_P_SF, n_cores=3, contention=0.7, seed=5
+        )
+        result = simulate_system(run.traces, SP)
+        assert result.conflict_aborts > 0
+        assert serial_oracle_check(run) is None

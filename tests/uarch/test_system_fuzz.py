@@ -1,0 +1,134 @@
+"""Determinism + linearizability properties of the multi-core system.
+
+Two contracts, fuzzed over seeds/cores/contention:
+
+(a) **Determinism** — the same seed produces byte-identical per-core
+    stats no matter how the cell is computed: repeated in-process runs,
+    parallel worker processes (the ``--jobs`` path), and — at zero
+    contention, where the single-core identity holds — every kernel
+    backend.
+
+(b) **Linearizability** — the final shared heap equals a serial
+    execution of the committed-transaction order (the tape), checked by
+    the serial oracle, and recovery finds nothing to roll back.
+"""
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness import cache
+from repro.harness.runner import clear_trace_cache, run_system
+from repro.txn.modes import PersistMode
+from repro.uarch import kernel
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import simulate
+from repro.uarch.system import SystemModel, simulate_system
+from repro.workloads.concurrent import generate_concurrent, serial_oracle_check
+
+SP = MachineConfig().with_sp(256)
+#: small but non-trivial cells so hypothesis stays fast
+FUZZ_OPS = dict(init_ops=24, sim_ops=12)
+
+cells = st.tuples(
+    st.sampled_from(["HM", "BT"]),
+    st.integers(min_value=2, max_value=3),       # cores
+    st.sampled_from([0.0, 0.3, 0.7, 1.0]),       # contention
+    st.integers(min_value=0, max_value=40),      # seed
+)
+
+
+def _stats_blob(result):
+    return json.dumps(
+        [stats.as_dict() for stats in result.per_core], sort_keys=True
+    ).encode()
+
+
+def _cell_digest(cell):
+    """run_system digest for one cell — runs in worker processes too."""
+    abbrev, cores, contention, seed = cell
+    stats = run_system(
+        abbrev, PersistMode.LOG_P_SF, SP,
+        seed=seed, cores=cores, contention=contention, **FUZZ_OPS,
+    )
+    return hashlib.sha256(
+        json.dumps(stats.as_dict(), sort_keys=True).encode()
+    ).hexdigest()
+
+
+class TestDeterminism:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(cells)
+    def test_same_seed_byte_identical(self, cell):
+        abbrev, cores, contention, seed = cell
+        blobs = []
+        for _ in range(2):
+            run = generate_concurrent(
+                abbrev, PersistMode.LOG_P_SF,
+                n_cores=cores, contention=contention, seed=seed, **FUZZ_OPS,
+            )
+            result = simulate_system(run.traces, SP)
+            blobs.append(_stats_blob(result))
+        assert blobs[0] == blobs[1]
+
+    def test_zero_contention_identical_across_kernel_backends(self):
+        """At p=0 each core is cycle-identical to a standalone run, so
+        the per-core stats must match every kernel backend's simulate()
+        byte for byte."""
+        run = generate_concurrent(
+            "HM", PersistMode.LOG_P_SF, n_cores=2, contention=0.0, seed=3
+        )
+        system = SystemModel(SP, n_cores=2)
+        result = system.run(run.traces)
+        assert result.conflict_aborts == 0
+        backends = ["python"]
+        if kernel.numpy_available():
+            backends.append("numpy")
+        for backend in backends:
+            for stats, trace in zip(result.per_core, run.traces):
+                alone = simulate(trace, SP, kernel=backend)
+                assert (
+                    json.dumps(stats.as_dict(), sort_keys=True)
+                    == json.dumps(alone.as_dict(), sort_keys=True)
+                ), backend
+
+    def test_digest_identical_across_jobs(self, tmp_path, monkeypatch):
+        """The --jobs path: worker processes computing the same cell
+        from scratch reach the same digest as the in-process run."""
+        monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "cache"))
+        clear_trace_cache()
+        cell = ("HM", 2, 0.7, 9)
+        local = _cell_digest(cell)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_cell_digest, [cell, cell]))
+        clear_trace_cache()
+        assert remote == [local, local]
+
+
+class TestLinearizability:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(cells)
+    def test_recovered_heap_equals_serial_execution(self, cell):
+        abbrev, cores, contention, seed = cell
+        run = generate_concurrent(
+            abbrev, PersistMode.LOG_P_SF,
+            n_cores=cores, contention=contention, seed=seed, **FUZZ_OPS,
+        )
+        result = simulate_system(run.traces, SP)
+        # timing-layer conflicts never corrupt the functional heap
+        assert serial_oracle_check(run) is None
+        assert run.check_invariants() is None
+        # a clean run leaves no transaction to roll back
+        assert run.recover_all() == 0
+        if contention == 0.0:
+            assert result.conflict_aborts == 0
