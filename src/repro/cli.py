@@ -361,6 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "walker, 'auto' to pick numpy when available (default: "
                  "REPRO_KERNEL, then auto); both are cycle-identical",
         )
+        sub_parser.add_argument(
+            "--classify", choices=("auto", "batch", "scalar"), default=None,
+            help="cache classification pass of the numpy kernel: 'batch' "
+                 "pins the set-partitioned stack-distance engine, "
+                 "'scalar' pins the per-access walk, 'auto' routes each "
+                 "batch by its eligibility probe (default: "
+                 "REPRO_CLASSIFY, then auto); all are cycle-identical",
+        )
 
     def add_supervise(sub_parser):
         sub_parser.add_argument(
@@ -558,6 +566,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os
 
         os.environ["REPRO_KERNEL"] = args.kernel
+    if getattr(args, "classify", None):
+        # same worker-inheritance rationale as --kernel; classification
+        # modes are cycle-identical so only wall-clock speed can differ
+        import os
+
+        os.environ["REPRO_CLASSIFY"] = args.classify
     _configure_supervisor(args)
     if args.command == "tables":
         print(table1_text())

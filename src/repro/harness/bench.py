@@ -11,9 +11,13 @@ Times the three layers the performance work targets and records them in
 * **pipeline throughput** — committed instructions per second of the
   timing model itself, measured **per kernel backend** (pure-Python
   walker and, when available, the vectorized NumPy kernel) on one long
-  pointer-chase trace (LL/BASE), plus a *sweep* number over every
-  recorded bench variant (best-of-N per trace, columns/segments
-  prewarmed — see ``docs/PERFORMANCE.md``).
+  pointer-chase trace (LL/BASE) *and* on a miss-heavy hash-map trace
+  that is classification-bound (HM/BASE grown past L1), plus a *sweep*
+  number over every recorded bench variant (best-of-N per trace,
+  columns/segments prewarmed — see ``docs/PERFORMANCE.md``).  The NumPy
+  kernel's best rep is attributed per phase (classify vs solve), and
+  ``classify_ips`` reports the classification pass's own throughput on
+  the miss-heavy cell.
 
 The headline ``pipeline_ips`` is the sustained single-trace number for
 the *active* backend; ``pipeline_ips_by_backend`` carries both
@@ -41,7 +45,9 @@ from repro.harness.figures import fig8_overheads
 from repro.harness.parallel import default_jobs
 from repro.harness.runner import all_benchmarks, build_trace, clear_trace_cache
 from repro.txn.modes import PersistMode
+from repro.uarch.classify import resolve_mode as resolve_classify_mode
 from repro.uarch.config import MachineConfig
+from repro.uarch import kernel as kernel_mod
 from repro.uarch.kernel import numpy_available, resolve_backend
 from repro.uarch.pipeline import simulate
 from repro.uarch.system import SystemModel
@@ -67,7 +73,15 @@ DEFAULT_OUTPUT = "BENCH_harness.json"
 #: committed instructions across cores per wall-clock second, conflicts
 #: included) with its ``system_trace`` descriptor.  Tracked, no floor
 #: enforced yet.
-BENCH_SCHEMA_VERSION = 5
+#: 6: added the miss-heavy sustained cell (``miss_trace``,
+#: ``miss_instructions``, ``miss_seconds``, ``miss_ips``,
+#: ``miss_ips_by_backend`` with its own ``MISS_IPS_FLOORS``), the
+#: per-phase attribution of the NumPy kernel's best sustained rep
+#: (``pipeline_phase_seconds``/``miss_phase_seconds``, classify vs
+#: solve), and ``classify_ips`` — committed instructions per second of
+#: classification time alone on the miss-heavy trace, the direct
+#: microbench of the classification pass.
+BENCH_SCHEMA_VERSION = 6
 
 #: Sustained-throughput trace: the paper's linked-list benchmark on the
 #: unfenced baseline, scaled up until per-run fixed costs vanish (a few
@@ -79,6 +93,17 @@ BENCH_SCHEMA_VERSION = 5
 SUSTAINED_BENCHMARK = "LL"
 SUSTAINED_SIM_OPS = 200
 SUSTAINED_SIM_OPS_QUICK = 60
+
+#: Miss-heavy sustained cell: the hash-map benchmark grown far past L1
+#: (a long randomized init walks the table over every cache set, then
+#: the timed ops chase buckets with no locality), so the classification
+#: pass — not the recurrence solve — is what this cell measures.  The
+#: LL cell above is hit-dominated and barely exercises the miss walk;
+#: CI enforcing only it would let classification regressions ship.
+MISS_BENCHMARK = "HM"
+MISS_INIT_OPS = 20_000
+MISS_SIM_OPS = 5_000
+MISS_SIM_OPS_QUICK = 1_200
 
 #: Multi-core throughput cell: a moderately contended 2-core hash-map
 #: run on the speculative machine, so the measurement covers the whole
@@ -97,7 +122,12 @@ SYSTEM_SIM_OPS_QUICK = 60
 #: while still catching order-of-magnitude regressions (the Python
 #: walker sliding back to per-``Instr`` dispatch, the NumPy kernel
 #: silently degrading to the walker).
-PIPELINE_IPS_FLOORS = {"python": 800_000, "numpy": 3_000_000}
+PIPELINE_IPS_FLOORS = {"python": 800_000, "numpy": 3_500_000}
+
+#: Floors for the miss-heavy sustained cell (``miss_ips_by_backend``):
+#: same half-of-measured policy, sized to the classification-bound
+#: regime where throughput is far below the LL cell's.
+MISS_IPS_FLOORS = {"python": 250_000, "numpy": 1_000_000}
 
 #: Backwards-compatible alias: the floor every backend must clear.
 PIPELINE_IPS_FLOOR = PIPELINE_IPS_FLOORS["python"]
@@ -205,6 +235,13 @@ def run_bench(
             )
             sustained.columns()
             sustained.segments()
+            miss_ops = MISS_SIM_OPS_QUICK if quick else MISS_SIM_OPS
+            miss = build_trace(
+                MISS_BENCHMARK, PersistMode.BASE, seed=seed,
+                init_ops=MISS_INIT_OPS, sim_ops=miss_ops,
+            )
+            miss.columns()
+            miss.segments()
             system_ops = SYSTEM_SIM_OPS_QUICK if quick else SYSTEM_SIM_OPS
             system_run = generate_concurrent(
                 SYSTEM_BENCHMARK, PersistMode.LOG_P_SF,
@@ -218,8 +255,12 @@ def run_bench(
                 backend: [float("inf")] * len(variants) for backend in backends
             }
             sustained_best = {backend: float("inf") for backend in backends}
+            miss_best = {backend: float("inf") for backend in backends}
             sweep_instructions = 0
             sustained_instructions = 0
+            miss_instructions = 0
+            sustained_phases: Optional[Dict[str, float]] = None
+            miss_phases: Optional[Dict[str, float]] = None
             gc_was_enabled = gc.isenabled()
             gc.collect()
             gc.disable()
@@ -240,12 +281,26 @@ def run_bench(
                                 sweep_instructions += stats.instructions
                 for rep in range(reps):
                     for backend in backends:
+                        kernel_mod.reset_phase_seconds()
                         t0 = time.perf_counter()
                         stats = simulate(sustained, MachineConfig(), kernel=backend)
                         elapsed = time.perf_counter() - t0
                         if elapsed < sustained_best[backend]:
                             sustained_best[backend] = elapsed
+                            if backend == "numpy":
+                                sustained_phases = kernel_mod.phase_seconds()
                         sustained_instructions = stats.instructions
+                for rep in range(reps):
+                    for backend in backends:
+                        kernel_mod.reset_phase_seconds()
+                        t0 = time.perf_counter()
+                        stats = simulate(miss, MachineConfig(), kernel=backend)
+                        elapsed = time.perf_counter() - t0
+                        if elapsed < miss_best[backend]:
+                            miss_best[backend] = elapsed
+                            if backend == "numpy":
+                                miss_phases = kernel_mod.phase_seconds()
+                        miss_instructions = stats.instructions
                 # multi-core driver throughput (backend-independent: the
                 # co-sim driver always walks the exact loop); a fresh
                 # SystemModel per rep, since core stats accumulate
@@ -278,7 +333,22 @@ def run_bench(
                 for backend, seconds in sustained_best.items()
                 if seconds
             }
+            miss_ips = {
+                backend: round(miss_instructions / seconds)
+                for backend, seconds in miss_best.items()
+                if seconds
+            }
         clear_trace_cache()
+
+    def _round_phases(phases: Optional[Dict[str, float]]):
+        if not phases:
+            return None
+        return {name: round(seconds, 4) for name, seconds in phases.items()}
+
+    classify_seconds = (miss_phases or {}).get("classify", 0.0)
+    classify_ips = (
+        round(miss_instructions / classify_seconds) if classify_seconds else None
+    )
 
     record: Dict[str, object] = {
         "bench": "harness",
@@ -305,6 +375,20 @@ def run_bench(
         "pipeline_seconds": round(sustained_best.get(active_backend, 0.0), 3),
         "pipeline_ips": pipeline_ips.get(active_backend),
         "pipeline_ips_by_backend": pipeline_ips,
+        "pipeline_phase_seconds": _round_phases(sustained_phases),
+        "classify_mode": resolve_classify_mode(None),
+        "miss_trace": {
+            "benchmark": MISS_BENCHMARK,
+            "mode": PersistMode.BASE.value,
+            "init_ops": MISS_INIT_OPS,
+            "sim_ops": miss_ops,
+        },
+        "miss_instructions": miss_instructions,
+        "miss_seconds": round(miss_best.get(active_backend, 0.0), 3),
+        "miss_ips": miss_ips.get(active_backend),
+        "miss_ips_by_backend": miss_ips,
+        "miss_phase_seconds": _round_phases(miss_phases),
+        "classify_ips": classify_ips,
         "sweep_instructions": sweep_instructions,
         "sweep_seconds": round(sweep_seconds.get(active_backend, 0.0), 3),
         "sweep_ips": sweep_ips.get(active_backend),
@@ -374,6 +458,28 @@ def render_bench(record: Dict[str, object]) -> str:
         lines.append(
             f"  variant sweep     : {_fmt(record.get('sweep_ips'), '>8,')} instr/s"
         )
+    if record.get("miss_ips") is not None:
+        lines.append(
+            f"  miss-heavy model  : {_fmt(record.get('miss_ips'), '>8,')} instr/s"
+            f" sustained ({_fmt(record.get('miss_instructions'), ',')} instrs"
+            f" in {_fmt(record.get('miss_seconds'))} s)"
+        )
+        miss_by_backend = record.get("miss_ips_by_backend")
+        if isinstance(miss_by_backend, dict) and miss_by_backend:
+            for backend in sorted(miss_by_backend):
+                lines.append(
+                    f"    {backend:<8}        : "
+                    f"{_fmt(miss_by_backend[backend], '>8,')} instr/s sustained"
+                )
+    phases = record.get("miss_phase_seconds")
+    if isinstance(phases, dict) and phases:
+        split = ", ".join(
+            f"{name} {_fmt(seconds, '.3f')} s" for name, seconds in sorted(phases.items())
+        )
+        lines.append(
+            f"  kernel phase split: {split}"
+            f" (classify_ips {_fmt(record.get('classify_ips'), ',')})"
+        )
     if record.get("system_ips") is not None:
         descriptor = record.get("system_trace") or {}
         lines.append(
@@ -425,4 +531,17 @@ def check_floor(
                 f"{ips:,} instr/s is below the checked-in floor of "
                 f"{floor:,} instr/s"
             )
+    # the miss-heavy cell has its own floors (absent in pre-v6 records);
+    # only enforced when default floors are in effect, so callers passing
+    # explicit LL floors keep the old single-cell contract
+    miss_by_backend = record.get("miss_ips_by_backend")
+    if floors is PIPELINE_IPS_FLOORS and isinstance(miss_by_backend, dict):
+        for backend, ips in sorted(miss_by_backend.items()):
+            floor = MISS_IPS_FLOORS.get(backend)
+            if floor is not None and ips < floor:
+                problems.append(
+                    f"miss-heavy throughput regression ({backend} backend): "
+                    f"{ips:,} instr/s is below the checked-in floor of "
+                    f"{floor:,} instr/s"
+                )
     return "; ".join(problems) if problems else None

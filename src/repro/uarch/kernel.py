@@ -56,6 +56,7 @@ from __future__ import annotations
 import os
 import warnings
 from collections import deque
+from time import perf_counter as _perf_counter
 
 #: Backend names accepted by ``--kernel`` / ``REPRO_KERNEL`` /
 #: :class:`repro.uarch.config.PipelineConfig`.
@@ -122,6 +123,22 @@ def unavailable_reason():
 
 
 _warned_fallback = False
+
+#: Cumulative wall-clock split of :func:`advance`: the order-only cache
+#: classification pass vs everything else (the recurrence solve, stats,
+#: and state spill).  Read/reset by the harness microbench so perf
+#: regressions are attributable to the right phase.
+_phase_seconds = {"classify": 0.0, "solve": 0.0}
+
+
+def phase_seconds():
+    """Snapshot of the cumulative per-phase wall-clock split."""
+    return dict(_phase_seconds)
+
+
+def reset_phase_seconds():
+    _phase_seconds["classify"] = 0.0
+    _phase_seconds["solve"] = 0.0
 
 
 def resolve_backend(requested=None) -> str:
@@ -361,7 +378,81 @@ def _l1_snapshot(model, l1):
     return arr
 
 
+def _elide_runs(T, q0, q1, shift):
+    """Same-tag run elision for the batch's ops [*q0*, *q1*).
+
+    A run of consecutive same-tag loads/stores collapses to its head:
+    within a batch no event separates adjacent ops, so the head leaves
+    the tag resident at MRU (hit-refreshed or miss-filled), and every
+    tail op is a guaranteed L1 hit that at most re-sets the MRU slot's
+    dirty bit.  The field-access idiom (chase load + field loads and
+    stores on one node) makes this a large fraction of all ops.  Tail
+    ops are skipped everywhere and counted as the hits they are; a tail
+    *store*'s dirty bit is carried to the run head (``eff_store``), so
+    the head's replay leaves the exact same line state.  The batch's
+    first op never qualifies (its predecessor may be an event or
+    another phase entirely), and flushes neither elide nor anchor a
+    run: clwb leaves a missing tag missing, clflushopt actively evicts
+    — neither establishes residency the way a load/store fill does.
+
+    Returns ``(dup_run, keep, eff_store)`` masks over the batch's ops.
+    """
+    tags_all = T.tags(shift)
+    nq = q1 - q0
+    dup_run = np.zeros(nq, dtype=bool)
+    if nq > 1:
+        np.equal(tags_all[q0 + 1:q1], tags_all[q0:q1 - 1], out=dup_run[1:])
+        np.logical_and(dup_run, ~T.is_flush[q0:q1], out=dup_run)
+        dup_run[1:] &= ~T.is_flush[q0:q1 - 1]
+    keep = ~dup_run
+    eff_store = T.is_store[q0:q1]
+    if dup_run.any():
+        heads = np.nonzero(keep)[0]
+        eff = np.zeros(nq, dtype=bool)
+        eff[heads] = np.maximum.reduceat(
+            eff_store.astype(np.int8), heads
+        ).astype(bool)
+        eff_store = eff
+    return dup_run, keep, eff_store
+
+
+_classify_engine = None
+
+
 def _classify(model, T, q0, q1):
+    """Classify the batch's ops [*q0*, *q1*): cache behaviour from
+    access order alone.
+
+    Dispatches between two cycle-identical implementations on the
+    ``REPRO_CLASSIFY`` mode (see :mod:`repro.uarch.classify`): the
+    batched set-partitioned engine, which resolves whole streams as
+    per-set array passes, and the scalar walk below.  ``auto`` prefers
+    the engine for any batch past the exact-path cutoff and falls back
+    when the engine declines (flush-dense batches, non-uniform block
+    geometry); ``batch``/``scalar`` pin one path.  Returns per-kind
+    latency arrays, flush writeback flags, deferred WPQ records
+    ``((op_ordinal, code, sub_ordinal), block)`` (ordinals global for
+    ops, batch-local for subs), and the L1-hit count the walker would
+    have accumulated inline.
+    """
+    global _classify_engine
+    engine = _classify_engine
+    if engine is None:
+        from repro.uarch import classify as engine
+        _classify_engine = engine
+    dup_run, keep, eff_store = _elide_runs(T, q0, q1, model.caches.l1.block_bits)
+    mode = engine.resolve_mode()
+    if mode != "scalar" and q1 - q0 > _CLASSIFY_EXACT_MAX:
+        result = engine.classify_batch(
+            model, T, q0, q1, keep, eff_store,
+            int(np.count_nonzero(dup_run)), mode == "batch",
+        )
+        if result is not None:
+            return result
+    return _classify_scalar(model, T, q0, q1, dup_run, keep, eff_store)
+
+
+def _classify_scalar(model, T, q0, q1, dup_run, keep, eff_store):
     """One in-order pass over the batch's ops [*q0*, *q1*) against the
     real caches.
 
@@ -503,37 +594,8 @@ def _classify(model, T, q0, q1):
 
     kindb = T.op_kind
     blockb = T.op_block
-    is_store_b = T.is_store
     tags_all = T.tags(shift1)
-
-    # A run of consecutive same-tag loads/stores collapses to its head:
-    # within a batch no event separates adjacent ops, so the head leaves
-    # the tag resident at MRU (hit-refreshed or miss-filled), and every
-    # tail op is a guaranteed L1 hit that at most re-sets the MRU slot's
-    # dirty bit.  The field-access idiom (chase load + field loads and
-    # stores on one node) makes this a large fraction of all ops.  Tail
-    # ops are skipped everywhere and counted as the hits they are; a tail
-    # *store*'s dirty bit is carried to the run head (``eff_store``), so
-    # the head's replay leaves the exact same line state.  The batch's
-    # first op never qualifies (its predecessor may be an event or
-    # another phase entirely), and flushes neither elide nor anchor a
-    # run: clwb leaves a missing tag missing, clflushopt actively evicts
-    # — neither establishes residency the way a load/store fill does.
     nq = q1 - q0
-    dup_run = np.zeros(nq, dtype=bool)
-    if nq > 1:
-        np.equal(tags_all[q0 + 1:q1], tags_all[q0:q1 - 1], out=dup_run[1:])
-        np.logical_and(dup_run, ~T.is_flush[q0:q1], out=dup_run)
-        dup_run[1:] &= ~T.is_flush[q0:q1 - 1]
-    keep = ~dup_run
-    eff_store = is_store_b[q0:q1]
-    if dup_run.any():
-        heads = np.nonzero(keep)[0]
-        eff = np.zeros(nq, dtype=bool)
-        eff[heads] = np.maximum.reduceat(
-            eff_store.astype(np.int8), heads
-        ).astype(bool)
-        eff_store = eff
 
     def span_exact(a, b):
         """Exact per-op replay of ops [a, b) (global op ordinals)."""
@@ -841,7 +903,10 @@ def advance(model, columns, segments, ei, min_batch=KERNEL_MIN_BATCH):
     stats = model.stats
 
     # ---- classification: cache behaviour, program order, no timing ----
+    t_start = _perf_counter()
     load_lat, store_lat, flush_wb, records, hits_d = _classify(model, T, q0, q1)
+    t_classified = _perf_counter()
+    _phase_seconds["classify"] += t_classified - t_start
 
     lookup_lat = config.l1.latency + config.l2.latency + config.l3.latency
     mc_roundtrip = config.mc_roundtrip
@@ -1184,4 +1249,5 @@ def advance(model, columns, segments, ei, min_batch=KERNEL_MIN_BATCH):
     stats.nvmm_writes += nvmm_wb_d
     model.caches.l1.hits += hits_d
     model.caches.accesses += hits_d
+    _phase_seconds["solve"] += _perf_counter() - t_classified
     return ej

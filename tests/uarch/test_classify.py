@@ -1,0 +1,312 @@
+"""Batched cache classification vs the scalar walk.
+
+The classification engine's contract (repro.uarch.classify) is
+cycle-for-cycle identity with the per-access scalar walk: same RunStats,
+same cache residency, LRU dict order, dirty bits, stamps, and counters,
+same deferred writeback times — on every trace, in every mode.  These
+tests pin that contract with directed batteries aimed at the engine's
+own seams (same-set thrash beyond associativity, dirty-victim cascades
+through all three levels, the eviction-free fast path, flush-segmented
+batches), a hypothesis profile biased to small heaps and high set
+conflict, and the mode-resolution / auto-routing plumbing.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness.runner import build_trace, clear_trace_cache
+from repro.isa.instr import Instr
+from repro.isa.ops import Op
+from repro.isa.trace import Trace
+from repro.txn.modes import PersistMode
+from repro.uarch import classify, kernel
+from repro.uarch.config import MachineConfig, PipelineConfig
+from repro.uarch.pipeline import PipelineModel
+
+requires_numpy = pytest.mark.skipif(
+    not kernel.numpy_available(),
+    reason=f"numpy backend unavailable: {kernel.unavailable_reason()}",
+)
+
+#: L1 geometry of the default machine, used to aim traces at one set.
+_CFG = MachineConfig()
+_BLOCK = _CFG.l1.block_size
+_L1_SETS = _CFG.l1.n_sets
+_L1_WAYS = _CFG.l1.ways
+_SET_STRIDE = _L1_SETS * _BLOCK
+
+
+def _cache_state(model):
+    """Everything the scalar walk leaves behind in the hierarchy."""
+    out = []
+    for level in model.caches.levels:
+        out.append((level.name, level.stamp, level.hits, level.misses,
+                    level.writebacks,
+                    [list(ways.items()) for ways in level._sets]))
+    out.append(("acc", model.caches.accesses, model.caches.nvmm_reads))
+    return out
+
+
+def _run_mode(trace, mode, config=None, exact_max=0):
+    """Run *trace* on the numpy kernel with the classification *mode*
+    pinned; *exact_max* lowers the exact-path cutoff so short directed
+    traces still reach the engine."""
+    saved = os.environ.get("REPRO_CLASSIFY")
+    saved_cutoff = kernel._CLASSIFY_EXACT_MAX
+    os.environ["REPRO_CLASSIFY"] = mode
+    kernel._CLASSIFY_EXACT_MAX = exact_max
+    try:
+        model = PipelineModel(
+            config or MachineConfig(),
+            pipeline=PipelineConfig(kernel="numpy", kernel_min_batch=1),
+        )
+        stats = model.run(trace)
+    finally:
+        kernel._CLASSIFY_EXACT_MAX = saved_cutoff
+        if saved is None:
+            os.environ.pop("REPRO_CLASSIFY", None)
+        else:
+            os.environ["REPRO_CLASSIFY"] = saved
+    return model, stats
+
+
+def assert_modes_agree(trace, config=None):
+    """Byte-identical stats *and* hierarchy state, batch vs scalar."""
+    ms, ss = _run_mode(trace, "scalar", config)
+    mb, sb = _run_mode(trace, "batch", config)
+    assert sb.as_dict() == ss.as_dict()
+    assert _cache_state(mb) == _cache_state(ms)
+    return ms, mb
+
+
+def loads(addrs):
+    return [Instr(Op.LOAD, a) for a in addrs]
+
+
+def stores(addrs):
+    return [Instr(Op.STORE, a) for a in addrs]
+
+
+# ----------------------------------------------------------------------
+# mode resolution
+# ----------------------------------------------------------------------
+class TestModeResolution:
+    def test_explicit(self):
+        assert classify.resolve_mode("scalar") == "scalar"
+        assert classify.resolve_mode("batch") == "batch"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLASSIFY", raising=False)
+        assert classify.resolve_mode(None) == "auto"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown classification mode"):
+            classify.resolve_mode("simd")
+
+    def test_request_is_normalised(self):
+        assert classify.resolve_mode(" Batch ") == "batch"
+
+    def test_auto_defers_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLASSIFY", "scalar")
+        assert classify.resolve_mode(None) == "scalar"
+        assert classify.resolve_mode("auto") == "scalar"
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLASSIFY", "scalar")
+        assert classify.resolve_mode("batch") == "batch"
+
+    def test_bad_environment_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLASSIFY", "turbo")
+        with pytest.raises(ValueError, match="unknown classification mode"):
+            classify.resolve_mode(None)
+
+
+# ----------------------------------------------------------------------
+# directed batteries: the engine's own seams
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestDirected:
+    def test_same_set_thrash_beyond_associativity(self):
+        # W+4 distinct blocks all landing in L1 set 0, chased for laps:
+        # every lap evicts, so the recency-tensor rounds handle every
+        # set and the victim choice must match LRU exactly
+        blocks = [i * _SET_STRIDE for i in range(_L1_WAYS + 4)]
+        body = []
+        for lap in range(24):
+            body += loads(blocks) if lap % 3 else stores(blocks)
+        assert_modes_agree(Trace(body))
+
+    def test_dirty_victim_cascade_l1_l2_l3(self):
+        # dirty a footprint far past every level's per-set capacity —
+        # stride of the *L3* set count makes every block collide in one
+        # set of all three levels — so dirty victims cascade
+        # L1→L2→L3→WPQ; the deferred writeback records must land at the
+        # same times the scalar walk emits them
+        deep_stride = _CFG.l3.n_sets * _BLOCK
+        blocks = [i * deep_stride for i in range(_CFG.l3.ways + 8)]
+        body = stores(blocks)
+        for lap in range(6):
+            body += stores([b + (lap % 2) * 8 for b in blocks])
+            body += loads(list(reversed(blocks)))
+        ms, mb = assert_modes_agree(Trace(body))
+        assert ms.caches.l3.writebacks > 0  # the cascade actually ran
+
+    def test_eviction_free_fast_path(self):
+        # footprint fits the set: after first touch everything hits, so
+        # the whole stream resolves on the eviction-free fast path
+        blocks = [i * _SET_STRIDE for i in range(_L1_WAYS - 2)]
+        body = []
+        for lap in range(30):
+            body += loads(blocks) + stores(blocks[:2])
+        ms, mb = assert_modes_agree(Trace(body))
+        assert mb.caches.l1.misses == len(blocks)  # first touches only
+
+    def test_partial_eligibility_split(self):
+        # one quiet set (eviction-free) interleaved with one thrashing
+        # set: the fast path and the tensor rounds must compose
+        quiet = [i * _SET_STRIDE for i in range(4)]
+        noisy = [_BLOCK + i * _SET_STRIDE for i in range(_L1_WAYS + 3)]
+        body = []
+        for lap in range(20):
+            body += loads(quiet) + stores(noisy[: lap % len(noisy) + 1])
+        assert_modes_agree(Trace(body))
+
+    def test_flush_segmented_batch(self):
+        # flushes break the stack property; segments on either side must
+        # replay cleans/invalidations on the mirrored state exactly
+        blocks = [i * _SET_STRIDE for i in range(_L1_WAYS + 2)]
+        body = []
+        for lap in range(10):
+            body += stores(blocks)
+            body.append(Instr(Op.CLWB if lap % 2 else Op.CLFLUSHOPT,
+                              blocks[lap % len(blocks)]))
+            body += loads(blocks)
+        assert_modes_agree(Trace(body))
+
+    def test_speculative_machine_agrees(self):
+        blocks = [i * _SET_STRIDE for i in range(_L1_WAYS + 3)]
+        body = []
+        for lap in range(8):
+            body += stores(blocks)
+            body += [Instr(Op.SFENCE), Instr(Op.PCOMMIT), Instr(Op.SFENCE)]
+        assert_modes_agree(Trace(body), MachineConfig().with_sp(256))
+
+    def test_benchmark_traces_agree(self):
+        clear_trace_cache()
+        for abbrev in ("LL", "HM"):
+            trace = build_trace(abbrev, PersistMode.LOG_P_SF,
+                                init_ops=800, sim_ops=60)
+            assert_modes_agree(trace)
+        clear_trace_cache()
+
+
+# ----------------------------------------------------------------------
+# auto routing: probe accepts residency, declines thrash — and either
+# way the result is identical
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestAutoRouting:
+    def _verdicts(self, trace):
+        """Run under ``auto`` and record each batch's engine verdict."""
+        verdicts = []
+        orig = classify.classify_batch
+
+        def spy(*args, **kwargs):
+            result = orig(*args, **kwargs)
+            verdicts.append(result is not None)
+            return result
+
+        classify.classify_batch = spy
+        try:
+            model, stats = _run_mode(trace, "auto")
+        finally:
+            classify.classify_batch = orig
+        return verdicts, model, stats
+
+    def test_auto_accepts_resident_stream(self):
+        blocks = [i * _SET_STRIDE for i in range(_L1_WAYS - 2)]
+        body = []
+        for lap in range(40):
+            body += loads(blocks)
+        verdicts, _, _ = self._verdicts(Trace(body))
+        assert verdicts and all(verdicts)
+
+    def test_auto_declines_thrash_stream(self):
+        blocks = [i * _SET_STRIDE for i in range(_L1_WAYS + 8)]
+        body = []
+        for lap in range(40):
+            body += loads([b + 8 * (lap % 3) for b in blocks])
+        verdicts, _, _ = self._verdicts(Trace(body))
+        assert verdicts and not any(verdicts)
+
+    def test_auto_matches_scalar_either_way(self):
+        quiet = [i * _SET_STRIDE for i in range(3)]
+        noisy = [i * _SET_STRIDE for i in range(_L1_WAYS + 8)]
+        for pool in (quiet, noisy):
+            body = []
+            for lap in range(30):
+                body += loads(pool) + stores(pool[:2])
+            trace = Trace(body)
+            ms, ss = _run_mode(trace, "scalar")
+            ma, sa = _run_mode(trace, "auto")
+            assert sa.as_dict() == ss.as_dict()
+            assert _cache_state(ma) == _cache_state(ms)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: small heaps, high set conflict
+# ----------------------------------------------------------------------
+#: A conflict-heavy address pool: a handful of L1 sets, each with more
+#: distinct blocks than associativity, so random draws sit right on the
+#: hit/evict boundary the engine must resolve exactly.
+_CONFLICT_SETS = (0, 1, 2)
+_CONFLICT_ADDRS = [
+    si * _BLOCK + way * _SET_STRIDE
+    for si in _CONFLICT_SETS
+    for way in range(_L1_WAYS + 4)
+]
+
+_conflict_op = st.one_of(
+    st.builds(
+        lambda a, s: Instr(Op.STORE if s else Op.LOAD, a),
+        st.sampled_from(_CONFLICT_ADDRS),
+        st.booleans(),
+    ),
+    st.builds(
+        lambda a, inv: Instr(Op.CLFLUSHOPT if inv else Op.CLWB, a),
+        st.sampled_from(_CONFLICT_ADDRS),
+        st.booleans(),
+    ),
+)
+
+
+@st.composite
+def conflict_traces(draw):
+    # mostly memory traffic with sparse flushes, long enough that one
+    # batch covers several evictions per set
+    ops = draw(st.lists(_conflict_op, min_size=20, max_size=220))
+    return Trace(ops)
+
+
+@requires_numpy
+class TestConflictFuzz:
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(trace=conflict_traces())
+    def test_base_machine(self, trace):
+        assert_modes_agree(trace)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(trace=conflict_traces())
+    def test_speculative_machine(self, trace):
+        assert_modes_agree(trace, MachineConfig().with_sp(256))
