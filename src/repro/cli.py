@@ -67,6 +67,7 @@ from repro.harness import (
     fig13_ssb_sweep,
     fig14_bloom_fp,
     fig15_concurrent_speedup,
+    fig15_contention_report,
     headline_claim,
     render_bar_table,
     table1_text,
@@ -76,10 +77,14 @@ from repro.harness import (
 from repro.harness import cache as harness_cache
 from repro.harness import parallel
 from repro.harness.bench import (
+    DEFAULT_HISTORY,
     DEFAULT_OUTPUT,
     PIPELINE_IPS_FLOORS,
     check_floor,
+    compare_to_history,
+    load_history,
     render_bench,
+    render_compare,
     run_bench,
 )
 from repro.harness.figures import GEOMEAN, render_scalar_series
@@ -134,10 +139,19 @@ def _figure_text(number: int, benchmarks: Optional[List[str]] = None) -> str:
     if number == 15:
         concurrent = [ab for ab in columns if ab in ("HM", "BT")] or None
         data = fig15_concurrent_speedup(concurrent)
-        return render_bar_table(
+        table = render_bar_table(
             "Figure 15 (new): SP speedup over Log+P+Sf, cores x contention",
             data, fmt="{:7.2f}x", columns=list(next(iter(data.values()))),
         )
+        report = fig15_contention_report(concurrent)
+        lines = ["", "Contention attribution (SP256 legs):"]
+        lines += [
+            f"  {cell:<14}: {row['aborts']:7.0f} aborts, "
+            f"{row['replayed%']:5.1f}% replayed work, "
+            f"{row['skew%']:4.1f}% core skew"
+            for cell, row in report.items()
+        ]
+        return table + "\n".join(lines)
     raise ValueError(f"no figure {number} in the paper's evaluation")
 
 
@@ -272,6 +286,59 @@ def _report_text() -> str:
     return "\n".join(sections)
 
 
+def _trace_system_command(args) -> int:
+    """Capture one traced multi-core run: per-core attribution, the
+    contention report, and a multi-track Perfetto export with flow
+    arrows from each aggressor store to its victim's abort."""
+    from repro.obs.attribution import attribute_system, system_attribution_errors
+    from repro.obs.capture import traced_system_run
+    from repro.obs.perfetto import (
+        summarize_chrome_trace,
+        validate_chrome_trace,
+        write_system_chrome_trace,
+    )
+
+    try:
+        result, system_tracer, info = traced_system_run(
+            args.workload,
+            mode=args.mode,
+            cores=args.cores,
+            contention=args.contention,
+            seed=args.seed,
+            init_ops=args.init_ops,
+            sim_ops=args.sim_ops,
+        )
+    except ValueError as exc:
+        print(exc)
+        return 2
+    path = write_system_chrome_trace(
+        args.out, system_tracer, per_core_stats=result.per_core, meta=info,
+    )
+    n_events = validate_chrome_trace(path)
+    print(
+        f"{info['workload_name']} ({info['workload']}) on {info['mode']}"
+        f" [{info['persist_mode']}], seed {info['seed']}:"
+        f" {info['cores']} cores, contention {info['contention']:g},"
+        f" {sum(info['trace_lens']):,} trace ops, {result.cycles:,}"
+        f" cycles makespan"
+    )
+    print(attribute_system(result, system_tracer).render())
+    problems = system_attribution_errors(result, system_tracer)
+    if problems:
+        print("OBSERVABILITY INVARIANT VIOLATIONS:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    summary = summarize_chrome_trace(path)
+    print(
+        f"wrote {n_events} trace events to {path}: "
+        f"{summary['processes']} process groups, {summary['tracks']} "
+        f"tracks, {summary['flows']} conflict flow arrows "
+        f"(open in ui.perfetto.dev)"
+    )
+    return 0
+
+
 def _trace_command(args) -> int:
     """Capture one traced run, print its attribution, export Perfetto JSON."""
     from repro.obs import attribution_errors, consistency_errors
@@ -279,6 +346,11 @@ def _trace_command(args) -> int:
     from repro.obs.capture import traced_run
     from repro.obs.perfetto import validate_chrome_trace, write_chrome_trace
 
+    if getattr(args, "cores", 1) > 1:
+        return _trace_system_command(args)
+    if getattr(args, "contention", 0.0):
+        print("--contention needs --cores >= 2")
+        return 2
     try:
         stats, tracer, info = traced_run(
             args.workload,
@@ -462,6 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-ops", type=int, default=None, dest="sim_ops",
         help="override the workload's measured op count",
     )
+    trace.add_argument(
+        "--cores", type=int, default=1,
+        help="co-simulate this many cores sharing one persistence "
+             "domain: one Perfetto track group per core plus the "
+             "shared-domain tracks and conflict flow arrows (default: 1)",
+    )
+    trace.add_argument(
+        "--contention", type=float, default=0.0,
+        help="per-transaction probability of touching the shared "
+             "partition (multi-core traces only, default: 0.0)",
+    )
 
     crash = sub.add_parser("crashtest", help="sweep crash injection")
     crash.add_argument("abbrev", choices=WORKLOADS)
@@ -490,6 +573,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--enforce-floor", action="store_true",
         help="exit non-zero if pipeline_ips falls below the checked-in "
              "regression floor (used by CI)",
+    )
+    bench.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="PATH",
+        help="append the record to this JSON-lines trail "
+             f"(default: {DEFAULT_HISTORY}; pass '' to skip)",
+    )
+    bench.add_argument(
+        "--compare", nargs="?", const="", default=None, metavar="REF",
+        help="compare against the best comparable prior record in the "
+             "history trail (optionally only records whose git_rev "
+             "starts with REF); warn-only — regressions are printed but "
+             "never change the exit code",
     )
     add_jobs(bench)
     add_metrics_out(bench)
@@ -606,10 +701,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(text)
         _print_metrics(args)
     elif args.command == "bench":
-        record = run_bench(quick=args.quick, output=args.output)
+        record = run_bench(
+            quick=args.quick, output=args.output,
+            history=args.history or None,
+        )
         print(render_bench(record))
         if args.output:
             print(f"record written to {args.output}")
+        if args.compare is not None:
+            # warn-only by design: history baselines come from whatever
+            # machines ran before, so a miss is a signal, not a verdict
+            history = load_history(args.history or DEFAULT_HISTORY)
+            if args.history and history:
+                history = history[:-1]  # this run's own appended record
+            print(render_compare(
+                compare_to_history(record, history, ref=args.compare or None)
+            ))
         _print_metrics(args)
         if args.enforce_floor:
             error = check_floor(record)

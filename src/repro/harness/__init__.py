@@ -45,6 +45,7 @@ from repro.harness.figures import (
     fig13_ssb_sweep,
     fig14_bloom_fp,
     fig15_concurrent_speedup,
+    fig15_contention_report,
     headline_claim,
     render_bar_table,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "fig13_ssb_sweep",
     "fig14_bloom_fp",
     "fig15_concurrent_speedup",
+    "fig15_contention_report",
     "headline_claim",
     "render_bar_table",
     "table1_text",

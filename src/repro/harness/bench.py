@@ -81,7 +81,31 @@ DEFAULT_OUTPUT = "BENCH_harness.json"
 #: solve), and ``classify_ips`` — committed instructions per second of
 #: classification time alone on the miss-heavy trace, the direct
 #: microbench of the classification pass.
-BENCH_SCHEMA_VERSION = 6
+#: 7: added host provenance (``python_version``, ``numpy_version``,
+#: ``cpu_count``) so history records are comparable across machines,
+#: and the append-only ``BENCH_history.jsonl`` trail every run joins
+#: (``bench --compare`` reads it — see :func:`compare_to_history`).
+BENCH_SCHEMA_VERSION = 7
+
+#: Append-only JSON-lines trail of every bench record ever taken on
+#: this checkout; ``bench --compare`` mines it for the best comparable
+#: prior record per metric.
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+#: Throughput metrics tracked by ``bench --compare``, and the relative
+#: drop against the best comparable prior measurement that counts as a
+#: regression.  0.25 leaves room for host noise (frequency scaling,
+#: noisy CI neighbours) while catching the order-of-magnitude cliffs
+#: the floors exist for — but, unlike the static floors, relative to
+#: *this machine's* own history.
+COMPARE_TOLERANCE = 0.25
+COMPARE_METRICS = (
+    "pipeline_ips_by_backend",
+    "miss_ips_by_backend",
+    "sweep_ips_by_backend",
+    "classify_ips",
+    "system_ips",
+)
 
 #: Sustained-throughput trace: the paper's linked-list benchmark on the
 #: unfenced baseline, scaled up until per-run fixed costs vanish (a few
@@ -133,6 +157,24 @@ MISS_IPS_FLOORS = {"python": 250_000, "numpy": 1_000_000}
 PIPELINE_IPS_FLOOR = PIPELINE_IPS_FLOORS["python"]
 
 
+def _host_provenance() -> Dict[str, object]:
+    """Interpreter / numpy / host facts stamped into every record, so a
+    history comparison can tell a code regression from a toolchain or
+    machine change."""
+    import platform
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _git_rev() -> Optional[str]:
     """The short git revision of the working tree, or ``None`` outside a
     checkout (benches must work from tarballs too)."""
@@ -178,8 +220,14 @@ def run_bench(
     output: Optional[str] = DEFAULT_OUTPUT,
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 7,
+    history: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the harness benchmark; returns (and optionally writes) the record."""
+    """Run the harness benchmark; returns (and optionally writes) the record.
+
+    With *history*, the record is additionally appended to that
+    JSON-lines trail (one record per line; see :func:`append_history`) —
+    the CLI passes ``BENCH_history.jsonl`` so every bench run feeds the
+    regression-tracking corpus ``bench --compare`` mines."""
     names: List[str] = list(
         benchmarks or (QUICK_BENCHMARKS if quick else all_benchmarks())
     )
@@ -356,6 +404,7 @@ def run_bench(
         "cache_schema": disk_cache.CACHE_SCHEMA_VERSION,
         "git_rev": _git_rev(),
         "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        **_host_provenance(),
         "quick": quick,
         "benchmarks": names,
         "jobs": default_jobs(),
@@ -410,7 +459,155 @@ def run_bench(
         with open(output, "w") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if history:
+        append_history(record, history)
     return record
+
+
+# ----------------------------------------------------------------------
+# bench history: append-only trail + regression comparison
+# ----------------------------------------------------------------------
+def append_history(record: Dict[str, object], path: str = DEFAULT_HISTORY) -> None:
+    """Append *record* as one JSON line to the history trail."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str = DEFAULT_HISTORY) -> List[Dict[str, object]]:
+    """Every parseable record in the trail, oldest first.
+
+    Unparseable lines are skipped, not fatal: a run killed mid-append
+    leaves a torn last line, and one bad write must not brick every
+    future comparison.
+    """
+    records: List[Dict[str, object]] = []
+    try:
+        with open(path, "r") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return records
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(parsed, dict):
+            records.append(parsed)
+    return records
+
+
+def _comparable_metrics(record: Dict[str, object]) -> Dict[str, float]:
+    """Flatten the tracked throughput metrics of one record into
+    ``metric[/backend] -> ips`` (missing/null measurements dropped)."""
+    flat: Dict[str, float] = {}
+    for metric in COMPARE_METRICS:
+        value = record.get(metric)
+        if isinstance(value, dict):
+            for backend, ips in value.items():
+                if isinstance(ips, (int, float)) and ips > 0:
+                    flat[f"{metric}/{backend}"] = float(ips)
+        elif isinstance(value, (int, float)) and value > 0:
+            flat[metric] = float(value)
+    return flat
+
+
+def comparable(record: Dict[str, object], prior: Dict[str, object]) -> bool:
+    """Whether *prior* is a like-for-like baseline for *record*: same
+    quick/full shape, same active kernel backend, and same classify
+    mode — anything else measures a different configuration, not a
+    regression."""
+    keys = ("quick", "kernel_backend", "classify_mode")
+    return all(prior.get(key) == record.get(key) for key in keys)
+
+
+def compare_to_history(
+    record: Dict[str, object],
+    history: Sequence[Dict[str, object]],
+    tolerance: float = COMPARE_TOLERANCE,
+    ref: Optional[str] = None,
+) -> Dict[str, object]:
+    """Compare *record* against the best comparable prior measurements.
+
+    For each tracked metric, the baseline is the **best** value over the
+    comparable history records (with *ref*, only records whose
+    ``git_rev`` starts with it) — best-of-history damps the noise a
+    single slow baseline run would inject.  A metric regresses when it
+    lands below ``baseline * (1 - tolerance)``.
+
+    Returns ``{"compared", "baselines", "regressions", "improvements"}``
+    where ``regressions`` is a list of human-readable findings (empty =
+    pass) and ``compared`` counts the history records consulted.  A
+    warn-only CI gate prints the findings without failing the build.
+    """
+    current = _comparable_metrics(record)
+    candidates = [prior for prior in history if comparable(record, prior)]
+    if ref:
+        candidates = [
+            prior for prior in candidates
+            if str(prior.get("git_rev") or "").startswith(ref)
+        ]
+    baselines: Dict[str, Dict[str, object]] = {}
+    for prior in candidates:
+        for name, ips in _comparable_metrics(prior).items():
+            best = baselines.get(name)
+            if best is None or ips > best["ips"]:
+                baselines[name] = {
+                    "ips": ips,
+                    "git_rev": prior.get("git_rev"),
+                    "timestamp_utc": prior.get("timestamp_utc"),
+                }
+    regressions: List[str] = []
+    improvements: List[str] = []
+    for name, baseline in sorted(baselines.items()):
+        now = current.get(name)
+        if now is None:
+            regressions.append(
+                f"{name}: measured {baseline['ips']:,.0f} instr/s at "
+                f"{baseline['git_rev']}, missing from this record"
+            )
+            continue
+        floor = baseline["ips"] * (1.0 - tolerance)
+        if now < floor:
+            regressions.append(
+                f"{name}: {now:,.0f} instr/s is {1 - now / baseline['ips']:.0%}"
+                f" below the best prior {baseline['ips']:,.0f}"
+                f" ({baseline['git_rev']} @ {baseline['timestamp_utc']};"
+                f" tolerance {tolerance:.0%})"
+            )
+        elif now > baseline["ips"]:
+            improvements.append(
+                f"{name}: {now:,.0f} instr/s beats the best prior "
+                f"{baseline['ips']:,.0f}"
+            )
+    return {
+        "compared": len(candidates),
+        "baselines": baselines,
+        "regressions": regressions,
+        "improvements": improvements,
+    }
+
+
+def render_compare(result: Dict[str, object]) -> str:
+    """Human-readable summary of a :func:`compare_to_history` result."""
+    compared = result.get("compared", 0)
+    if not compared:
+        return "bench compare: no comparable history records (trail starts here)"
+    lines = [
+        f"bench compare: {compared} comparable history records,"
+        f" {len(result['baselines'])} metrics"
+    ]
+    regressions = result.get("regressions") or []
+    improvements = result.get("improvements") or []
+    for finding in regressions:
+        lines.append(f"  REGRESSION {finding}")
+    for finding in improvements:
+        lines.append(f"  improved   {finding}")
+    if not regressions:
+        lines.append("  no regressions beyond tolerance")
+    return "\n".join(lines)
 
 
 def _fmt(value: object, spec: str = "", missing: str = "n/a") -> str:

@@ -61,6 +61,7 @@ from repro.isa.serialize import (
     load_trace,
 )
 from repro.isa.trace import Trace
+from repro.obs import telemetry
 from repro.stats.run import RunStats
 from repro.uarch.config import MachineConfig
 
@@ -112,6 +113,14 @@ class CacheCounters:
 
 
 _COUNTERS = CacheCounters()
+
+
+def _bump(name: str) -> None:
+    """Increment one session counter, mirrored into the telemetry
+    registry (``cache.<name>``) when that is enabled."""
+    setattr(_COUNTERS, name, getattr(_COUNTERS, name) + 1)
+    telemetry.counter_inc(f"cache.{name}")
+
 
 #: Session counter totals already folded into ``metrics.json`` — so
 #: repeated :func:`persist_cache_counters` calls only add the delta.
@@ -339,16 +348,16 @@ def load_cached_trace(key, root: Optional[PathLike] = None) -> Optional[Trace]:
     """The cached trace for *key*, or ``None`` on a miss / disabled cache."""
     path = trace_path(key, root)
     if path is None or not path.exists():
-        _COUNTERS.trace_misses += 1
+        _bump("trace_misses")
         return None
     try:
         trace = load_trace(path)
     except (TraceFormatError, OSError, ValueError):
         _drop_corrupt(path)
-        _COUNTERS.corrupt_dropped += 1
-        _COUNTERS.trace_misses += 1
+        _bump("corrupt_dropped")
+        _bump("trace_misses")
         return None
-    _COUNTERS.trace_hits += 1
+    _bump("trace_hits")
     return trace
 
 
@@ -359,7 +368,7 @@ def store_trace(key, trace: Trace, root: Optional[PathLike] = None) -> Optional[
         return None
     if not _guarded_write(path, lambda handle: dump_trace(trace, handle)):
         return None
-    _COUNTERS.trace_stores += 1
+    _bump("trace_stores")
     return path
 
 
@@ -392,7 +401,7 @@ def load_cached_stats(
     """
     path = stats_path(key, config, root)
     if path is None or not path.exists():
-        _COUNTERS.stats_misses += 1
+        _bump("stats_misses")
         return None
     try:
         with open(path, "r") as handle:
@@ -416,10 +425,10 @@ def load_cached_stats(
             stats = RunStats.from_dict(data)
     except (json.JSONDecodeError, TypeError, ValueError, OSError):
         _drop_corrupt(path)
-        _COUNTERS.corrupt_dropped += 1
-        _COUNTERS.stats_misses += 1
+        _bump("corrupt_dropped")
+        _bump("stats_misses")
         return None
-    _COUNTERS.stats_hits += 1
+    _bump("stats_hits")
     return stats
 
 
@@ -436,7 +445,7 @@ def store_stats(
     blob = json.dumps(envelope, sort_keys=True).encode()
     if not _guarded_write(path, lambda handle: handle.write(blob)):
         return None
-    _COUNTERS.stats_stores += 1
+    _bump("stats_stores")
     return path
 
 

@@ -257,6 +257,45 @@ def fig15_concurrent_speedup(
     return result
 
 
+def fig15_contention_report(
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    core_counts: Sequence[int] = (2, 4),
+    contentions: Sequence[float] = (0.0, 0.5, 0.9),
+) -> Dict[str, Dict[str, float]]:
+    """The cross-core interference behind Figure 15's SP legs.
+
+    Reads the system counters that :func:`~repro.harness.runner.
+    run_system` folds into each cached aggregate's ``extra`` — no
+    re-simulation beyond what :func:`fig15_concurrent_speedup` already
+    paid.  Rows are ``"{benchmark}x{cores} p=<contention>"``; columns:
+    ``aborts`` (conflict rollbacks), ``replayed%`` (share of retired
+    micro-ops that were abort replays — wasted speculative work), and
+    ``skew%`` (fastest vs slowest core's cycles, load imbalance).
+    """
+    benchmarks = list(benchmarks or ("HM", "BT"))
+    sp_cfg = MachineConfig().with_sp(256)
+    result: Dict[str, Dict[str, float]] = {}
+    for ab in benchmarks:
+        for cores in core_counts:
+            for contention in contentions:
+                stats = run_system(
+                    ab, PersistMode.LOG_P_SF, sp_cfg, seed,
+                    cores=cores, contention=contention,
+                )
+                per_core = [
+                    stats.extra[f"core{index}_cycles"] for index in range(cores)
+                ]
+                result[f"{ab}x{cores} p={contention:g}"] = {
+                    "aborts": float(stats.extra["conflict_aborts"]),
+                    "replayed%": 100.0
+                    * stats.extra["replayed_instructions"]
+                    / max(stats.instructions, 1),
+                    "skew%": 100.0 * (1.0 - min(per_core) / max(per_core)),
+                }
+    return result
+
+
 # ----------------------------------------------------------------------
 # Headline claim: fence overhead over Log+P, without and with SP
 # ----------------------------------------------------------------------

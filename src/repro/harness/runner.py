@@ -244,6 +244,7 @@ def run_system(
         obs_metrics.record_variant(
             "sim", label, "disk", time.perf_counter() - started
         )
+        obs_metrics.record_system_run(cores, contention, stats.extra)
         return stats
     stats = system_result(
         abbrev, mode, config, seed,
@@ -255,6 +256,7 @@ def run_system(
     obs_metrics.record_variant(
         "sim", label, "simulated", time.perf_counter() - started
     )
+    obs_metrics.record_system_run(cores, contention, stats.extra)
     return stats
 
 

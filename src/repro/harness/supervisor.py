@@ -59,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.harness import cache as disk_cache
 from repro.harness import runner
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry
 from repro.stats.run import RunStats
 from repro.uarch.pipeline import simulate
 
@@ -908,3 +909,6 @@ def run_supervised(
         journal.close()
         if scratch is not None:
             scratch.cleanup()
+        if telemetry.enabled():
+            for name, value in counters.as_dict().items():
+                telemetry.gauge_set(f"supervisor.{name}", value)

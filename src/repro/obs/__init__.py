@@ -19,6 +19,17 @@ and harness.  Three pieces:
 * :mod:`repro.obs.metrics` — harness self-observability: cache
   hit/miss counters and per-variant wall-time/worker records, surfaced
   by ``run``/``report``/``bench`` and ``--metrics-out``.
+* :mod:`repro.obs.telemetry` — the process-wide counter/gauge/histogram
+  registry the kernel, classification engine, cache, and supervisor
+  publish into (no-op unless enabled; folded into ``--metrics-out``).
+
+Multi-core: :class:`~repro.obs.tracer.SystemTracer` spans every core of
+a :class:`~repro.uarch.system.SystemModel` run plus the aggressor→victim
+:class:`~repro.obs.tracer.ConflictRecord` trail; ``attribute_system`` /
+``system_attribution_errors`` extend the attribution contract per core,
+and :mod:`repro.obs.perfetto` exports the whole system as one timeline
+(per-core track groups, shared persistence-domain tracks, conflict flow
+arrows).
 
 :mod:`repro.obs.capture` (imported directly, not from this package
 root, because it pulls in the harness) glues the pieces together for
@@ -30,20 +41,35 @@ See docs/OBSERVABILITY.md for the event taxonomy and a walkthrough.
 from repro.obs.attribution import (
     ATTRIBUTION_BUCKETS,
     AttributionReport,
+    SystemAttributionReport,
     attribute,
+    attribute_system,
     attribution_errors,
     consistency_errors,
+    system_attribution_errors,
 )
-from repro.obs.tracer import NullTracer, SpanTracer, TraceEvent, Tracer
+from repro.obs.tracer import (
+    ConflictRecord,
+    NullTracer,
+    SpanTracer,
+    SystemTracer,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "ATTRIBUTION_BUCKETS",
     "AttributionReport",
+    "ConflictRecord",
     "NullTracer",
     "SpanTracer",
+    "SystemAttributionReport",
+    "SystemTracer",
     "TraceEvent",
     "Tracer",
     "attribute",
+    "attribute_system",
     "attribution_errors",
     "consistency_errors",
+    "system_attribution_errors",
 ]

@@ -181,6 +181,167 @@ def attribution_errors(stats: RunStats, tracer) -> List[str]:
     return errors
 
 
+# ----------------------------------------------------------------------
+# cross-core attribution (multi-core SystemModel runs)
+# ----------------------------------------------------------------------
+
+#: Buckets that bill a core's *own* persistence machinery (as opposed
+#: to ``conflict_abort``, which bills cross-core interference, and
+#: ``fetch_stall``, a front-end symptom).
+_PRIVATE_PERSISTENCE_BUCKETS = (
+    "sfence_drain", "checkpoint_stall", "ssb_full_stall",
+)
+
+
+@dataclass
+class SystemAttributionReport:
+    """Where every core's cycles went, plus the system contention story.
+
+    ``per_core[i]`` is core *i*'s :class:`AttributionReport` — disjoint
+    buckets summing exactly to that core's ``stats.cycles``.  The
+    contention section attributes cross-core damage: abort counts and
+    billed refill cycles by ``aggressor->victim`` pair, the speculative
+    work thrown away and re-executed, and the split of each core's
+    persistence stalls between *interference* (``conflict_abort`` —
+    another core's store killed our speculation) and *private* drain
+    (our own fences/checkpoints/SSB waiting out the NVMM).
+    """
+
+    per_core: List[AttributionReport] = field(default_factory=list)
+    conflict_aborts: int = 0
+    aborts_by_pair: Dict[str, int] = field(default_factory=dict)
+    abort_cycles_by_pair: Dict[str, int] = field(default_factory=dict)
+    replayed_instructions: int = 0
+    store_broadcasts: int = 0
+    conflict_probes: int = 0
+
+    @property
+    def interference_cycles(self) -> int:
+        """Cycles billed to cross-core conflict aborts, all cores."""
+        return sum(
+            report.buckets.get("conflict_abort", 0) for report in self.per_core
+        )
+
+    @property
+    def private_drain_cycles(self) -> int:
+        """Cycles billed to each core's own persistence machinery."""
+        return sum(
+            report.buckets.get(name, 0)
+            for report in self.per_core
+            for name in _PRIVATE_PERSISTENCE_BUCKETS
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "per_core": [report.as_dict() for report in self.per_core],
+            "conflict_aborts": self.conflict_aborts,
+            "aborts_by_pair": dict(self.aborts_by_pair),
+            "abort_cycles_by_pair": dict(self.abort_cycles_by_pair),
+            "replayed_instructions": self.replayed_instructions,
+            "store_broadcasts": self.store_broadcasts,
+            "conflict_probes": self.conflict_probes,
+            "interference_cycles": self.interference_cycles,
+            "private_drain_cycles": self.private_drain_cycles,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for index, report in enumerate(self.per_core):
+            lines.append(f"core {index} " + report.render())
+        lines.append(
+            f"contention: {self.conflict_aborts} conflict aborts, "
+            f"{self.replayed_instructions:,} instructions replayed, "
+            f"{self.store_broadcasts} store broadcasts, "
+            f"{self.conflict_probes} BLT probes"
+        )
+        for pair in sorted(self.aborts_by_pair):
+            lines.append(
+                f"  {pair:<8}: {self.aborts_by_pair[pair]} aborts, "
+                f"{self.abort_cycles_by_pair.get(pair, 0):,} refill cycles"
+            )
+        persistence = self.interference_cycles + self.private_drain_cycles
+        if persistence:
+            share = self.interference_cycles / persistence
+            lines.append(
+                f"persistence stall split: {self.interference_cycles:,} "
+                f"interference vs {self.private_drain_cycles:,} private "
+                f"drain ({share:.1%} cross-core)"
+            )
+        return "\n".join(lines)
+
+
+def attribute_system(result, system_tracer) -> SystemAttributionReport:
+    """Decompose a :class:`~repro.uarch.system.SystemResult` core by
+    core, and aggregate its conflict records into the contention report.
+
+    *system_tracer* is the :class:`~repro.obs.tracer.SystemTracer` the
+    run was traced with; each core's buckets come from
+    :func:`attribute` over that core's spans, so they inherit the
+    sums-to-cycles guarantee per core.
+    """
+    report = SystemAttributionReport(
+        per_core=[
+            attribute(stats, tracer)
+            for stats, tracer in zip(result.per_core, system_tracer.cores)
+        ],
+        conflict_aborts=result.conflict_aborts,
+        replayed_instructions=result.replayed_instructions,
+        store_broadcasts=result.store_broadcasts,
+        conflict_probes=result.conflict_probes,
+    )
+    for record in system_tracer.conflicts:
+        pair = f"{record.aggressor}->{record.victim}"
+        report.aborts_by_pair[pair] = report.aborts_by_pair.get(pair, 0) + 1
+        report.abort_cycles_by_pair[pair] = (
+            report.abort_cycles_by_pair.get(pair, 0) + record.abort_cycles
+        )
+    return report
+
+
+def system_attribution_errors(result, system_tracer) -> List[str]:
+    """Violations of the system attribution invariants (empty = healthy).
+
+    Per core: the single-core attribution and span/counter consistency
+    checks.  System-wide: the driver's conflict records must agree with
+    the result counters — one record per abort, replayed totals equal,
+    and every record's billed cycles showing up in its victim's
+    ``conflict_abort_cycles``.
+    """
+    errors: List[str] = []
+    for index, (stats, tracer) in enumerate(
+        zip(result.per_core, system_tracer.cores)
+    ):
+        errors.extend(
+            f"core {index}: {error}"
+            for error in attribution_errors(stats, tracer)
+            + consistency_errors(stats, tracer)
+        )
+    conflicts = system_tracer.conflicts
+    if len(conflicts) != result.conflict_aborts:
+        errors.append(
+            f"{len(conflicts)} conflict records but "
+            f"{result.conflict_aborts} conflict aborts"
+        )
+    replayed = sum(record.replayed for record in conflicts)
+    if replayed != result.replayed_instructions:
+        errors.append(
+            f"conflict records replay {replayed} instructions but the "
+            f"driver counted {result.replayed_instructions}"
+        )
+    for victim in range(len(result.per_core)):
+        billed = sum(
+            record.abort_cycles for record in conflicts
+            if record.victim == victim
+        )
+        counted = result.per_core[victim].conflict_abort_cycles
+        if billed != counted:
+            errors.append(
+                f"core {victim}: conflict records bill {billed} abort "
+                f"cycles but stats.conflict_abort_cycles == {counted}"
+            )
+    return errors
+
+
 def consistency_errors(stats: RunStats, tracer) -> List[str]:
     """Span-set vs RunStats-counter disagreements (empty when healthy).
 

@@ -110,3 +110,52 @@ def traced_run(
         "sp_enabled": config.sp_enabled,
     }
     return stats, tracer, info
+
+
+def traced_system_run(
+    workload: str,
+    mode: str = "sp256",
+    cores: int = 2,
+    contention: float = 0.0,
+    seed: int = 7,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
+):
+    """Co-simulate one multi-core cell with system tracing on.
+
+    Returns ``(result, system_tracer, info)``: the
+    :class:`~repro.uarch.system.SystemResult` with per-core stats and
+    conflict counters, the :class:`~repro.obs.tracer.SystemTracer`
+    holding each core's spans plus the aggressor→victim conflict
+    records, and the capture metadata.  The concurrent traces are
+    regenerated (they are cheap and seed-deterministic); only the
+    co-simulation itself runs traced, every core on its exact per-op
+    loop.
+    """
+    from repro.obs.tracer import SystemTracer
+    from repro.uarch.system import SystemModel
+    from repro.workloads.concurrent import generate_concurrent
+
+    if cores < 2:
+        raise ValueError("traced_system_run needs >= 2 cores; use traced_run")
+    abbrev = resolve_workload(workload)
+    mode_label, persist_mode, config = resolve_mode(mode)
+    run = generate_concurrent(
+        abbrev, persist_mode, n_cores=cores, contention=contention,
+        seed=seed, init_ops=init_ops, sim_ops=sim_ops,
+    )
+    system_tracer = SystemTracer(cores)
+    system = SystemModel(config, n_cores=cores, system_tracer=system_tracer)
+    result = system.run(run.traces)
+    info = {
+        "workload": abbrev,
+        "workload_name": PAPER_SPECS[abbrev].name,
+        "mode": mode_label,
+        "persist_mode": persist_mode.value,
+        "seed": seed,
+        "cores": cores,
+        "contention": contention,
+        "trace_lens": [len(trace) for trace in run.traces],
+        "sp_enabled": config.sp_enabled,
+    }
+    return result, system_tracer, info

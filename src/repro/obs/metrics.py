@@ -90,6 +90,46 @@ class SupervisorCounters:
 _SUPERVISOR = SupervisorCounters()
 
 
+@dataclass
+class SystemCounters:
+    """Multi-core co-simulation accounting (``run_system`` cells this
+    process served, memo hits excluded — same convention as the variant
+    records).  Abort/replay/broadcast totals come from the cells'
+    ``extra`` counters, so disk-cached cells contribute the same numbers
+    a fresh co-simulation would."""
+
+    runs: int = 0
+    cores_max: int = 0
+    contention_max: float = 0.0
+    conflict_aborts: int = 0
+    replayed_instructions: int = 0
+    store_broadcasts: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+_SYSTEM = SystemCounters()
+
+
+def system_counters() -> SystemCounters:
+    """This process's multi-core run accounting (a live object)."""
+    return _SYSTEM
+
+
+def record_system_run(cores: int, contention: float, extra: Dict) -> None:
+    """Fold one served multi-core cell into the system accounting.
+
+    *extra* is the cell's ``RunStats.extra`` (carries the system
+    conflict counters — see ``SystemResult.aggregate``)."""
+    _SYSTEM.runs += 1
+    _SYSTEM.cores_max = max(_SYSTEM.cores_max, cores)
+    _SYSTEM.contention_max = max(_SYSTEM.contention_max, contention)
+    _SYSTEM.conflict_aborts += int(extra.get("conflict_aborts", 0))
+    _SYSTEM.replayed_instructions += int(extra.get("replayed_instructions", 0))
+    _SYSTEM.store_broadcasts += int(extra.get("store_broadcasts", 0))
+
+
 def supervisor_counters() -> SupervisorCounters:
     """This process's supervisor accounting (a live object)."""
     return _SUPERVISOR
@@ -108,9 +148,10 @@ def variant_records() -> List[VariantRecord]:
 
 def reset_metrics() -> None:
     """Drop all recorded work (tests and bench phases use this)."""
-    global _SUPERVISOR
+    global _SUPERVISOR, _SYSTEM
     _RECORDS.clear()
     _SUPERVISOR = SupervisorCounters()
+    _SYSTEM = SystemCounters()
 
 
 # ----------------------------------------------------------------------
@@ -146,16 +187,23 @@ def summarize() -> Dict[str, object]:
 
 def metrics_snapshot() -> Dict[str, object]:
     """Everything ``--metrics-out`` writes: cache counters (session and
-    lifetime) plus the per-variant records and their summary."""
+    lifetime), the per-variant records and their summary, the telemetry
+    registry (:mod:`repro.obs.telemetry` — empty unless enabled), and
+    the system accounting of any multi-core runs this process made.
+
+    Schema 4: adds ``telemetry`` and ``system``."""
     from repro.harness import cache as disk_cache
+    from repro.obs import telemetry
     from repro.uarch.kernel import resolve_backend
 
     return {
-        "schema": 3,
+        "schema": 4,
         "kernel_backend": resolve_backend(None),
         "cache_session": disk_cache.cache_counters().as_dict(),
         "cache_lifetime": disk_cache.lifetime_cache_counters(),
         "supervisor": _SUPERVISOR.as_dict(),
+        "system": _SYSTEM.as_dict(),
+        "telemetry": telemetry.snapshot(),
         "summary": summarize(),
         "variants": [asdict(record) for record in _RECORDS],
     }
@@ -205,6 +253,11 @@ def render_metrics_line() -> Optional[str]:
             else ""
         )
     )
+    if _SYSTEM.runs:
+        parts.append(
+            f"{_SYSTEM.runs} system cells (<= {_SYSTEM.cores_max} cores, "
+            f"{_SYSTEM.conflict_aborts} aborts)"
+        )
     if _SUPERVISOR.any_recovery():
         recovery = ", ".join(
             f"{value} {key}"

@@ -6,13 +6,26 @@ instants to ``"i"``, counters to ``"C"``, and the event categories map
 to named pseudo-threads so Perfetto renders pipeline activity,
 stalls, pcommits, and speculation epochs as separate tracks.
 
+A :class:`~repro.obs.tracer.SystemTracer` becomes one *system* trace:
+each core is its own process (pid ``1..N``, four tracks apiece), and a
+synthetic **persistence domain** process (pid 0) carries the shared
+NVMM side of the run — per-core WPQ occupancy counters, drain windows,
+and pcommit lifetimes re-emitted side by side so cross-core overlap in
+the shared domain is visible on one screen.  Every
+:class:`~repro.obs.tracer.ConflictRecord` is rendered as a **flow
+arrow** (``"s"``/``"f"`` flow events) from the aggressor's
+``store_visible`` instant on its pmem track to the victim's
+``conflict_abort`` span on its stalls track.
+
 Timestamps are simulated core cycles passed through as microseconds
 (the trace-event ``ts`` unit) — in Perfetto, read "1 µs" as "1 cycle".
 
 :func:`validate_chrome_trace` is a minimal, dependency-free schema
 check over the emitted JSON; CI runs it against the ``python -m repro
 trace`` artifact so a malformed export fails the build rather than
-failing silently in the viewer.
+failing silently in the viewer.  It also enforces the system-trace
+invariants: unique process/track names per (pid, tid) and paired flow
+events (every flow id has exactly one start and one finish).
 """
 
 from __future__ import annotations
@@ -33,14 +46,20 @@ _TRACK_NAMES = {0: "pipeline", 1: "stalls", 2: "pmem", 3: "speculation"}
 
 #: Phases the validator accepts (the subset this exporter emits, plus
 #: the begin/end pair so hand-edited traces still validate).
-_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "I", "C", "M"})
+#: ``s``/``t``/``f`` are flow start/step/finish — the conflict arrows.
+_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "I", "C", "M", "s", "t", "f"})
+
+#: The shared persistence-domain pseudo-process of a system export.
+DOMAIN_PID = 0
 
 
 class ChromeTraceError(ValueError):
     """The JSON is not a loadable Chrome trace-event stream."""
 
 
-def chrome_trace_events(tracer, pid: int = 0) -> List[dict]:
+def chrome_trace_events(
+    tracer, pid: int = 0, process_name: str = "repro pipeline"
+) -> List[dict]:
     """Convert *tracer*'s events into trace-event dicts."""
     events: List[dict] = [
         {
@@ -48,7 +67,7 @@ def chrome_trace_events(tracer, pid: int = 0) -> List[dict]:
             "name": "process_name",
             "pid": pid,
             "tid": 0,
-            "args": {"name": "repro pipeline"},
+            "args": {"name": process_name},
         }
     ]
     for tid, name in sorted(_TRACK_NAMES.items()):
@@ -121,6 +140,145 @@ def write_chrome_trace(
 
 
 # ----------------------------------------------------------------------
+# system (multi-core) export
+# ----------------------------------------------------------------------
+def chrome_system_trace_events(system_tracer) -> List[dict]:
+    """Convert a :class:`~repro.obs.tracer.SystemTracer` into trace-event
+    dicts: one process per core, one shared persistence-domain process,
+    and one flow arrow per conflict record."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": DOMAIN_PID,
+            "tid": 0,
+            "args": {"name": "persistence domain"},
+        }
+    ]
+    # ---- shared-domain tracks: one per core, side by side ------------
+    for core_index in range(system_tracer.n_cores):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": DOMAIN_PID,
+                "tid": core_index,
+                "args": {"name": f"domain core{core_index}"},
+            }
+        )
+    for core_index, tracer in enumerate(system_tracer.cores):
+        for event in tracer.events:
+            if event.kind == "counter" and event.name == "wpq_occupancy":
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": f"wpq_occupancy/core{core_index}",
+                        "ts": event.ts,
+                        "pid": DOMAIN_PID,
+                        "args": {"value": event.value},
+                    }
+                )
+            elif event.kind == "span" and event.name in (
+                "sfence_drain", "pcommit"
+            ):
+                name = (
+                    "drain_window" if event.name == "sfence_drain" else "pcommit"
+                )
+                record = {
+                    "ph": "X",
+                    "name": name,
+                    "cat": "domain",
+                    "ts": event.ts,
+                    "dur": event.dur,
+                    "pid": DOMAIN_PID,
+                    "tid": core_index,
+                    "args": {"core": core_index, **(event.args or {})},
+                }
+                events.append(record)
+    # ---- per-core processes ------------------------------------------
+    for core_index, tracer in enumerate(system_tracer.cores):
+        events.extend(
+            chrome_trace_events(
+                tracer, pid=core_index + 1, process_name=f"core {core_index}"
+            )
+        )
+    # ---- conflict flow arrows (aggressor pmem -> victim stalls) ------
+    for flow_id, record in enumerate(system_tracer.conflicts, start=1):
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": "store_visible",
+                "cat": "pmem",
+                "ts": record.broadcast_ts,
+                "pid": record.aggressor + 1,
+                "tid": _TRACKS["pmem"],
+                "args": {"block": record.block, "victim": record.victim},
+            }
+        )
+        events.append(
+            {
+                "ph": "s",
+                "name": "conflict",
+                "cat": "conflict",
+                "id": flow_id,
+                "ts": record.broadcast_ts,
+                "pid": record.aggressor + 1,
+                "tid": _TRACKS["pmem"],
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "name": "conflict",
+                "cat": "conflict",
+                "id": flow_id,
+                "ts": record.abort_ts,
+                "pid": record.victim + 1,
+                "tid": _TRACKS["stall"],
+            }
+        )
+    return events
+
+
+def write_system_chrome_trace(
+    path: Union[str, Path],
+    system_tracer,
+    per_core_stats=None,
+    meta: Optional[dict] = None,
+) -> Path:
+    """Serialise a system trace (plus optional metadata) to *path*."""
+    other: dict = dict(meta or {})
+    if per_core_stats is not None:
+        other["run_stats_per_core"] = [
+            stats.as_dict() for stats in per_core_stats
+        ]
+    other["conflicts"] = [
+        {
+            "aggressor": record.aggressor,
+            "victim": record.victim,
+            "block": record.block,
+            "broadcast_ts": record.broadcast_ts,
+            "abort_ts": record.abort_ts,
+            "abort_cycles": record.abort_cycles,
+            "replayed": record.replayed,
+        }
+        for record in system_tracer.conflicts
+    ]
+    payload = {
+        "traceEvents": chrome_system_trace_events(system_tracer),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
 # validation (no external dependencies — CI runs this)
 # ----------------------------------------------------------------------
 def _check_event(index: int, event) -> None:
@@ -144,6 +302,12 @@ def _check_event(index: int, event) -> None:
         dur = event.get("dur")
         if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
             raise ChromeTraceError(f"event {index} ('X') has bad dur {dur!r}")
+    if phase in ("s", "t", "f"):
+        flow_id = event.get("id")
+        if not isinstance(flow_id, (int, str)) or isinstance(flow_id, bool):
+            raise ChromeTraceError(
+                f"event {index} (flow {phase!r}) has bad id {flow_id!r}"
+            )
     if phase == "C":
         args = event.get("args")
         if not isinstance(args, dict) or not args:
@@ -179,6 +343,82 @@ def validate_chrome_trace(source: Union[str, Path, dict]) -> int:
         raise ChromeTraceError("missing traceEvents list")
     if not events:
         raise ChromeTraceError("traceEvents is empty")
+    process_names: Dict[int, str] = {}
+    track_names: Dict[tuple, str] = {}
+    flow_starts: Dict[object, int] = {}
+    flow_finishes: Dict[object, int] = {}
     for index, event in enumerate(events):
         _check_event(index, event)
+        phase = event["ph"]
+        if phase == "M" and isinstance(event.get("args"), dict):
+            name = event["args"].get("name")
+            if event.get("name") == "process_name" and isinstance(name, str):
+                pid = event.get("pid", 0)
+                if process_names.get(pid, name) != name:
+                    raise ChromeTraceError(
+                        f"event {index}: pid {pid} renamed from "
+                        f"{process_names[pid]!r} to {name!r}"
+                    )
+                process_names[pid] = name
+            if event.get("name") == "thread_name" and isinstance(name, str):
+                key = (event.get("pid", 0), event.get("tid", 0))
+                if track_names.get(key, name) != name:
+                    raise ChromeTraceError(
+                        f"event {index}: track {key} renamed from "
+                        f"{track_names[key]!r} to {name!r}"
+                    )
+                track_names[key] = name
+        elif phase == "s":
+            flow_starts[event["id"]] = flow_starts.get(event["id"], 0) + 1
+        elif phase == "f":
+            flow_finishes[event["id"]] = flow_finishes.get(event["id"], 0) + 1
+    duplicate_names = {}
+    for (pid, _tid), name in track_names.items():
+        duplicate_names.setdefault((pid, name), 0)
+        duplicate_names[(pid, name)] += 1
+    for (pid, name), count in duplicate_names.items():
+        if count > 1:
+            raise ChromeTraceError(
+                f"pid {pid} has {count} tracks named {name!r}"
+            )
+    for flow_id, count in flow_starts.items():
+        if count != 1 or flow_finishes.get(flow_id, 0) != 1:
+            raise ChromeTraceError(
+                f"flow {flow_id!r} has {count} starts and "
+                f"{flow_finishes.get(flow_id, 0)} finishes (want 1/1)"
+            )
+    for flow_id in flow_finishes:
+        if flow_id not in flow_starts:
+            raise ChromeTraceError(f"flow {flow_id!r} finishes without a start")
     return len(events)
+
+
+def summarize_chrome_trace(source: Union[str, Path, dict]) -> Dict[str, int]:
+    """Validate *source* and return its shape: event, process, track,
+    and flow-arrow counts.  The ``trace`` CLI and CI use this to assert
+    a multi-core export actually carries the per-core + shared-domain
+    tracks and the conflict arrows it promises."""
+    if isinstance(source, dict):
+        payload = source
+    else:
+        with open(source, "r") as handle:
+            payload = json.load(handle)
+    n_events = validate_chrome_trace(payload)
+    pids = set()
+    tracks = set()
+    flows = set()
+    for event in payload["traceEvents"]:
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "process_name":
+                pids.add(event.get("pid", 0))
+            elif event.get("name") == "thread_name":
+                tracks.add((event.get("pid", 0), event.get("tid", 0)))
+        elif phase == "s":
+            flows.add(event.get("id"))
+    return {
+        "events": n_events,
+        "processes": len(pids),
+        "tracks": len(tracks),
+        "flows": len(flows),
+    }

@@ -28,6 +28,7 @@ because successive fetch-stall intervals never overlap (the front end's
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 try:  # Python < 3.8 has no typing.Protocol; degrade gracefully
@@ -173,3 +174,73 @@ class SpanTracer:
     def intervals(self, name: str) -> List[Tuple[int, int]]:
         """The ``(start, end)`` pairs of every span named *name*."""
         return [(event.ts, event.end) for event in self._iter("span", name)]
+
+
+# ----------------------------------------------------------------------
+# multi-core tracing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConflictRecord:
+    """One cross-core conflict: a remote store that hit a speculating
+    core's BLT and forced a rollback.
+
+    Timestamps are *per-core* retire clocks: ``broadcast_ts`` is the
+    aggressor's clock when the store became globally visible (drain for
+    non-speculative stores, epoch commit for speculative ones),
+    ``abort_ts`` the victim's clock at rollback.  The Perfetto exporter
+    renders each record as a flow arrow from the aggressor's broadcast
+    to the victim's ``conflict_abort`` span.
+    """
+
+    aggressor: int      #: core whose store became visible
+    victim: int         #: core whose speculation was aborted
+    block: int          #: the conflicting cache-block address
+    broadcast_ts: int   #: aggressor retire clock at global visibility
+    abort_ts: int       #: victim retire clock at rollback
+    abort_cycles: int   #: pipeline-refill penalty billed to the victim
+    replayed: int       #: micro-ops the victim rewinds and re-executes
+
+
+class SystemTracer:
+    """One :class:`SpanTracer` per core plus system-level conflict
+    provenance, for :class:`~repro.uarch.system.SystemModel`.
+
+    Hand the whole object to ``SystemModel(config, n_cores,
+    system_tracer=...)``: each core's pipeline emits its spans into
+    ``cores[i]`` (forcing that core's exact per-op loop), and the
+    driver records one :class:`ConflictRecord` per conflict abort with
+    the aggressor→victim attribution only the driver can see.  As with
+    the single-core seam, ``system_tracer=None`` keeps every core on
+    the fast path and the run byte-identical to an untraced one.
+    """
+
+    def __init__(self, n_cores: int):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self.cores: List[SpanTracer] = [SpanTracer() for _ in range(n_cores)]
+        self.conflicts: List[ConflictRecord] = []
+
+    def record_conflict(
+        self,
+        aggressor: int,
+        victim: int,
+        block: int,
+        broadcast_ts: int,
+        abort_ts: int,
+        abort_cycles: int,
+        replayed: int,
+    ) -> None:
+        self.conflicts.append(ConflictRecord(
+            aggressor=aggressor, victim=victim, block=block,
+            broadcast_ts=broadcast_ts, abort_ts=abort_ts,
+            abort_cycles=abort_cycles, replayed=replayed,
+        ))
+
+    def conflict_pairs(self) -> Dict[Tuple[int, int], int]:
+        """Abort counts keyed ``(aggressor, victim)``."""
+        pairs: Dict[Tuple[int, int], int] = {}
+        for record in self.conflicts:
+            key = (record.aggressor, record.victim)
+            pairs[key] = pairs.get(key, 0) + 1
+        return pairs

@@ -58,6 +58,8 @@ import warnings
 from collections import deque
 from time import perf_counter as _perf_counter
 
+from repro.obs import telemetry as _telemetry
+
 #: Backend names accepted by ``--kernel`` / ``REPRO_KERNEL`` /
 #: :class:`repro.uarch.config.PipelineConfig`.
 BACKENDS = ("auto", "python", "numpy")
@@ -448,7 +450,10 @@ def _classify(model, T, q0, q1):
             int(np.count_nonzero(dup_run)), mode == "batch",
         )
         if result is not None:
+            _telemetry.counter_inc("classify.routed_batch")
             return result
+        _telemetry.counter_inc("classify.declined")
+    _telemetry.counter_inc("classify.routed_scalar")
     return _classify_scalar(model, T, q0, q1, dup_run, keep, eff_store)
 
 
@@ -907,6 +912,12 @@ def advance(model, columns, segments, ei, min_batch=KERNEL_MIN_BATCH):
     load_lat, store_lat, flush_wb, records, hits_d = _classify(model, T, q0, q1)
     t_classified = _perf_counter()
     _phase_seconds["classify"] += t_classified - t_start
+    if _telemetry.enabled():
+        _telemetry.counter_inc("kernel.batches")
+        _telemetry.counter_inc("kernel.batch_ops", q1 - q0)
+        _telemetry.counter_inc(
+            "kernel.classify_seconds", t_classified - t_start
+        )
 
     lookup_lat = config.l1.latency + config.l2.latency + config.l3.latency
     mc_roundtrip = config.mc_roundtrip
@@ -1249,5 +1260,7 @@ def advance(model, columns, segments, ei, min_batch=KERNEL_MIN_BATCH):
     stats.nvmm_writes += nvmm_wb_d
     model.caches.l1.hits += hits_d
     model.caches.accesses += hits_d
-    _phase_seconds["solve"] += _perf_counter() - t_classified
+    t_solved = _perf_counter()
+    _phase_seconds["solve"] += t_solved - t_classified
+    _telemetry.counter_inc("kernel.solve_seconds", t_solved - t_classified)
     return ej

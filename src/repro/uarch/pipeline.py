@@ -61,6 +61,7 @@ from repro.isa.analysis import K_BARRIER, K_TAIL
 from repro.isa.columns import TraceColumns
 from repro.isa.ops import Op
 from repro.isa.trace import Trace
+from repro.obs import telemetry as _telemetry
 from repro.stats.run import RunStats
 from repro.uarch import kernel as _kernel
 from repro.uarch.caches import CacheHierarchy, CacheLevel
@@ -191,6 +192,12 @@ class PipelineModel:
             self._finish()
         else:
             self.stats.cycles = self._last_retire
+        if _telemetry.enabled():
+            _telemetry.counter_inc("pipeline.runs")
+            _telemetry.counter_inc(
+                "pipeline.instructions", self.stats.instructions
+            )
+            _telemetry.observe("pipeline.run_cycles", self.stats.cycles)
         return self.stats
 
     # ==================================================================

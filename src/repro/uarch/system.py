@@ -52,7 +52,7 @@ always converge once the writer has drained.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.trace import Trace
 from repro.stats.run import RunStats
@@ -85,8 +85,10 @@ class _CoreState:
         self.columns = trace.columns()
         self.n = len(self.columns.ops)
         self.cursor = 0
-        #: remote blocks awaiting delivery before the next unit
-        self.pending: List[int] = []
+        #: remote ``(block, source core, source retire clock)`` triples
+        #: awaiting delivery before the next unit — provenance rides
+        #: along so a traced run can attribute aborts aggressor→victim
+        self.pending: List[Tuple[int, int, int]] = []
         #: epoch_id -> blocks buffered speculatively under that epoch
         self.spec_stores: Dict[int, List[int]] = {}
         #: ordered ids of the epochs open after the last unit
@@ -149,13 +151,24 @@ class SystemModel:
         n_cores: int = 2,
         tracers: Optional[Sequence] = None,
         pipeline: Optional[PipelineConfig] = None,
+        system_tracer=None,
     ):
         if n_cores < 1:
             raise ValueError("need at least one core")
+        if system_tracer is not None:
+            if tracers is not None:
+                raise ValueError("pass tracers or system_tracer, not both")
+            if system_tracer.n_cores != n_cores:
+                raise ValueError(
+                    f"system tracer has {system_tracer.n_cores} cores, "
+                    f"model has {n_cores}"
+                )
+            tracers = system_tracer.cores
         if tracers is not None and len(tracers) != n_cores:
             raise ValueError("one tracer per core (or None)")
         self.config = config
         self.n_cores = n_cores
+        self.system_tracer = system_tracer
         self.cores = [
             PipelineModel(
                 config,
@@ -226,16 +239,25 @@ class SystemModel:
         # ---- coherence: deliver pending remote stores ----------------
         if state.pending:
             blocks, state.pending = state.pending, []
-            conflict = False
-            for block in blocks:
+            conflict: Optional[Tuple[int, int, int]] = None
+            for probe in blocks:
                 if core.epochs.speculating:
                     self.conflict_probes += 1
-                    if core.blt.probe(block):
-                        conflict = True
-            if conflict:
+                    if core.blt.probe(probe[0]) and conflict is None:
+                        conflict = probe
+            if conflict is not None:
+                abort_ts = core._last_retire
                 resume = core._do_rollback()
                 self.conflict_aborts += 1
                 self.replayed_instructions += state.cursor - resume
+                if self.system_tracer is not None:
+                    block, source, broadcast_ts = conflict
+                    self.system_tracer.record_conflict(
+                        aggressor=source, victim=state.index, block=block,
+                        broadcast_ts=broadcast_ts, abort_ts=abort_ts,
+                        abort_cycles=self.config.rollback_penalty,
+                        replayed=state.cursor - resume,
+                    )
                 state.cursor = resume
                 state.spec_stores.clear()
                 state.active_ids = []
@@ -284,7 +306,8 @@ class SystemModel:
                     continue
                 committed = state.spec_stores.pop(epoch_id, None)
                 if committed:
-                    self._broadcast(states, state.index, committed)
+                    self._broadcast(states, state.index, committed,
+                                    core._last_retire)
         state.active_ids = now_ids
 
         if store_block >= 0:
@@ -292,21 +315,34 @@ class SystemModel:
                 owner = core.epochs.current.epoch_id
                 state.spec_stores.setdefault(owner, []).append(store_block)
             else:
-                self._broadcast(states, state.index, [store_block])
+                self._broadcast(states, state.index, [store_block],
+                                core._last_retire)
 
-    def _broadcast(self, states: List[_CoreState], source: int, blocks: List[int]) -> None:
+    def _broadcast(
+        self, states: List[_CoreState], source: int, blocks: List[int], ts: int
+    ) -> None:
         self.store_broadcasts += len(blocks)
+        tagged = [(block, source, ts) for block in blocks]
         for state in states:
             if state.index != source:
-                state.pending.extend(blocks)
+                state.pending.extend(tagged)
 
 
 def simulate_system(
     traces: Sequence[Trace],
     config: MachineConfig = MachineConfig(),
     tracers: Optional[Sequence] = None,
+    system_tracer=None,
 ) -> SystemResult:
     """Convenience wrapper: build a :class:`SystemModel` sized to
-    *traces* and run it."""
-    system = SystemModel(config, n_cores=len(traces), tracers=tracers)
+    *traces* and run it.
+
+    Pass a :class:`~repro.obs.tracer.SystemTracer` as *system_tracer*
+    to capture per-core spans plus aggressor→victim conflict records
+    (forces every core onto the exact per-op loop); ``None`` keeps the
+    fast path and the zero-overhead contract."""
+    system = SystemModel(
+        config, n_cores=len(traces), tracers=tracers,
+        system_tracer=system_tracer,
+    )
     return system.run(traces)

@@ -54,7 +54,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.harness.parallel import VariantJob, run_variants
 from repro.harness.runner import build_trace, run_variant
 from repro.obs import attribution_errors, consistency_errors
-from repro.obs.tracer import SpanTracer
+from repro.obs.attribution import system_attribution_errors
+from repro.obs.tracer import SpanTracer, SystemTracer
 from repro.uarch.pipeline import PipelineModel
 from repro.txn.modes import PersistMode
 from repro.uarch.config import MachineConfig
@@ -415,6 +416,42 @@ def _system_checks(report: EngineReport, abbrev: str, seed: int) -> None:
         problems.append(error)
     report.add(
         f"system/{abbrev}/conflict-replay",
+        not problems,
+        detail="; ".join(problems),
+        abbrev=abbrev,
+        cores=2,
+        contention=0.8,
+        config="sp256",
+    )
+
+    # ---- system observability: a traced co-simulation must match the
+    # untraced one counter-for-counter on every core, its per-core
+    # attribution buckets must sum to that core's cycles exactly, and
+    # the driver's conflict records must account for every abort
+    system_tracer = SystemTracer(2)
+    traced = simulate_system(
+        run.traces, MachineConfig().with_sp(256), system_tracer=system_tracer,
+    )
+    problems = []
+    for index, (traced_stats, plain_stats) in enumerate(
+        zip(traced.per_core, result.per_core)
+    ):
+        traced_dict, plain_dict = traced_stats.as_dict(), plain_stats.as_dict()
+        diverged = {
+            key: (traced_dict[key], plain_dict[key])
+            for key in traced_dict
+            if traced_dict[key] != plain_dict.get(key)
+        }
+        if diverged:
+            problems.append(f"core {index} traced run diverged: {diverged}")
+    if traced.conflict_aborts != result.conflict_aborts:
+        problems.append(
+            f"traced run saw {traced.conflict_aborts} aborts, untraced "
+            f"{result.conflict_aborts}"
+        )
+    problems += system_attribution_errors(traced, system_tracer)
+    report.add(
+        f"system/{abbrev}/observability",
         not problems,
         detail="; ".join(problems),
         abbrev=abbrev,

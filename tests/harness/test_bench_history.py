@@ -1,0 +1,136 @@
+"""Bench history trail and regression comparison (``bench --compare``)."""
+
+import json
+
+from repro.harness.bench import (
+    BENCH_SCHEMA_VERSION,
+    COMPARE_TOLERANCE,
+    append_history,
+    comparable,
+    compare_to_history,
+    load_history,
+    render_compare,
+)
+
+
+def _record(**overrides):
+    """A minimal plausible bench record."""
+    record = {
+        "bench": "harness",
+        "schema": BENCH_SCHEMA_VERSION,
+        "git_rev": "abc1234",
+        "timestamp_utc": "2026-08-09T00:00:00+00:00",
+        "quick": True,
+        "kernel_backend": "numpy",
+        "classify_mode": "auto",
+        "pipeline_ips_by_backend": {"python": 1_000_000, "numpy": 5_000_000},
+        "miss_ips_by_backend": {"python": 400_000, "numpy": 2_000_000},
+        "sweep_ips_by_backend": {"python": 900_000, "numpy": 1_500_000},
+        "classify_ips": 3_000_000,
+        "system_ips": 150_000,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestHistoryTrail:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(_record(git_rev="aaa"), path)
+        append_history(_record(git_rev="bbb"), path)
+        loaded = load_history(path)
+        assert [rec["git_rev"] for rec in loaded] == ["aaa", "bbb"]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_tail_and_junk_lines_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        good = json.dumps(_record(git_rev="good"))
+        path.write_text(good + "\n" + "not json\n" + good[: len(good) // 2])
+        loaded = load_history(str(path))
+        assert [rec["git_rev"] for rec in loaded] == ["good"]
+
+
+class TestComparable:
+    def test_same_shape_is_comparable(self):
+        assert comparable(_record(), _record(git_rev="other"))
+
+    def test_different_backend_quick_or_classify_mode_is_not(self):
+        assert not comparable(_record(), _record(kernel_backend="python"))
+        assert not comparable(_record(), _record(quick=False))
+        assert not comparable(_record(), _record(classify_mode="scalar"))
+
+
+class TestCompare:
+    def test_identical_record_passes(self):
+        result = compare_to_history(_record(), [_record(git_rev="prior")])
+        assert result["compared"] == 1
+        assert result["regressions"] == []
+
+    def test_synthetic_regression_flagged_per_metric(self):
+        current = _record(
+            pipeline_ips_by_backend={"python": 1_000_000, "numpy": 2_000_000},
+        )
+        result = compare_to_history(current, [_record(git_rev="prior")])
+        assert len(result["regressions"]) == 1
+        finding = result["regressions"][0]
+        assert "pipeline_ips_by_backend/numpy" in finding
+        assert "prior" in finding
+        # the untouched python number must not be flagged
+        assert not any(
+            "python" in finding for finding in result["regressions"]
+        )
+
+    def test_drop_within_tolerance_passes(self):
+        shrunk = round(5_000_000 * (1 - COMPARE_TOLERANCE + 0.05))
+        current = _record(
+            pipeline_ips_by_backend={"python": 1_000_000, "numpy": shrunk},
+        )
+        result = compare_to_history(current, [_record()])
+        assert result["regressions"] == []
+
+    def test_baseline_is_best_of_history(self):
+        history = [
+            _record(system_ips=100_000),
+            _record(system_ips=200_000),
+            _record(system_ips=120_000),
+        ]
+        result = compare_to_history(_record(system_ips=130_000), history)
+        assert any("system_ips" in f for f in result["regressions"])
+        assert result["baselines"]["system_ips"]["ips"] == 200_000
+
+    def test_missing_metric_is_reported(self):
+        current = _record()
+        del current["system_ips"]
+        result = compare_to_history(current, [_record()])
+        assert any(
+            "system_ips" in finding and "missing" in finding
+            for finding in result["regressions"]
+        )
+
+    def test_incomparable_records_ignored(self):
+        history = [_record(kernel_backend="python", system_ips=999_999_999)]
+        result = compare_to_history(_record(), history)
+        assert result["compared"] == 0
+        assert result["regressions"] == []
+
+    def test_ref_filters_by_git_rev_prefix(self):
+        history = [
+            _record(git_rev="aaa111", system_ips=500_000),
+            _record(git_rev="bbb222", system_ips=100_000),
+        ]
+        result = compare_to_history(_record(), history, ref="bbb")
+        assert result["compared"] == 1
+        assert result["regressions"] == []
+        result = compare_to_history(_record(), history, ref="aaa")
+        assert any("system_ips" in f for f in result["regressions"])
+
+    def test_render_is_human_readable(self):
+        current = _record(system_ips=10_000)
+        result = compare_to_history(current, [_record()])
+        text = render_compare(result)
+        assert "REGRESSION" in text
+        assert "system_ips" in text
+        empty = render_compare(compare_to_history(_record(), []))
+        assert "no comparable history" in empty

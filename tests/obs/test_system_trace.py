@@ -1,0 +1,255 @@
+"""Multi-core tracing: SystemTracer, conflict records, cross-core
+attribution, and the multi-process Perfetto export.
+
+The system contracts under test:
+
+* a traced co-simulation is counter-identical to an untraced one;
+* the driver records exactly one :class:`ConflictRecord` per abort,
+  with aggressor/victim/replay provenance that reconciles with the
+  system counters (``system_attribution_errors``);
+* every core's attribution buckets sum to that core's cycles;
+* the Chrome trace export carries one process group per core plus the
+  shared persistence-domain group, unique track names per group, and
+  one properly paired flow arrow per conflict — and the validator
+  actually rejects violations of each of those.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.attribution import (
+    attribute,
+    attribute_system,
+    system_attribution_errors,
+)
+from repro.obs.perfetto import (
+    DOMAIN_PID,
+    chrome_system_trace_events,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+    write_system_chrome_trace,
+)
+from repro.obs.tracer import SystemTracer
+from repro.uarch.config import MachineConfig
+from repro.uarch.system import SystemModel, simulate_system
+from repro.workloads.concurrent import generate_concurrent
+from repro.txn.modes import PersistMode
+
+SP = MachineConfig().with_sp(256)
+SMALL = dict(init_ops=60, sim_ops=40)
+
+
+def _contended_run(abbrev="HM", cores=2, contention=0.8, seed=3, **ops):
+    return generate_concurrent(
+        abbrev, PersistMode.LOG_P_SF, n_cores=cores, contention=contention,
+        seed=seed, **(ops or SMALL),
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_cell():
+    """One contended 2-core cell traced once for the whole module."""
+    run = _contended_run()
+    tracer = SystemTracer(2)
+    result = simulate_system(run.traces, SP, system_tracer=tracer)
+    return run, tracer, result
+
+
+class TestSystemTracerSeam:
+    def test_traced_matches_untraced_per_core(self, traced_cell):
+        run, _, traced = traced_cell
+        plain = simulate_system(run.traces, SP)
+        for traced_stats, plain_stats in zip(traced.per_core, plain.per_core):
+            assert traced_stats.as_dict() == plain_stats.as_dict()
+        assert traced.conflict_aborts == plain.conflict_aborts
+        assert traced.replayed_instructions == plain.replayed_instructions
+
+    def test_core_count_must_match(self):
+        with pytest.raises(ValueError):
+            SystemModel(SP, n_cores=2, system_tracer=SystemTracer(3))
+
+    def test_tracers_and_system_tracer_are_exclusive(self):
+        with pytest.raises(ValueError):
+            SystemModel(
+                SP, n_cores=2, tracers=[None, None],
+                system_tracer=SystemTracer(2),
+            )
+
+    def test_one_record_per_abort_with_provenance(self, traced_cell):
+        _, tracer, result = traced_cell
+        assert result.conflict_aborts > 0  # the cell actually conflicts
+        assert len(tracer.conflicts) == result.conflict_aborts
+        for record in tracer.conflicts:
+            assert record.aggressor != record.victim
+            assert 0 <= record.aggressor < 2
+            assert 0 <= record.victim < 2
+            assert record.abort_cycles == SP.rollback_penalty
+            assert record.replayed > 0
+        assert sum(
+            tracer.conflict_pairs().values()
+        ) == result.conflict_aborts
+
+
+class TestSystemAttribution:
+    def test_no_errors_on_contended_cell(self, traced_cell):
+        _, tracer, result = traced_cell
+        assert system_attribution_errors(result, tracer) == []
+
+    def test_buckets_sum_to_each_cores_cycles(self, traced_cell):
+        _, tracer, result = traced_cell
+        report = attribute_system(result, tracer)
+        for stats, per_core in zip(result.per_core, report.per_core):
+            assert sum(per_core.buckets.values()) == stats.cycles
+
+    def test_pair_totals_match_driver_counters(self, traced_cell):
+        _, tracer, result = traced_cell
+        report = attribute_system(result, tracer)
+        assert sum(report.aborts_by_pair.values()) == result.conflict_aborts
+        assert sum(report.abort_cycles_by_pair.values()) == sum(
+            stats.conflict_abort_cycles for stats in result.per_core
+        )
+        assert report.replayed_instructions == result.replayed_instructions
+
+    def test_interference_vs_private_split(self, traced_cell):
+        _, tracer, result = traced_cell
+        report = attribute_system(result, tracer)
+        assert report.interference_cycles == sum(
+            stats.conflict_abort_cycles for stats in result.per_core
+        )
+        assert report.private_drain_cycles >= 0
+        rendered = report.render()
+        assert "conflict aborts" in rendered
+        assert "0->1" in rendered or "1->0" in rendered
+
+    def test_detects_dropped_conflict_record(self, traced_cell):
+        _, tracer, result = traced_cell
+        truncated = SystemTracer(2)
+        truncated.cores = tracer.cores
+        truncated.conflicts = tracer.conflicts[:-1]
+        errors = system_attribution_errors(result, truncated)
+        assert any("conflict records" in error for error in errors)
+
+
+class TestSystemPerfettoExport:
+    def test_export_validates_with_flows_and_tracks(self, traced_cell, tmp_path):
+        _, tracer, result = traced_cell
+        path = tmp_path / "system.json"
+        write_system_chrome_trace(path, tracer, per_core_stats=result.per_core)
+        validate_chrome_trace(path)
+        summary = summarize_chrome_trace(path)
+        # domain group + one group per core; >= 3 tracks overall
+        assert summary["processes"] == 3
+        assert summary["tracks"] >= 3
+        assert summary["flows"] == result.conflict_aborts
+
+    def test_track_names_unique_within_each_process(self, traced_cell):
+        _, tracer, result = traced_cell
+        events = chrome_system_trace_events(tracer)
+        pids = set()
+        names = {}
+        for event in events:
+            pids.add(event["pid"])
+            if event.get("ph") == "M" and event["name"] == "thread_name":
+                key = (event["pid"], event["tid"])
+                name = event["args"]["name"]
+                assert names.get(key, name) == name  # no renames
+                names[key] = name
+        assert DOMAIN_PID in pids
+        assert len(pids) == tracer.n_cores + 1
+        per_pid = {}
+        for (pid, _), name in names.items():
+            assert name not in per_pid.get(pid, set()), (
+                f"duplicate track {name!r} in pid {pid}"
+            )
+            per_pid.setdefault(pid, set()).add(name)
+
+    def test_flow_events_pair_start_and_finish(self, traced_cell):
+        _, tracer, _ = traced_cell
+        starts, finishes = {}, {}
+        for event in chrome_system_trace_events(tracer):
+            if event.get("ph") == "s":
+                starts[event["id"]] = event
+            elif event.get("ph") == "f":
+                finishes[event["id"]] = event
+        assert set(starts) == set(finishes)
+        assert len(starts) == len(tracer.conflicts)
+        for record, flow_id in zip(tracer.conflicts, sorted(starts)):
+            assert starts[flow_id]["pid"] == record.aggressor + 1
+            assert finishes[flow_id]["pid"] == record.victim + 1
+
+    def test_validator_rejects_orphan_flow(self, tmp_path):
+        tracer = SystemTracer(2)
+        run = _contended_run(contention=0.0, seed=1)
+        simulate_system(run.traces, SP, system_tracer=tracer)
+        path = tmp_path / "orphan.json"
+        write_system_chrome_trace(path, tracer)
+        data = json.loads(path.read_text())
+        data["traceEvents"].append({
+            "name": "conflict", "cat": "conflict", "ph": "f", "bp": "e",
+            "id": 999, "ts": 0, "pid": 1, "tid": 1,
+        })
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="flow"):
+            validate_chrome_trace(path)
+
+    def test_validator_rejects_duplicate_track_names(self, tmp_path):
+        tracer = SystemTracer(2)
+        run = _contended_run(contention=0.0, seed=1)
+        simulate_system(run.traces, SP, system_tracer=tracer)
+        path = tmp_path / "dup.json"
+        write_system_chrome_trace(path, tracer)
+        data = json.loads(path.read_text())
+        renames = [
+            event for event in data["traceEvents"]
+            if event.get("ph") == "M" and event["name"] == "thread_name"
+            and event["pid"] == 1
+        ]
+        assert len(renames) >= 2
+        renames[1]["args"]["name"] = renames[0]["args"]["name"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="tracks named"):
+            validate_chrome_trace(path)
+
+
+class TestSpanIntervalProperty:
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        contention=st.sampled_from([0.0, 0.5, 1.0]),
+        cores=st.integers(min_value=2, max_value=3),
+    )
+    def test_stall_spans_never_exceed_their_cores_cycles(
+        self, seed, contention, cores
+    ):
+        """Every *stall* span a core emits lies within [0, that core's
+        cycles] — per-core timelines never borrow another core's clock.
+
+        Restricted to the attribution buckets' source spans: SP's
+        wind-down ``epoch``/``pcommit`` lifetime spans legitimately
+        outlive the retire clock (hiding commit latency past the last
+        instruction is the paper's mechanism), but a stall billed
+        beyond its own core's cycles would corrupt attribution.
+        """
+        run = generate_concurrent(
+            "HM", PersistMode.LOG_P_SF, n_cores=cores,
+            contention=contention, seed=seed, init_ops=24, sim_ops=12,
+        )
+        tracer = SystemTracer(cores)
+        result = simulate_system(run.traces, SP, system_tracer=tracer)
+        stall_names = {
+            "conflict_abort", "sfence_drain", "checkpoint_stall",
+            "ssb_full_stall", "fetch_stall",
+        }
+        for stats, core_tracer in zip(result.per_core, tracer.cores):
+            for event in core_tracer.events:
+                assert 0 <= event.ts
+                if event.kind == "span" and event.name in stall_names:
+                    assert event.end <= stats.cycles
+            report = attribute(stats, core_tracer)
+            assert sum(report.buckets.values()) == stats.cycles

@@ -141,3 +141,80 @@ class TestSpanCounterConsistency:
         traced = PipelineModel(BASE, tracer=tracer).run(trace)
         assert traced.max_inflight_pcommits == fast.max_inflight_pcommits
         assert len(tracer.counters("wpq_occupancy")) > 0
+
+
+class TestSystemZeroOverhead:
+    """The zero-overhead contract extends to the multi-core driver:
+    ``system_tracer=None`` leaves a contended co-simulation
+    byte-identical to the pre-seam model, on both kernel backends.
+
+    The digest below pins the per-core stats of one contended 2-core
+    hash-map cell as produced before the tracing seam landed; both
+    backends must keep reproducing it exactly.
+    """
+
+    #: sha256 over the sorted per-core ``as_dict`` JSON of the cell
+    #: below, captured on the pre-seam model (both backends agree).
+    PINNED_DIGEST = (
+        "ea0a4c4defb8869d1afa49e0da8d1f7075259c9d2396a23167ba95b4c680f46b"
+    )
+
+    @staticmethod
+    def _cell(backend):
+        import hashlib
+        import json
+
+        from repro.txn.modes import PersistMode
+        from repro.uarch.config import PipelineConfig
+        from repro.uarch.system import SystemModel
+        from repro.workloads.concurrent import generate_concurrent
+
+        run = generate_concurrent(
+            "HM", PersistMode.LOG_P_SF, n_cores=2, contention=0.8,
+            seed=3, init_ops=60, sim_ops=40,
+        )
+        model = SystemModel(
+            SP, n_cores=2, pipeline=PipelineConfig(kernel=backend),
+        )
+        result = model.run(run.traces)
+        digest = hashlib.sha256(json.dumps(
+            [stats.as_dict() for stats in result.per_core], sort_keys=True,
+        ).encode()).hexdigest()
+        return result, digest
+
+    def test_python_backend_matches_pre_seam_digest(self):
+        result, digest = self._cell("python")
+        assert result.conflict_aborts > 0  # the cell actually conflicts
+        assert digest == self.PINNED_DIGEST
+
+    def test_numpy_backend_matches_pre_seam_digest(self):
+        import pytest
+
+        from repro.uarch.kernel import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        _, digest = self._cell("numpy")
+        assert digest == self.PINNED_DIGEST
+
+    def test_traced_system_run_matches_pinned_digest_too(self):
+        """Tracing must observe, never perturb: the traced cell digests
+        identically to the pinned untraced one."""
+        import hashlib
+        import json
+
+        from repro.obs.tracer import SystemTracer
+        from repro.txn.modes import PersistMode
+        from repro.uarch.system import SystemModel
+        from repro.workloads.concurrent import generate_concurrent
+
+        run = generate_concurrent(
+            "HM", PersistMode.LOG_P_SF, n_cores=2, contention=0.8,
+            seed=3, init_ops=60, sim_ops=40,
+        )
+        model = SystemModel(SP, n_cores=2, system_tracer=SystemTracer(2))
+        result = model.run(run.traces)
+        digest = hashlib.sha256(json.dumps(
+            [stats.as_dict() for stats in result.per_core], sort_keys=True,
+        ).encode()).hexdigest()
+        assert digest == self.PINNED_DIGEST
