@@ -50,6 +50,12 @@ interrupted campaign already journaled), ``--no-supervise`` (the plain
 PR-1 scheduler, byte-identical output), ``--job-timeout SECONDS`` (the
 per-job watchdog deadline), and ``--failures-out PATH`` (structured
 report of timeouts/retries/quarantines/pool rebuilds).
+
+Fleet mode (``docs/RESILIENCE.md`` §8): the same commands accept
+``--transport http --workers HOST:PORT[,...]`` to execute cells on
+remote workers started with ``python -m repro worker --listen
+HOST:PORT``; results merge byte-identically to local runs.
+``python -m repro serve`` runs the long-lived sweep service.
 """
 
 from __future__ import annotations
@@ -468,6 +474,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "timeouts, quarantines, pool rebuilds) as JSON to PATH",
         )
 
+    def add_transport(sub_parser):
+        sub_parser.add_argument(
+            "--transport", choices=("local", "http"), default=None,
+            help="where campaign cells execute: 'local' (in-process "
+                 "pool) or 'http' (remote workers; needs --workers or "
+                 "REPRO_WORKERS; default: REPRO_TRANSPORT, then local)",
+        )
+        sub_parser.add_argument(
+            "--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+            help="comma-separated endpoints of 'repro worker' processes "
+                 "for the http transport (default: REPRO_WORKERS)",
+        )
+
     sub.add_parser("tables", help="print Tables 1-3")
 
     figure = sub.add_parser("figure", help="regenerate one figure")
@@ -479,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(figure)
     add_metrics_out(figure)
     add_supervise(figure)
+    add_transport(figure)
     add_kernel(figure)
 
     sub.add_parser("headline", help="the abstract's claim")
@@ -505,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(run)
     add_metrics_out(run)
     add_supervise(run)
+    add_transport(run)
     add_kernel(run)
 
     trace = sub.add_parser(
@@ -556,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(report)
     add_metrics_out(report)
     add_supervise(report)
+    add_transport(report)
     add_kernel(report)
 
     bench = sub.add_parser(
@@ -589,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(bench)
     add_metrics_out(bench)
     add_supervise(bench)
+    add_transport(bench)
     add_kernel(bench)
 
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
@@ -624,7 +647,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs(validate)
     add_supervise(validate)
+    add_transport(validate)
     add_kernel(validate)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve campaign cells over HTTP for a remote coordinator "
+             "(the fleet worker; see docs/RESILIENCE.md §8)",
+    )
+    worker.add_argument(
+        "--listen", default="127.0.0.1:8750", metavar="HOST:PORT",
+        help="bind address (default: 127.0.0.1:8750; port 0 picks a "
+             "free port and prints it)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N", dest="max_jobs",
+        help="exit after serving N jobs (tests/CI)",
+    )
+    add_kernel(worker)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running simulation-as-a-service endpoint: POST /sweep "
+             "streams per-cell results, GET /metrics reports health",
+    )
+    serve.add_argument(
+        "--listen", default="127.0.0.1:8800", metavar="HOST:PORT",
+        help="bind address (default: 127.0.0.1:8800; port 0 picks a "
+             "free port and prints it)",
+    )
+    add_jobs(serve)
+    add_supervise(serve)
+    add_transport(serve)
+    add_kernel(serve)
     return parser
 
 
@@ -638,6 +693,30 @@ def _configure_supervisor(args) -> None:
         supervisor.set_resume(True)
     if getattr(args, "job_timeout", None) is not None:
         supervisor.set_job_timeout(args.job_timeout)
+
+
+def _configure_transport(args) -> Optional[str]:
+    """Apply --transport/--workers; returns an error message if the
+    combination is unusable."""
+    from repro.harness import transport
+
+    if getattr(args, "transport", None):
+        transport.set_transport(args.transport)
+    if getattr(args, "workers", None):
+        transport.set_workers(args.workers.split(","))
+    try:
+        if transport.configured_transport() == "http":
+            addresses = transport.worker_addresses()
+            if not addresses:
+                return (
+                    "--transport http needs worker endpoints "
+                    "(--workers HOST:PORT[,HOST:PORT...] or REPRO_WORKERS)"
+                )
+            for address in addresses:
+                transport.parse_hostport(address)
+    except transport.TransportConfigError as exc:
+        return str(exc)
+    return None
 
 
 def _write_failures(args) -> None:
@@ -668,6 +747,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.environ["REPRO_CLASSIFY"] = args.classify
     _configure_supervisor(args)
+    transport_error = _configure_transport(args)
+    if transport_error:
+        print(transport_error, file=sys.stderr)
+        return 2
+    if args.command == "worker":
+        from repro.harness.worker import serve_worker
+
+        return serve_worker(args.listen, max_jobs=args.max_jobs)
+    if args.command == "serve":
+        from repro.harness.service import serve_service
+
+        return serve_service(args.listen, jobs=args.jobs)
     if args.command == "tables":
         print(table1_text())
         print()

@@ -468,9 +468,20 @@ def run_bench(
 # bench history: append-only trail + regression comparison
 # ----------------------------------------------------------------------
 def append_history(record: Dict[str, object], path: str = DEFAULT_HISTORY) -> None:
-    """Append *record* as one JSON line to the history trail."""
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    """Append *record* as one JSON line to the history trail.
+
+    The whole line goes down in a single ``write(2)`` on an ``O_APPEND``
+    descriptor: POSIX appends are atomic per write, so concurrent bench
+    runs — routine under ``repro serve`` — interleave whole lines, never
+    partial ones.  (Buffered ``file.write`` offers no such guarantee:
+    the libc buffer may flush mid-line.)
+    """
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
 
 
 def load_history(path: str = DEFAULT_HISTORY) -> List[Dict[str, object]]:

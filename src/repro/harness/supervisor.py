@@ -85,40 +85,64 @@ _MAX_EVENTS = 1000
 class ChaosSpec:
     """Per-event-type injection probabilities, seeded for reproducibility.
 
-    ``kill`` SIGKILLs the worker before it starts (exercises
-    ``BrokenProcessPool`` recovery), ``hang`` sleeps long enough to trip
-    the watchdog (exercises timeouts), ``corrupt`` garbles the cache
-    entry the worker just wrote (exercises integrity-check recovery).
+    Process faults — ``kill`` SIGKILLs the worker before it starts
+    (exercises ``BrokenProcessPool`` recovery), ``hang`` sleeps long
+    enough to trip the watchdog (exercises timeouts), ``corrupt``
+    garbles the cache entry the worker just wrote (exercises
+    integrity-check recovery).
+
+    Network faults (http transport, injected coordinator-side by
+    :mod:`repro.harness.transport`) — ``drop`` loses a response after
+    the worker did the work, ``delay`` pushes latency past the request
+    deadline, ``garble`` flips response bytes (the CRC envelope must
+    reject them), ``partition`` makes the peer unreachable for the
+    attempt.
+
     Draws are deterministic in ``(seed, job digest, attempt)``, so a
     chaotic campaign replays identically.
     """
 
+    _PROCESS_EVENTS = ("kill", "hang", "corrupt")
+    _NETWORK_EVENTS = ("drop", "delay", "garble", "partition")
+
     kill: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    drop: float = 0.0
+    delay: float = 0.0
+    garble: float = 0.0
+    partition: float = 0.0
     seed: int = 0
 
+    def process_active(self) -> bool:
+        return any(getattr(self, name) > 0 for name in self._PROCESS_EVENTS)
+
+    def network_active(self) -> bool:
+        return any(getattr(self, name) > 0 for name in self._NETWORK_EVENTS)
+
     def active(self) -> bool:
-        return self.kill > 0 or self.hang > 0 or self.corrupt > 0
+        return self.process_active() or self.network_active()
 
     def render(self) -> str:
         return ",".join(
             f"{name}:{getattr(self, name):g}"
-            for name in ("kill", "hang", "corrupt")
+            for name in self._PROCESS_EVENTS + self._NETWORK_EVENTS
             if getattr(self, name) > 0
         )
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "ChaosSpec":
-        """Parse ``"kill:0.1,hang:0.05,corrupt:0.2"`` (any subset)."""
-        rates = {"kill": 0.0, "hang": 0.0, "corrupt": 0.0}
+        """Parse ``"kill:0.1,drop:0.05,garble:0.2"`` (any subset)."""
+        rates = {
+            name: 0.0 for name in cls._PROCESS_EVENTS + cls._NETWORK_EVENTS
+        }
         for clause in filter(None, (c.strip() for c in text.split(","))):
             name, _, value = clause.partition(":")
             name = name.strip()
             if name not in rates:
                 raise ValueError(
                     f"unknown chaos event {name!r} in {text!r} "
-                    f"(expected kill/hang/corrupt)"
+                    f"(expected kill/hang/corrupt/drop/delay/garble/partition)"
                 )
             try:
                 rate = float(value)
@@ -308,11 +332,10 @@ class CampaignJournal:
         self._handle = None
         self.appended = 0
 
-    def load_done(self) -> Set[str]:
-        """Digests of jobs a previous (interrupted) run completed."""
+    def _scan(self, source_filter) -> Set[str]:
         if self.path is None or not self.path.exists():
             return set()
-        done: Set[str] = set()
+        matched: Set[str] = set()
         try:
             with open(self.path, "r") as handle:
                 for line in handle:
@@ -324,11 +347,30 @@ class CampaignJournal:
                     except json.JSONDecodeError:
                         continue  # torn final line
                     digest = record.get("job")
-                    if isinstance(digest, str):
-                        done.add(digest)
+                    if isinstance(digest, str) and source_filter(
+                        record.get("source")
+                    ):
+                        matched.add(digest)
         except OSError:
             return set()
-        return done
+        return matched
+
+    def load_done(self) -> Set[str]:
+        """Digests of jobs a previous (interrupted) run completed.
+
+        Quarantine records are *not* completions — a quarantined job has
+        no result and must not be treated as satisfied on resume.
+        """
+        return self._scan(lambda source: source != "quarantined")
+
+    def load_quarantined(self) -> Set[str]:
+        """Digests the interrupted run quarantined (exhausted retries).
+
+        ``--resume`` routes these straight to the chaos-free serial
+        fallback instead of burning the full retry ladder on a job the
+        previous run already proved poisonous.
+        """
+        return self._scan(lambda source: source == "quarantined")
 
     def restart(self) -> None:
         """Truncate the journal (a fresh, non-resumed campaign)."""
@@ -339,6 +381,16 @@ class CampaignJournal:
             self.path.write_text("")
         except OSError:
             self.path = None  # journaling off for this campaign
+
+    def append_quarantine(self, digest: str, label: str) -> None:
+        """Record a quarantine decision so ``--resume`` inherits it.
+
+        Written with the reserved source ``"quarantined"`` —
+        :meth:`load_done` skips it; a later completion of the same job
+        (the serial fallback succeeded) appends a normal record that
+        wins on resume.
+        """
+        self.append(digest, label, "quarantined")
 
     def append(self, digest: str, label: str, source: str) -> None:
         if self.path is None:
@@ -378,16 +430,22 @@ class CampaignReport:
     campaign: str
     jobs: int
     chaos: str = ""
+    transport: str = "local"
     prescan: int = 0
     resumed: int = 0
+    resumed_quarantined: int = 0
     journal_stale: int = 0
     scheduled: int = 0
     completed: int = 0
+    remote: int = 0
     retries: int = 0
+    net_retries: int = 0
+    reassigned: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
     chaos_corrupts: int = 0
     degraded_serial: bool = False
+    degraded_local: bool = False
     quarantined: List[str] = field(default_factory=list)
     events: List[Dict[str, object]] = field(default_factory=list)
 
@@ -402,10 +460,12 @@ class CampaignReport:
 def failure_report() -> Dict[str, object]:
     """Aggregate failure/recovery report of every campaign this session."""
     totals = obs_metrics.supervisor_counters()
+    transport_totals = obs_metrics.transport_counters()
     return {
-        "schema": 1,
+        "schema": 2,
         "totals": totals.as_dict(),
-        "recovered": totals.any_recovery(),
+        "transport": transport_totals.as_dict(),
+        "recovered": totals.any_recovery() or transport_totals.any_activity(),
         "campaigns": [report.as_dict() for report in _CAMPAIGNS],
     }
 
@@ -459,7 +519,7 @@ def _supervised_worker(payload: Tuple) -> Tuple[object, float, int, bool]:
     """
     kind, key, config, root, digest, attempt, spec = payload
     rng = None
-    if spec is not None and spec.active():
+    if spec is not None and spec.process_active():
         rng = _chaos_rng(spec, f"{kind}:{digest}", attempt)
         if rng.random() < spec.kill:
             os.kill(os.getpid(), signal.SIGKILL)
@@ -539,13 +599,17 @@ class _PhaseRunner:
         chaos: ChaosSpec,
         report: CampaignReport,
         on_done: Callable[[_Task, object, float, str], None],
+        on_quarantine: Optional[Callable[[_Task], None]] = None,
     ) -> None:
         self.n_workers = n_workers
         self.root = root
         self.config = config
-        self.chaos = chaos if chaos.active() else None
+        # only process faults reach pool workers; network faults belong
+        # to the http transport layer
+        self.chaos = chaos if chaos.process_active() else None
         self.report = report
         self.on_done = on_done
+        self.on_quarantine = on_quarantine
         self.counters = obs_metrics.supervisor_counters()
         self.pool: Optional[ProcessPoolExecutor] = None
         self.rebuilds_left = config.max_pool_rebuilds
@@ -587,6 +651,8 @@ class _PhaseRunner:
             self.counters.quarantined += 1
             self.report.quarantined.append(task.label)
             self.report.event("quarantine", task.label, attempts=task.attempts)
+            if self.on_quarantine is not None:
+                self.on_quarantine(task)
             return
         self.counters.retries += 1
         self.report.retries += 1
@@ -775,9 +841,13 @@ def run_supervised(
     # proves it re-simulated only the journal-missing cells
     if resume_requested():
         done_digests = journal.load_done()
+        # quarantined in the interrupted run and never completed since:
+        # don't burn the retry ladder on a known-poison job again
+        inherited_quarantine = journal.load_quarantined() - done_digests
     else:
         journal.restart()
         done_digests = set()
+        inherited_quarantine = set()
 
     try:
         root_str = str(root)
@@ -841,6 +911,23 @@ def run_supervised(
 
         report.scheduled = len(missing)
 
+        # imported lazily: transport imports this module at load time
+        from repro.harness import transport as transport_mod
+
+        fleet = transport_mod.maybe_fleet(config, chaos, report)
+
+        def journal_quarantine(task: _Task) -> None:
+            journal.append_quarantine(task.digest, task.label)
+
+        def inherit_quarantine(task: _Task) -> bool:
+            if task.digest not in inherited_quarantine:
+                return False
+            task.quarantined = True
+            counters.resumed_quarantined += 1
+            report.resumed_quarantined += 1
+            report.event("resume_quarantine", task.label)
+            return True
+
         # ---- phase 1: unique traces ----------------------------------
         seen: Set = set()
         trace_tasks: List[_Task] = []
@@ -855,13 +942,13 @@ def run_supervised(
                     disk_cache.store_trace(key, memo, root=root_str)
                 continue
             if path is None or not path.exists():
-                trace_tasks.append(
-                    _Task(
-                        "trace", key, None, None,
-                        f"{key.abbrev}/{key.mode.value}",
-                        disk_cache.trace_digest(key),
-                    )
+                task = _Task(
+                    "trace", key, None, None,
+                    f"{key.abbrev}/{key.mode.value}",
+                    disk_cache.trace_digest(key),
                 )
+                inherit_quarantine(task)
+                trace_tasks.append(task)
 
         def trace_done(task: _Task, result, wall: float, worker: str) -> None:
             if result:
@@ -870,37 +957,56 @@ def run_supervised(
                 )
 
         runner_ = _PhaseRunner(
-            n_workers, root_str, config, chaos, report, trace_done
+            n_workers, root_str, config, chaos, report, trace_done,
+            on_quarantine=journal_quarantine,
         )
-        if trace_tasks:
+        if trace_tasks and fleet is None:
+            # with an http fleet the trace phase is skipped: workers own
+            # their stores and (re)generate traces inside sim jobs
             runner_.run(trace_tasks)
 
         # ---- phase 2: simulations ------------------------------------
         sim_tasks: List[_Task] = []
         job_by_index = {index: job for index, job, _ in missing}
         for index, job, key in missing:
-            sim_tasks.append(
-                _Task(
-                    "sim", key, job.config, index,
-                    f"{key.abbrev}/{key.mode.value}",
-                    disk_cache.stats_digest(key, job.config),
-                )
+            task = _Task(
+                "sim", key, job.config, index,
+                f"{key.abbrev}/{key.mode.value}",
+                disk_cache.stats_digest(key, job.config),
             )
+            inherit_quarantine(task)
+            sim_tasks.append(task)
 
         def sim_done(task: _Task, result, wall: float, worker: str) -> None:
             results[task.index] = result
             job = job_by_index[task.index]
             runner.seed_stats_cache(task.key, job.config, result)
+            if worker.startswith("http:"):
+                source = "remote"
+                # remote workers own their stores; persist the result in
+                # the campaign root too, so the journal's promise (a
+                # journaled cell is loadable here) holds for --resume
+                disk_cache.store_stats(
+                    task.key, job.config, result, root=root_str
+                )
+            else:
+                source = "simulated"
             obs_metrics.record_variant(
-                "sim", task.label, "simulated", wall, worker=worker
+                "sim", task.label, source, wall, worker=worker
             )
-            journal.append(task.digest, task.label, "simulated")
+            journal.append(task.digest, task.label, source)
             report.completed += 1
 
         sim_runner = _PhaseRunner(
-            n_workers, root_str, config, chaos, report, sim_done
+            n_workers, root_str, config, chaos, report, sim_done,
+            on_quarantine=journal_quarantine,
         )
         sim_runner.degraded = runner_.degraded  # don't re-learn the lesson
+        if fleet is not None:
+            # degradation ladder rung 1: the fleet completes what it
+            # can; whatever it leaves not-done falls through to the
+            # local pool below, which itself degrades to serial
+            fleet.run(sim_tasks, sim_done)
         sim_runner.run(sim_tasks)
 
         report.completed += report.prescan + report.resumed

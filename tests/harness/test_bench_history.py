@@ -1,6 +1,9 @@
 """Bench history trail and regression comparison (``bench --compare``)."""
 
 import json
+import subprocess
+import sys
+from pathlib import Path
 
 from repro.harness.bench import (
     BENCH_SCHEMA_VERSION,
@@ -50,6 +53,48 @@ class TestHistoryTrail:
         path.write_text(good + "\n" + "not json\n" + good[: len(good) // 2])
         loaded = load_history(str(path))
         assert [rec["git_rev"] for rec in loaded] == ["good"]
+
+
+class TestConcurrentAppends:
+    """Two processes appending to one history file must never interleave
+    bytes: each append is a single ``write(2)`` on an ``O_APPEND``
+    descriptor, which POSIX makes atomic with respect to other writers."""
+
+    WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.harness.bench import append_history
+for index in range({count}):
+    append_history({{"writer": {writer}, "index": index, "pad": "x" * 200}},
+                   {path!r})
+"""
+
+    def test_two_writer_stress_yields_only_whole_lines(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        count = 50
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    self.WRITER.format(
+                        src=src, count=count, writer=writer, path=path
+                    ),
+                ]
+            )
+            for writer in (0, 1)
+        ]
+        for worker in workers:
+            assert worker.wait(timeout=60) == 0
+        lines = Path(path).read_text().splitlines()
+        assert len(lines) == 2 * count
+        seen = {0: set(), 1: set()}
+        for line in lines:
+            record = json.loads(line)  # no torn or interleaved bytes
+            seen[record["writer"]].add(record["index"])
+        assert seen[0] == set(range(count))
+        assert seen[1] == set(range(count))
 
 
 class TestComparable:

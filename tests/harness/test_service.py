@@ -1,0 +1,166 @@
+"""Simulation-as-a-service (repro.harness.service): sweep request
+validation, NDJSON result streaming, and the metrics/liveness probes."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness import cache
+from repro.harness import supervisor
+from repro.harness import transport
+from repro.harness.runner import clear_trace_cache, run_variant
+from repro.harness.service import (
+    SweepRequestError,
+    make_service,
+    parse_sweep,
+)
+from repro.obs import metrics as obs_metrics
+from repro.txn.modes import PersistMode
+from repro.uarch.config import MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "cache"))
+    monkeypatch.delenv(cache.ENV_NO_CACHE, raising=False)
+    monkeypatch.delenv(supervisor.ENV_CHAOS, raising=False)
+    monkeypatch.delenv(transport.ENV_TRANSPORT, raising=False)
+    monkeypatch.delenv(transport.ENV_WORKERS, raising=False)
+    clear_trace_cache()
+    cache.reset_runtime_disable()
+    obs_metrics.reset_metrics()
+    supervisor.reset()
+    transport.reset()
+    yield
+    clear_trace_cache()
+    supervisor.reset()
+    transport.reset()
+    obs_metrics.reset_metrics()
+
+
+@pytest.fixture
+def service():
+    server = make_service(jobs=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _url(server, path: str) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path: str):
+    with urllib.request.urlopen(_url(server, path), timeout=10) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def _sweep(server, payload: dict):
+    request = urllib.request.Request(
+        _url(server, "/sweep"),
+        data=json.dumps(payload).encode(),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            lines = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+                if line.strip()
+            ]
+            return response.status, lines
+    except urllib.error.HTTPError as exc:
+        return exc.code, [json.loads(exc.read().decode())]
+
+
+class TestParseSweep:
+    def test_defaults(self):
+        benchmarks, modes, seed, init_ops, sim_ops = parse_sweep({})
+        assert len(benchmarks) >= 2  # the full workload registry
+        assert [label for label, _m, _c in modes] == [
+            "base", "log", "log+p", "log+p+sf", "sp256",
+        ]
+        assert seed == 7 and init_ops is None and sim_ops is None
+
+    def test_sp_mode_resolution(self):
+        _benchmarks, modes, *_rest = parse_sweep({"modes": ["sp64"]})
+        label, mode, config = modes[0]
+        assert label == "sp64"
+        assert mode is PersistMode.LOG_P_SF
+        assert config.sp_enabled and config.ssb_entries == 64
+
+    def test_rejections(self):
+        for payload, message in (
+            ({"benchmarks": ["NOPE"]}, "unknown benchmark"),
+            ({"benchmarks": "LL"}, "non-empty list"),
+            ({"modes": ["warp9"]}, "unknown mode"),
+            ({"modes": ["sp0"]}, "unknown mode"),
+            ({"sim_ops": -5}, "positive"),
+            ({"seed": "lucky"}, "integer"),
+            ({"surprise": 1}, "unknown sweep fields"),
+        ):
+            with pytest.raises(SweepRequestError, match=message):
+                parse_sweep(payload)
+
+
+class TestServiceEndpoints:
+    def test_healthz_and_metrics(self, service):
+        status, payload = _get(service, "/healthz")
+        assert status == 200 and payload["kind"] == "serve"
+        status, snapshot = _get(service, "/metrics")
+        assert status == 200
+        assert snapshot["schema"] == 5
+        assert "transport" in snapshot
+
+    def test_sweep_streams_correct_cells(self, service):
+        status, lines = _sweep(
+            service,
+            {
+                "benchmarks": ["LL", "HM"],
+                "modes": ["base", "sp256"],
+                "init_ops": 40,
+                "sim_ops": 4,
+            },
+        )
+        assert status == 200
+        summary = lines[-1]
+        assert summary["done"] is True and summary["cells"] == 4
+        cells = {
+            (line["benchmark"], line["mode"]): line for line in lines[:-1]
+        }
+        assert set(cells) == {
+            ("LL", "base"), ("LL", "sp256"), ("HM", "base"), ("HM", "sp256"),
+        }
+        for (abbrev, label), cell in cells.items():
+            mode = PersistMode.BASE if label == "base" else PersistMode.LOG_P_SF
+            config = (
+                MachineConfig() if label == "base"
+                else MachineConfig().with_sp(256)
+            )
+            expected = run_variant(abbrev, mode, config, init_ops=40, sim_ops=4)
+            assert cell["cycles"] == expected.cycles
+            assert cell["instructions"] == expected.instructions
+
+    def test_bad_sweep_is_a_400(self, service):
+        status, lines = _sweep(service, {"benchmarks": ["NOPE"]})
+        assert status == 400
+        assert lines[0]["ok"] is False
+
+    def test_unparseable_body_is_a_400(self, service):
+        request = urllib.request.Request(
+            _url(service, "/sweep"), data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_unknown_paths_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(service, "/sweeps")
+        assert err.value.code == 404

@@ -270,12 +270,108 @@ class TestResume:
         assert len(lines) == len(jobs)
 
 
+class TestQuarantineResume:
+    """Quarantine decisions persist in the journal, so ``--resume``
+    sends known-poisonous jobs straight to the serial fallback instead
+    of burning the retry ladder again."""
+
+    def test_journal_separates_quarantine_from_done(self, tmp_path):
+        journal = supervisor.CampaignJournal(tmp_path, "q1")
+        journal.append("d1", "LL/base", "simulated")
+        journal.append_quarantine("d2", "HM/base")
+        journal.close()
+        reopened = supervisor.CampaignJournal(tmp_path, "q1")
+        assert reopened.load_done() == {"d1"}
+        assert reopened.load_quarantined() == {"d2"}
+
+    def test_later_completion_wins_over_quarantine(self, tmp_path):
+        # the serial fallback completed the job after quarantining it
+        journal = supervisor.CampaignJournal(tmp_path, "q2")
+        journal.append_quarantine("d1", "LL/base")
+        journal.append("d1", "LL/base", "simulated")
+        journal.close()
+        reopened = supervisor.CampaignJournal(tmp_path, "q2")
+        assert reopened.load_done() == {"d1"}
+
+    def test_resume_inherits_journaled_quarantine(self, tmp_path, monkeypatch):
+        jobs = _jobs()
+        first = run_variants(jobs, jobs=2)
+
+        # reconstruct the journal as an interrupted run would have left
+        # it: the victim was quarantined, never completed, and its
+        # result never landed in the store
+        victim = jobs[2]
+        digest = cache.stats_digest(victim.trace_key, victim.config)
+        cache.stats_path(victim.trace_key, victim.config).unlink()
+        (journal_file,) = (tmp_path / "cache" / "journal").iterdir()
+        kept = [
+            line
+            for line in journal_file.read_text().splitlines()
+            if json.loads(line)["job"] != digest
+        ]
+        kept.append(
+            json.dumps(
+                {"job": digest, "label": "victim", "source": "quarantined"},
+                sort_keys=True, separators=(",", ":"),
+            )
+        )
+        journal_file.write_text("\n".join(kept) + "\n")
+
+        clear_trace_cache()
+        obs_metrics.reset_metrics()
+        supervisor.reset()
+        supervisor.set_resume(True)
+        resumed = run_variants(jobs, jobs=2)
+        assert resumed == first  # the fallback still produced the truth
+        counters = obs_metrics.supervisor_counters()
+        assert counters.resumed == len(jobs) - 1
+        assert counters.resumed_quarantined == 1
+        report = supervisor.campaign_reports()[-1]
+        assert report.resumed_quarantined == 1
+        kinds = {event["event"] for event in report.events}
+        assert "resume_quarantine" in kinds
+
+    def test_kill_campaign_journals_quarantine_then_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        jobs = _jobs(n_modes=1)
+        serial = _serial_baseline(jobs, monkeypatch)
+        monkeypatch.setenv(supervisor.ENV_CHAOS, "kill:1.0")
+        monkeypatch.setenv(supervisor.ENV_MAX_ATTEMPTS, "1")
+        results = run_variants(jobs, jobs=2)
+        assert results == serial
+        campaign = supervisor.campaign_id(jobs)
+        journal = supervisor.CampaignJournal(
+            tmp_path / "cache" / "journal", campaign
+        )
+        quarantined = journal.load_quarantined()
+        done = journal.load_done()
+        assert quarantined  # every retry exhausted under kill:1.0
+        # ...and the serial fallback still completed every sim cell
+        sim_digests = {
+            cache.stats_digest(job.trace_key, job.config) for job in jobs
+        }
+        assert sim_digests <= done
+
+        # resume after the crash window: nothing re-simulates, the stale
+        # quarantine records don't mask the completions that followed
+        clear_trace_cache()
+        obs_metrics.reset_metrics()
+        supervisor.reset()
+        supervisor.set_resume(True)
+        resumed = run_variants(jobs, jobs=2)
+        assert resumed == serial
+        counters = obs_metrics.supervisor_counters()
+        assert counters.resumed == len(jobs)
+        assert counters.resumed_quarantined == 0
+
+
 class TestFailureReport:
     def test_report_aggregates_campaigns(self, tmp_path, monkeypatch):
         monkeypatch.setenv(supervisor.ENV_CHAOS, "kill:1.0")
         run_variants(_jobs(n_modes=1), jobs=2)
         report = supervisor.failure_report()
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["recovered"] is True
         assert len(report["campaigns"]) == 1
         campaign = report["campaigns"][0]

@@ -113,7 +113,7 @@ class TestCacheCounters:
         out = tmp_path / "metrics.json"
         obs_metrics.write_metrics(out)
         payload = json.loads(out.read_text())
-        assert payload["schema"] == 4  # v4 added telemetry + system cells
+        assert payload["schema"] == 5  # v5 added transport fleet health
         assert payload["kernel_backend"] in ("python", "numpy")
         assert payload["summary"]["records"] == 1
         assert payload["variants"][0]["label"] == "BT/base"
